@@ -1,0 +1,96 @@
+//! Regenerates every evaluation table of the paper reproduction.
+//!
+//! ```text
+//! cargo run --release -p selfstab-analysis --bin experiments            # full run
+//! cargo run --release -p selfstab-analysis --bin experiments -- --quick # smaller run
+//! cargo run --release -p selfstab-analysis --bin experiments -- --csv out/
+//! cargo run --release -p selfstab-analysis --bin experiments -- --only E3,E4
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use selfstab_analysis::experiments::{self, ExperimentConfig};
+
+struct Args {
+    quick: bool,
+    csv_dir: Option<PathBuf>,
+    only: Option<Vec<String>>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { quick: false, csv_dir: None, only: None };
+    let mut iter = env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--csv" => {
+                let dir = iter.next().ok_or("--csv requires a directory argument")?;
+                args.csv_dir = Some(PathBuf::from(dir));
+            }
+            "--only" => {
+                let list = iter.next().ok_or("--only requires a comma-separated list (e.g. E3,E4)")?;
+                args.only =
+                    Some(list.split(',').map(|s| s.trim().to_uppercase()).collect());
+            }
+            "--help" | "-h" => {
+                return Err("usage: experiments [--quick] [--csv DIR] [--only E1,E2,...]".into())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    println!(
+        "reproduction of: Devismes, Masuzawa, Tixeuil — Communication Efficiency in \
+         Self-stabilizing Silent Protocols (ICDCS 2009)"
+    );
+    println!(
+        "configuration: {} runs per point, {} max steps, base seed {:#x}\n",
+        config.runs, config.max_steps, config.base_seed
+    );
+
+    let tables = experiments::run_all(&config);
+    let mut failures = 0;
+    for table in &tables {
+        if let Some(only) = &args.only {
+            // `E7/E8` matches either id.
+            let ids: Vec<&str> = table.id.split('/').collect();
+            if !ids.iter().any(|id| only.iter().any(|o| o == id)) {
+                continue;
+            }
+        }
+        println!("{}", table.to_text());
+        if let Some(dir) = &args.csv_dir {
+            if let Err(err) = fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {err}", dir.display());
+                failures += 1;
+                continue;
+            }
+            let path = dir.join(format!("{}.csv", table.id.replace('/', "_")));
+            if let Err(err) = fs::write(&path, table.to_csv()) {
+                eprintln!("cannot write {}: {err}", path.display());
+                failures += 1;
+            } else {
+                println!("wrote {}\n", path.display());
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,113 @@
+//! E2 — convergence of the COLORING protocol (Figure 7, Theorem 3).
+//!
+//! For each workload the table reports the distribution of steps and rounds
+//! until silence over independent runs, plus the measured efficiency. The
+//! paper's claim: the protocol stabilizes with probability 1 (so every run
+//! within the step budget terminates) while reading a single neighbor per
+//! step.
+
+use selfstab_core::coloring::Coloring;
+use selfstab_runtime::scheduler::DistributedRandom;
+use selfstab_runtime::{SimOptions, Simulation};
+
+use super::ExperimentConfig;
+use crate::stats::Summary;
+use crate::table::ExperimentTable;
+use crate::workloads::Workload;
+
+/// Raw measurements of one workload.
+#[derive(Debug, Clone)]
+pub struct ColoringConvergence {
+    /// Steps to silence per run.
+    pub steps: Vec<u64>,
+    /// Rounds to silence per run.
+    pub rounds: Vec<u64>,
+    /// Largest read-set size observed in any single activation, per run.
+    pub efficiency: Vec<usize>,
+    /// Runs that failed to stabilize within the budget.
+    pub timeouts: u64,
+}
+
+/// Measures the convergence of COLORING on one workload.
+pub fn measure(workload: &Workload, config: &ExperimentConfig) -> ColoringConvergence {
+    let mut result = ColoringConvergence {
+        steps: Vec::new(),
+        rounds: Vec::new(),
+        efficiency: Vec::new(),
+        timeouts: 0,
+    };
+    for seed in config.seeds() {
+        let graph = workload.build(config.base_seed);
+        let protocol = Coloring::new(&graph);
+        let mut sim = Simulation::new(
+            &graph,
+            protocol,
+            DistributedRandom::new(0.5),
+            seed,
+            SimOptions::default(),
+        );
+        let report = sim.run_until_silent(config.max_steps);
+        if report.silent {
+            result.steps.push(report.total_steps);
+            result.rounds.push(report.total_rounds);
+            result.efficiency.push(sim.stats().measured_efficiency());
+        } else {
+            result.timeouts += 1;
+        }
+    }
+    result
+}
+
+/// Runs E2 and renders its table.
+pub fn run(config: &ExperimentConfig) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E2",
+        "COLORING convergence (probabilistic stabilization, 1-efficiency)",
+        vec!["workload", "n", "Δ", "runs", "steps to silence", "rounds to silence", "max k", "timeouts"],
+    );
+    for workload in Workload::convergence_suite()
+        .into_iter()
+        .chain([Workload::Complete(12), Workload::Star(33)])
+    {
+        let graph = workload.build(config.base_seed);
+        let measurement = measure(&workload, config);
+        let steps = Summary::from_counts(measurement.steps.iter().copied());
+        let rounds = Summary::from_counts(measurement.rounds.iter().copied());
+        let max_k = measurement.efficiency.iter().copied().max().unwrap_or(0);
+        table.push_row(vec![
+            workload.label(),
+            graph.node_count().to_string(),
+            graph.max_degree().to_string(),
+            config.runs.to_string(),
+            steps.display_mean_max(),
+            rounds.display_mean_max(),
+            max_k.to_string(),
+            measurement.timeouts.to_string(),
+        ]);
+    }
+    table.push_note("paper claim (Thm 3): stabilizes with probability 1 (timeouts = 0) and reads exactly one neighbor per step (max k = 1)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coloring_always_stabilizes_and_stays_one_efficient() {
+        let cfg = ExperimentConfig::quick();
+        let m = measure(&Workload::Ring(16), &cfg);
+        assert_eq!(m.timeouts, 0);
+        assert_eq!(m.steps.len() as u64, cfg.runs);
+        assert!(m.efficiency.iter().all(|&k| k <= 1));
+    }
+
+    #[test]
+    fn table_has_a_row_per_workload() {
+        let table = run(&ExperimentConfig::quick());
+        assert_eq!(table.rows.len(), Workload::convergence_suite().len() + 2);
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "0", "timeouts must be zero ({})", row[0]);
+        }
+    }
+}

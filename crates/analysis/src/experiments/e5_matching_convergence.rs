@@ -1,0 +1,106 @@
+//! E5 — convergence of the MATCHING protocol against the Lemma 9 bound.
+//!
+//! For each workload the table reports the measured rounds-to-silence
+//! against the theoretical bound `(∆+1)·n + 2` and checks that every silent
+//! configuration induces a maximal matching (Lemma 6).
+
+use selfstab_core::matching::Matching;
+use selfstab_graph::verify;
+use selfstab_runtime::scheduler::Synchronous;
+use selfstab_runtime::{SimOptions, Simulation};
+
+use super::ExperimentConfig;
+use crate::stats::Summary;
+use crate::table::ExperimentTable;
+use crate::workloads::Workload;
+
+/// Raw measurements of one workload.
+#[derive(Debug, Clone)]
+pub struct MatchingConvergence {
+    /// Rounds to silence per run.
+    pub rounds: Vec<u64>,
+    /// The Lemma 9 bound `(∆+1)·n + 2`.
+    pub bound: u64,
+    /// Whether every silent configuration induced a maximal matching.
+    pub all_legitimate: bool,
+    /// Runs that failed to stabilize within the budget.
+    pub timeouts: u64,
+}
+
+/// Measures MATCHING convergence on one workload under the synchronous
+/// daemon.
+pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MatchingConvergence {
+    let graph = workload.build(config.base_seed);
+    let bound = Matching::round_bound(&graph);
+    let mut rounds = Vec::new();
+    let mut all_legitimate = true;
+    let mut timeouts = 0;
+    for seed in config.seeds() {
+        let protocol = Matching::with_greedy_coloring(&graph);
+        let mut sim =
+            Simulation::new(&graph, protocol, Synchronous, seed, SimOptions::default());
+        let report = sim.run_until_silent(config.max_steps.min(bound + 16));
+        if report.silent {
+            rounds.push(report.total_rounds);
+            let edges = sim.protocol().output(&graph, sim.config());
+            all_legitimate &= verify::is_maximal_matching(&graph, &edges);
+        } else {
+            timeouts += 1;
+        }
+    }
+    MatchingConvergence { rounds, bound, all_legitimate, timeouts }
+}
+
+/// Runs E5 and renders its table.
+pub fn run(config: &ExperimentConfig) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E5",
+        "MATCHING convergence vs the Lemma 9 bound (Δ+1)·n+2 (rounds, synchronous daemon)",
+        vec!["workload", "n", "Δ", "rounds to silence", "bound (Δ+1)n+2", "within bound", "maximal matching in every silent config"],
+    );
+    for workload in Workload::convergence_suite()
+        .into_iter()
+        .chain([Workload::Figure11])
+    {
+        let graph = workload.build(config.base_seed);
+        let m = measure(&workload, config);
+        let rounds = Summary::from_counts(m.rounds.iter().copied());
+        let within = m.timeouts == 0 && m.rounds.iter().all(|&r| r <= m.bound);
+        table.push_row(vec![
+            workload.label(),
+            graph.node_count().to_string(),
+            graph.max_degree().to_string(),
+            rounds.display_mean_max(),
+            m.bound.to_string(),
+            within.to_string(),
+            m.all_legitimate.to_string(),
+        ]);
+    }
+    table.push_note("paper claim (Lemmas 6 and 9, Thm 7): silence within (Δ+1)n+2 rounds and every silent configuration induces a maximal matching");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_respects_the_bound_on_small_workloads() {
+        let cfg = ExperimentConfig::quick();
+        for workload in [Workload::Ring(12), Workload::Figure11] {
+            let m = measure(&workload, &cfg);
+            assert_eq!(m.timeouts, 0, "{workload}");
+            assert!(m.all_legitimate, "{workload}");
+            assert!(m.rounds.iter().all(|&r| r <= m.bound), "{workload}");
+        }
+    }
+
+    #[test]
+    fn table_reports_within_bound_true() {
+        let table = run(&ExperimentConfig::quick());
+        for row in &table.rows {
+            assert_eq!(row[5], "true", "bound violated on {}", row[0]);
+            assert_eq!(row[6], "true", "illegitimate silent config on {}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The experiments E1–E10 (see the crate-level table).
+//!
+//! Every experiment is a pure function from an [`ExperimentConfig`] to an
+//! [`ExperimentTable`](crate::table::ExperimentTable); the `experiments`
+//! binary prints them, the integration tests check their invariants, and the
+//! criterion benches time their workloads.
+
+pub mod e1_communication;
+pub mod e2_coloring;
+pub mod e3_mis_convergence;
+pub mod e4_mis_stability;
+pub mod e5_matching_convergence;
+pub mod e6_matching_stability;
+pub mod e7_impossibility;
+pub mod e9_fault_recovery;
+pub mod e10_transformer;
+pub mod e11_ablation;
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::ExperimentTable;
+
+/// Shared knobs for the experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of independent runs (seeds) per data point.
+    pub runs: u64,
+    /// Step budget per run; runs that do not stabilize within the budget are
+    /// reported as such (they should not happen for the paper's protocols).
+    pub max_steps: u64,
+    /// Base RNG seed; run `i` of a data point uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig { runs: 10, max_steps: 2_000_000, base_seed: 0xC0FFEE }
+    }
+}
+
+impl ExperimentConfig {
+    /// A cheaper configuration for smoke tests and CI.
+    pub fn quick() -> Self {
+        ExperimentConfig { runs: 3, max_steps: 500_000, base_seed: 0xC0FFEE }
+    }
+
+    /// The seeds of the individual runs.
+    pub fn seeds(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.runs).map(move |i| self.base_seed.wrapping_add(i))
+    }
+}
+
+/// Runs every experiment and returns the tables in order.
+pub fn run_all(config: &ExperimentConfig) -> Vec<ExperimentTable> {
+    vec![
+        e1_communication::run(config),
+        e2_coloring::run(config),
+        e3_mis_convergence::run(config),
+        e4_mis_stability::run(config),
+        e5_matching_convergence::run(config),
+        e6_matching_stability::run(config),
+        e7_impossibility::run(config),
+        e9_fault_recovery::run(config),
+        e10_transformer::run(config),
+        e11_ablation::run(config),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_seeds_are_distinct_and_counted() {
+        let cfg = ExperimentConfig { runs: 5, max_steps: 10, base_seed: 100 };
+        let seeds: Vec<u64> = cfg.seeds().collect();
+        assert_eq!(seeds, vec![100, 101, 102, 103, 104]);
+    }
+
+    #[test]
+    fn quick_config_is_smaller() {
+        let quick = ExperimentConfig::quick();
+        let full = ExperimentConfig::default();
+        assert!(quick.runs < full.runs);
+        assert!(quick.max_steps <= full.max_steps);
+    }
+}

@@ -1,0 +1,36 @@
+//! Experiment harness reproducing the paper's evaluation artifacts.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of theorems,
+//! bounds and figure constructions. Each experiment in
+//! [`experiments`] regenerates one of them as a table whose *shape* can be
+//! compared against the paper's claim (see `EXPERIMENTS.md` at the
+//! repository root for the recorded outputs):
+//!
+//! | Experiment | Paper artifact | Claim checked |
+//! |---|---|---|
+//! | E1  | §3.2 examples        | communication/space complexity: `log(∆+1)` vs `∆·log(∆+1)` bits |
+//! | E2  | Fig. 7, Thm 3        | COLORING stabilizes w.p. 1 and is 1-efficient |
+//! | E3  | Fig. 8, Lemma 4      | MIS stabilizes within `∆·#C` rounds |
+//! | E4  | Thm 6, Fig. 9        | MIS is ♦-(⌊(Lmax+1)/2⌋, 1)-stable |
+//! | E5  | Fig. 10, Lemma 9     | MATCHING stabilizes within `(∆+1)n+2` rounds |
+//! | E6  | Thm 8, Fig. 11       | MATCHING is ♦-(2⌈m/(2∆−1)⌉, 1)-stable |
+//! | E7  | Thm 1, Figs 1–2      | frozen-read coloring deadlocks in illegitimate silent configurations |
+//! | E8  | Thm 2, Figs 3–6      | frozen-read MIS deadlocks even with root + dag orientation |
+//! | E9  | §1, §6               | stabilized-phase read overhead and fault recovery, efficient vs baseline |
+//! | E10 | §6 open question     | the round-robin transformer yields 1-efficient protocols |
+//! | E11 | design ablations     | identifier quality (#C) and daemon choice do not affect correctness |
+//!
+//! The `experiments` binary (`cargo run --release -p selfstab-analysis --bin
+//! experiments`) prints every table; the criterion benches in
+//! `selfstab-bench` time the same workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod stats;
+pub mod table;
+pub mod workloads;
+
+pub use table::ExperimentTable;
+pub use workloads::Workload;

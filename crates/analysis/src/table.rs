@@ -1,0 +1,144 @@
+//! Plain-text and CSV rendering of experiment results.
+
+use serde::{Deserialize, Serialize};
+
+/// A rendered experiment: a title, column headers, data rows and free-form
+/// notes (the comparison against the paper's claim).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentTable {
+    /// Experiment identifier, e.g. `"E3"`.
+    pub id: String,
+    /// One-line description of what the table reproduces.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+    /// Notes: the paper's claim and whether the measured shape matches.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: Vec<&str>,
+    ) -> ExperimentTable {
+        ExperimentTable {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row; the row is padded or truncated to the header
+    /// width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        let mut row = row;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1).max(0)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers + rows; notes become `#` comments).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        for note in &self.notes {
+            out.push_str(&format!("# {note}\n"));
+        }
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentTable {
+        let mut t = ExperimentTable::new("E0", "sample", vec!["graph", "n", "value"]);
+        t.push_row(vec!["ring".into(), "8".into(), "3.5".into()]);
+        t.push_row(vec!["grid".into(), "12".into()]);
+        t.push_note("values should grow with n");
+        t
+    }
+
+    #[test]
+    fn text_rendering_is_aligned_and_contains_everything() {
+        let text = sample().to_text();
+        assert!(text.contains("== E0 — sample =="));
+        assert!(text.contains("graph"));
+        assert!(text.contains("ring"));
+        assert!(text.contains("note: values should grow with n"));
+        // The truncated row was padded.
+        assert_eq!(sample().rows[0].len(), 3);
+    }
+
+    #[test]
+    fn csv_rendering_escapes_and_comments() {
+        let mut t = sample();
+        t.push_row(vec!["has,comma".into(), "1".into(), "a \"quote\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# values should grow with n\n"));
+        assert!(csv.contains("graph,n,value"));
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"a \"\"quote\"\"\""));
+    }
+
+    #[test]
+    fn rows_are_padded_to_header_width() {
+        let t = sample();
+        assert_eq!(t.rows[1], vec!["grid".to_string(), "12".to_string(), String::new()]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Named graph workloads shared by the experiments and the benchmarks.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_graph::{generators, Graph};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reproducible graph workload: a family plus its size parameter.
+///
+/// Every workload is deterministic given `(family, n, seed)` so that
+/// experiment tables and criterion benchmarks measure exactly the same
+/// topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Path of `n` processes (the Figure 9 family).
+    Path(usize),
+    /// Ring of `n` processes.
+    Ring(usize),
+    /// `rows × cols` grid.
+    Grid(usize, usize),
+    /// Star with `n` processes (degree `n - 1` hub).
+    Star(usize),
+    /// Complete graph on `n` processes.
+    Complete(usize),
+    /// Connected Erdős–Rényi graph with `n` processes and edge probability
+    /// `p`.
+    Gnp(usize, f64),
+    /// Uniform random tree on `n` processes.
+    Tree(usize),
+    /// Caterpillar with `spine` spine processes and `legs` legs each.
+    Caterpillar(usize, usize),
+    /// The exact ∆ = 4, m = 14 example of Figure 11.
+    Figure11,
+}
+
+impl Workload {
+    /// Materializes the workload into a graph; `seed` only matters for the
+    /// randomized families.
+    pub fn build(&self, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            Workload::Path(n) => generators::path(n),
+            Workload::Ring(n) => generators::ring(n),
+            Workload::Grid(r, c) => generators::grid(r, c),
+            Workload::Star(n) => generators::star(n),
+            Workload::Complete(n) => generators::complete(n),
+            Workload::Gnp(n, p) => {
+                generators::gnp_connected(n, p, &mut rng).expect("valid G(n,p) parameters")
+            }
+            Workload::Tree(n) => generators::random_tree(n, &mut rng),
+            Workload::Caterpillar(spine, legs) => generators::caterpillar(spine, legs),
+            Workload::Figure11 => generators::figure11_example(),
+        }
+    }
+
+    /// Short label used in table rows and bench identifiers.
+    pub fn label(&self) -> String {
+        self.to_string()
+    }
+
+    /// The default suite used by the convergence experiments (E2/E3/E5).
+    pub fn convergence_suite() -> Vec<Workload> {
+        vec![
+            Workload::Path(32),
+            Workload::Ring(32),
+            Workload::Grid(6, 6),
+            Workload::Star(24),
+            Workload::Gnp(48, 0.12),
+            Workload::Tree(48),
+        ]
+    }
+
+    /// The suite used by the communication-complexity experiment (E1),
+    /// spanning a range of maximum degrees.
+    pub fn degree_suite() -> Vec<Workload> {
+        vec![
+            Workload::Ring(32),
+            Workload::Grid(6, 6),
+            Workload::Star(17),
+            Workload::Star(65),
+            Workload::Complete(16),
+            Workload::Gnp(64, 0.15),
+        ]
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Workload::Path(n) => write!(f, "path({n})"),
+            Workload::Ring(n) => write!(f, "ring({n})"),
+            Workload::Grid(r, c) => write!(f, "grid({r}x{c})"),
+            Workload::Star(n) => write!(f, "star({n})"),
+            Workload::Complete(n) => write!(f, "complete({n})"),
+            Workload::Gnp(n, p) => write!(f, "gnp({n},{p})"),
+            Workload::Tree(n) => write!(f, "tree({n})"),
+            Workload::Caterpillar(s, l) => write!(f, "caterpillar({s},{l})"),
+            Workload::Figure11 => write!(f, "figure11"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_graph::properties;
+
+    #[test]
+    fn every_workload_builds_a_connected_graph() {
+        let all = [
+            Workload::Path(8),
+            Workload::Ring(8),
+            Workload::Grid(3, 4),
+            Workload::Star(8),
+            Workload::Complete(6),
+            Workload::Gnp(20, 0.2),
+            Workload::Tree(15),
+            Workload::Caterpillar(4, 2),
+            Workload::Figure11,
+        ];
+        for w in all {
+            let g = w.build(3);
+            assert!(properties::is_connected(&g), "{w} is not connected");
+            assert!(g.node_count() > 0);
+        }
+    }
+
+    #[test]
+    fn randomized_workloads_are_reproducible_from_the_seed() {
+        let w = Workload::Gnp(30, 0.15);
+        assert_eq!(w.build(9), w.build(9));
+        let t = Workload::Tree(30);
+        assert_eq!(t.build(4), t.build(4));
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(Workload::Grid(3, 4).label(), "grid(3x4)");
+        assert_eq!(Workload::Figure11.label(), "figure11");
+        assert_eq!(Workload::Gnp(10, 0.25).label(), "gnp(10,0.25)");
+    }
+
+    #[test]
+    fn suites_are_non_empty() {
+        assert!(!Workload::convergence_suite().is_empty());
+        assert!(!Workload::degree_suite().is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! E2 — COLORING convergence (Figure 7, Theorem 3): time to silence over
+//! increasing network sizes and topologies, under the distributed fair
+//! daemon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_analysis::Workload;
+use selfstab_bench::{bench_config, SAMPLE_SIZE};
+use selfstab_core::coloring::Coloring;
+use selfstab_runtime::scheduler::DistributedRandom;
+use selfstab_runtime::{SimOptions, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("e2_coloring_convergence");
+    group.sample_size(SAMPLE_SIZE);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let workloads = [
+        Workload::Ring(16),
+        Workload::Ring(64),
+        Workload::Grid(6, 6),
+        Workload::Complete(12),
+        Workload::Gnp(64, 0.1),
+        Workload::Star(65),
+    ];
+    for workload in workloads {
+        let graph = workload.build(cfg.base_seed);
+        group.bench_with_input(BenchmarkId::from_parameter(workload.label()), &graph, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut sim = Simulation::new(
+                    g,
+                    Coloring::new(g),
+                    DistributedRandom::new(0.5),
+                    seed,
+                    SimOptions::default(),
+                );
+                let report = sim.run_until_silent(cfg.max_steps);
+                assert!(report.silent, "COLORING must stabilize (probability-1 convergence)");
+                report.total_steps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

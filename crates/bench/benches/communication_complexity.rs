@@ -1,0 +1,100 @@
+//! E1 — communication complexity per step: 1-efficient protocols vs the
+//! Δ-efficient local-checking baselines (Section 3.2 examples).
+//!
+//! Times a full run-to-silence of each protocol on graphs of increasing
+//! maximum degree and reports (via assertions) the measured efficiency: the
+//! shape to reproduce is "the 1-efficient protocols read one register per
+//! step regardless of Δ, the baselines read Δ of them".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_analysis::Workload;
+use selfstab_bench::{bench_config, SAMPLE_SIZE};
+use selfstab_core::baselines::{BaselineColoring, BaselineMis};
+use selfstab_core::coloring::Coloring;
+use selfstab_core::mis::Mis;
+use selfstab_runtime::scheduler::DistributedRandom;
+use selfstab_runtime::{SimOptions, Simulation};
+
+fn run_to_silence<P: selfstab_runtime::Protocol>(
+    graph: &selfstab_graph::Graph,
+    protocol: P,
+    seed: u64,
+    max_steps: u64,
+) -> usize {
+    let mut sim = Simulation::new(
+        graph,
+        protocol,
+        DistributedRandom::new(0.5),
+        seed,
+        SimOptions::default(),
+    );
+    sim.run_until_silent(max_steps);
+    sim.run_steps(10 * graph.node_count() as u64);
+    sim.stats().measured_efficiency()
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("e1_communication_complexity");
+    group.sample_size(SAMPLE_SIZE);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for workload in [Workload::Ring(32), Workload::Star(33), Workload::Gnp(48, 0.15)] {
+        let graph = workload.build(cfg.base_seed);
+        group.bench_with_input(
+            BenchmarkId::new("coloring_1_efficient", workload.label()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let k = run_to_silence(g, Coloring::new(g), cfg.base_seed, cfg.max_steps);
+                    assert_eq!(k, 1);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("coloring_baseline_delta", workload.label()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let k =
+                        run_to_silence(g, BaselineColoring::new(g), cfg.base_seed, cfg.max_steps);
+                    assert!(k >= 1);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mis_1_efficient", workload.label()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let k = run_to_silence(
+                        g,
+                        Mis::with_greedy_coloring(g),
+                        cfg.base_seed,
+                        cfg.max_steps,
+                    );
+                    assert_eq!(k, 1);
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mis_baseline_delta", workload.label()),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let k = run_to_silence(
+                        g,
+                        BaselineMis::with_greedy_coloring(g),
+                        cfg.base_seed,
+                        cfg.max_steps,
+                    );
+                    assert!(k >= 1);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E9 — stabilized-phase overhead and transient-fault recovery: times one
+//! full cycle (stabilize, corrupt f processes, re-stabilize) for the
+//! 1-efficient MIS and its Δ-efficient baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_analysis::Workload;
+use selfstab_bench::{bench_config, SAMPLE_SIZE};
+use selfstab_core::baselines::BaselineMis;
+use selfstab_core::mis::Mis;
+use selfstab_runtime::faults::inject_random_faults;
+use selfstab_runtime::scheduler::Synchronous;
+use selfstab_runtime::{Protocol, SimOptions, Simulation};
+
+fn cycle<P: Protocol>(
+    graph: &selfstab_graph::Graph,
+    protocol: P,
+    faults: usize,
+    seed: u64,
+    max_steps: u64,
+) -> u64 {
+    let mut sim = Simulation::new(graph, protocol, Synchronous, seed, SimOptions::default());
+    let report = sim.run_until_silent(max_steps);
+    assert!(report.silent);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA);
+    inject_random_faults(&mut sim, faults, &mut rng);
+    let report = sim.run_until_silent(max_steps);
+    assert!(report.silent, "self-stabilization: must recover from any transient fault");
+    report.total_rounds
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("e9_fault_recovery");
+    group.sample_size(SAMPLE_SIZE);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for workload in [Workload::Grid(6, 6), Workload::Gnp(48, 0.12)] {
+        let graph = workload.build(cfg.base_seed);
+        for faults in [1usize, graph.node_count() / 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("mis_1_efficient_f{faults}"), workload.label()),
+                &graph,
+                |b, g| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        cycle(g, Mis::with_greedy_coloring(g), faults, seed, cfg.max_steps)
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("mis_baseline_f{faults}"), workload.label()),
+                &graph,
+                |b, g| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        cycle(
+                            g,
+                            BaselineMis::with_greedy_coloring(g),
+                            faults,
+                            seed,
+                            cfg.max_steps,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E7/E8 — the impossibility constructions of Theorems 1 and 2: times the
+//! construction plus a fixed-length simulation of the spliced configuration
+//! and asserts that the frozen-read protocols never escape it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_analysis::experiments::e7_impossibility::{check_theorem1, check_theorem2};
+use selfstab_bench::SAMPLE_SIZE;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_e8_impossibility");
+    group.sample_size(SAMPLE_SIZE);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for delta in [2usize, 3, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("theorem1_anonymous", delta),
+            &delta,
+            |b, &delta| {
+                b.iter(|| {
+                    let check = check_theorem1(delta, 2_000, 7);
+                    assert!(check.violates_predicate && check.silent && !check.escaped);
+                    check.steps_without_change
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("theorem2_rooted_dag", delta),
+            &delta,
+            |b, &delta| {
+                b.iter(|| {
+                    let check = check_theorem2(delta, 2_000, 7);
+                    assert!(check.violates_predicate && check.silent && !check.escaped);
+                    check.steps_without_change
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

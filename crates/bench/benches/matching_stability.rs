@@ -1,0 +1,46 @@
+//! E6 — MATCHING ♦-(2⌈m/(2Δ−1)⌉, 1)-stability (Theorem 8, Figure 11):
+//! times the measurement and asserts the bound on the exact Figure 11 graph
+//! and on larger workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_analysis::Workload;
+use selfstab_bench::{bench_config, SAMPLE_SIZE};
+use selfstab_core::matching::Matching;
+use selfstab_runtime::scheduler::DistributedRandom;
+use selfstab_runtime::{SimOptions, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("e6_matching_stability");
+    group.sample_size(SAMPLE_SIZE);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for workload in [Workload::Figure11, Workload::Ring(32), Workload::Grid(6, 6)] {
+        let graph = workload.build(cfg.base_seed);
+        let bound = Matching::stability_bound(&graph);
+        group.bench_with_input(BenchmarkId::from_parameter(workload.label()), &graph, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut sim = Simulation::new(
+                    g,
+                    Matching::with_greedy_coloring(g),
+                    DistributedRandom::new(0.5),
+                    seed,
+                    SimOptions::default(),
+                );
+                let report = sim.run_until_silent(cfg.max_steps);
+                assert!(report.silent);
+                let matched = 2 * sim.protocol().output(g, sim.config()).len();
+                assert!(matched >= bound, "Theorem 8 bound violated: {matched} < {bound}");
+                sim.mark_suffix();
+                sim.run_steps(20 * g.node_count() as u64);
+                sim.stats().stable_process_count(1)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E3 — MIS convergence against the Lemma 4 bound Δ·#C (rounds under the
+//! synchronous daemon).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_analysis::Workload;
+use selfstab_bench::{bench_config, SAMPLE_SIZE};
+use selfstab_core::mis::Mis;
+use selfstab_runtime::scheduler::Synchronous;
+use selfstab_runtime::{SimOptions, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("e3_mis_convergence");
+    group.sample_size(SAMPLE_SIZE);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let workloads = [
+        Workload::Path(64),
+        Workload::Ring(64),
+        Workload::Grid(8, 8),
+        Workload::Gnp(64, 0.1),
+        Workload::Star(65),
+    ];
+    for workload in workloads {
+        let graph = workload.build(cfg.base_seed);
+        let bound = Mis::with_greedy_coloring(&graph).round_bound(&graph);
+        group.bench_with_input(BenchmarkId::from_parameter(workload.label()), &graph, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut sim = Simulation::new(
+                    g,
+                    Mis::with_greedy_coloring(g),
+                    Synchronous,
+                    seed,
+                    SimOptions::default(),
+                );
+                let report = sim.run_until_silent(bound + 16);
+                assert!(report.silent, "MIS must stabilize within Δ·#C rounds (Lemma 4)");
+                assert!(report.total_rounds <= bound + 1);
+                report.total_rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E4 — MIS ♦-(⌊(Lmax+1)/2⌋, 1)-stability on the Figure 9 path family:
+//! times the full measurement (stabilize, mark the suffix, measure the
+//! suffix read sets) and asserts the Theorem 6 bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_bench::{bench_config, SAMPLE_SIZE};
+use selfstab_core::mis::Mis;
+use selfstab_graph::generators;
+use selfstab_runtime::scheduler::DistributedRandom;
+use selfstab_runtime::{SimOptions, Simulation};
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("e4_mis_stability_figure9");
+    group.sample_size(SAMPLE_SIZE);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [9usize, 17, 33, 65] {
+        let graph = generators::figure9_path(n);
+        let bound = Mis::stability_bound(n - 1);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("path({n})")), &graph, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let mut sim = Simulation::new(
+                    g,
+                    Mis::with_greedy_coloring(g),
+                    DistributedRandom::new(0.5),
+                    seed,
+                    SimOptions::default(),
+                );
+                let report = sim.run_until_silent(cfg.max_steps);
+                assert!(report.silent);
+                sim.mark_suffix();
+                sim.run_steps(20 * g.node_count() as u64);
+                let stable = sim.stats().stable_process_count(1);
+                assert!(stable >= bound, "Theorem 6 bound violated: {stable} < {bound}");
+                stable
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

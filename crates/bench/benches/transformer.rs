@@ -1,0 +1,89 @@
+//! E10 — the round-robin local-checking transformer: times the transformed
+//! coloring against the hand-written COLORING and the Δ-efficient baseline
+//! on the same workloads, asserting 1-efficiency of the transformed
+//! protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_analysis::Workload;
+use selfstab_bench::{bench_config, SAMPLE_SIZE};
+use selfstab_core::baselines::BaselineColoring;
+use selfstab_core::coloring::Coloring;
+use selfstab_core::transformer::{ColoringSpec, RoundRobinChecker};
+use selfstab_runtime::scheduler::DistributedRandom;
+use selfstab_runtime::{Protocol, SimOptions, Simulation};
+
+fn run_once<P: Protocol>(
+    graph: &selfstab_graph::Graph,
+    protocol: P,
+    seed: u64,
+    max_steps: u64,
+) -> (u64, usize) {
+    let mut sim = Simulation::new(
+        graph,
+        protocol,
+        DistributedRandom::new(0.5),
+        seed,
+        SimOptions::default(),
+    );
+    let report = sim.run_until_silent(max_steps);
+    assert!(report.silent);
+    (report.total_steps, sim.stats().measured_efficiency())
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("e10_transformer");
+    group.sample_size(SAMPLE_SIZE);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for workload in [Workload::Ring(32), Workload::Grid(6, 6), Workload::Gnp(48, 0.12)] {
+        let graph = workload.build(cfg.base_seed);
+        group.bench_with_input(
+            BenchmarkId::new("handwritten_coloring", workload.label()),
+            &graph,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let (steps, k) = run_once(g, Coloring::new(g), seed, cfg.max_steps);
+                    assert!(k <= 1);
+                    steps
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("transformed_coloring", workload.label()),
+            &graph,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let (steps, k) = run_once(
+                        g,
+                        RoundRobinChecker::new(ColoringSpec::new(g)),
+                        seed,
+                        cfg.max_steps,
+                    );
+                    assert!(k <= 1, "the transformed protocol must stay 1-efficient");
+                    steps
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_delta_coloring", workload.label()),
+            &graph,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let (steps, _) = run_once(g, BaselineColoring::new(g), seed, cfg.max_steps);
+                    steps
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

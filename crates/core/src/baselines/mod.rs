@@ -1,0 +1,27 @@
+//! Δ-efficient baseline protocols (classical "local checking").
+//!
+//! The paper's point of comparison is the state of the art before its
+//! contribution: self-stabilizing protocols in which every process reads
+//! **every** neighbor at every activation (Δ-efficient, Δ-stable). This
+//! module implements one such baseline per problem:
+//!
+//! * [`coloring::BaselineColoring`] — randomized (∆+1)-coloring in the style
+//!   of Gradinariu & Tixeuil (reads all neighbors, redraws among the free
+//!   colors),
+//! * [`mis::BaselineMis`] — deterministic MIS with locally-unique identifiers
+//!   in the style of Ikeda, Kamei & Kakugawa,
+//! * [`matching::BaselineMatching`] — deterministic maximal matching in the
+//!   style of Manne, Mjelde, Pilard & Tixeuil (the protocol the paper's
+//!   `MATCHING` is derived from).
+//!
+//! The experiment harness contrasts their per-step communication
+//! (`∆ · log(…)` bits) and stabilized-phase behavior (every process keeps
+//! reading all neighbors forever) against the 1-efficient protocols.
+
+pub mod coloring;
+pub mod matching;
+pub mod mis;
+
+pub use coloring::BaselineColoring;
+pub use matching::BaselineMatching;
+pub use mis::BaselineMis;

@@ -1,0 +1,42 @@
+//! Executable counterparts of the paper's impossibility results
+//! (Section 4, Theorems 1 and 2, Figures 1–6).
+//!
+//! Theorems 1 and 2 are proofs, not algorithms; what *can* be executed is
+//! their counterexample construction. Both proofs follow the same scheme:
+//!
+//! 1. assume a protocol in which every process eventually stops reading one
+//!    of its neighbors (♦-(∆−1)-stability, or (∆−1)-stability for
+//!    Theorem 2),
+//! 2. take silent configurations of that protocol and splice them into a new
+//!    configuration on a slightly different topology in which two neighbors
+//!    hold communication states that are legitimate separately but not
+//!    together (*neighbor-completeness*, Definition 10),
+//! 3. observe that nobody can ever detect the inconsistency — the spliced
+//!    configuration is silent yet illegitimate, contradicting
+//!    self-stabilization.
+//!
+//! This module makes step 2 and 3 concrete:
+//!
+//! * [`frozen`] defines **frozen-read** variants of the paper's own
+//!   protocols: each process permanently reads a single designated neighbor
+//!   (the strongest form of the stability the theorems rule out),
+//! * [`theorem1`] builds, on the anonymous topologies of Figures 1–2, a
+//!   coloring configuration that is silent for the frozen-read `COLORING`
+//!   yet violates the coloring predicate,
+//! * [`theorem2`] does the same for the rooted, dag-oriented topologies of
+//!   Figures 3–6 using the frozen-read `MIS` (a deterministic protocol that
+//!   may consult colors, the orientation and the root — and still cannot
+//!   escape the construction).
+//!
+//! The experiment harness (experiments E7/E8) and the integration tests use
+//! these constructions to verify, by exhaustive simulation, that the spliced
+//! configurations are indeed deadlocked and illegitimate — the executable
+//! analogue of "no ♦-k-stable neighbor-complete protocol exists for k < ∆".
+
+pub mod frozen;
+pub mod theorem1;
+pub mod theorem2;
+
+pub use frozen::{FrozenReadColoring, FrozenReadMis};
+pub use theorem1::Theorem1Counterexample;
+pub use theorem2::Theorem2Counterexample;

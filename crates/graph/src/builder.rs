@@ -1,0 +1,157 @@
+//! Incremental construction of [`Graph`] values.
+
+use std::collections::BTreeSet;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Builder for [`Graph`] values.
+///
+/// The builder records edges in insertion order; the port numbering of every
+/// process follows the order in which its incident edges were added. Use
+/// [`Graph::shuffle_ports`] afterwards if an adversarial or randomized
+/// labelling is required.
+///
+/// # Example
+///
+/// ```
+/// use selfstab_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(4)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .edge(2, 3)
+///     .build()?;
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok::<(), selfstab_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph over `node_count` processes and no edge.
+    pub fn new(node_count: usize) -> Self {
+        GraphBuilder { node_count, edges: Vec::new() }
+    }
+
+    /// Adds the undirected edge `{a, b}`.
+    ///
+    /// Errors are deferred to [`build`](Self::build) so that calls can be
+    /// chained fluently.
+    #[must_use]
+    pub fn edge(mut self, a: usize, b: usize) -> Self {
+        self.edges.push((a, b));
+        self
+    }
+
+    /// Adds every edge from an iterator of endpoint pairs.
+    #[must_use]
+    pub fn edges<I: IntoIterator<Item = (usize, usize)>>(mut self, iter: I) -> Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Number of edges currently recorded (including not-yet-validated ones).
+    pub fn pending_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validates the recorded edges and produces the immutable [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfRange`] if an endpoint is `>= node_count`,
+    /// * [`GraphError::SelfLoop`] if an edge `{p, p}` was added,
+    /// * [`GraphError::DuplicateEdge`] if the same undirected edge was added
+    ///   twice.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let n = self.node_count;
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            if a >= n {
+                return Err(GraphError::NodeOutOfRange { node: NodeId::new(a), node_count: n });
+            }
+            if b >= n {
+                return Err(GraphError::NodeOutOfRange { node: NodeId::new(b), node_count: n });
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop { node: NodeId::new(a) });
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                return Err(GraphError::DuplicateEdge { a: NodeId::new(a), b: NodeId::new(b) });
+            }
+            adj[a].push(NodeId::new(b));
+            adj[b].push(NodeId::new(a));
+        }
+        let edge_count = seen.len();
+        Ok(Graph::from_adjacency(adj, edge_count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).build().unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(NodeId::new(1)), 2);
+    }
+
+    #[test]
+    fn builds_edgeless_graph() {
+        let g = GraphBuilder::new(5).build().unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn port_order_follows_insertion_order() {
+        let g = GraphBuilder::new(4).edge(0, 2).edge(0, 1).edge(0, 3).build().unwrap();
+        let neighbors: Vec<_> = g.neighbors(NodeId::new(0)).collect();
+        assert_eq!(neighbors, vec![NodeId::new(2), NodeId::new(1), NodeId::new(3)]);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = GraphBuilder::new(2).edge(1, 1).build().unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_in_either_direction() {
+        let err = GraphBuilder::new(2).edge(0, 1).edge(1, 0).build().unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_endpoint() {
+        let err = GraphBuilder::new(2).edge(0, 2).build().unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: NodeId::new(2), node_count: 2 });
+    }
+
+    #[test]
+    fn edges_iterator_helper() {
+        let g = GraphBuilder::new(4)
+            .edges((0..3).map(|i| (i, i + 1)))
+            .build()
+            .unwrap();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn pending_edge_count_reports_recorded_edges() {
+        let b = GraphBuilder::new(3).edge(0, 1).edge(1, 2);
+        assert_eq!(b.pending_edge_count(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for graph construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Errors produced while building or querying a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node identifier referenced a process outside `0..n`.
+    NodeOutOfRange {
+        /// The offending identifier.
+        node: NodeId,
+        /// Number of processes in the graph.
+        node_count: usize,
+    },
+    /// An edge `{p, p}` was requested; the model forbids self-loops.
+    SelfLoop {
+        /// The process for which a self-loop was requested.
+        node: NodeId,
+    },
+    /// The same edge was added twice; the model uses simple graphs.
+    DuplicateEdge {
+        /// First endpoint.
+        a: NodeId,
+        /// Second endpoint.
+        b: NodeId,
+    },
+    /// The requested operation requires a connected graph.
+    NotConnected,
+    /// A generator was asked for an impossible parameter combination.
+    InvalidParameters {
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} is out of range for a graph of {node_count} processes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop requested on {node}"),
+            GraphError::DuplicateEdge { a, b } => {
+                write!(f, "edge {{{a}, {b}}} was added more than once")
+            }
+            GraphError::NotConnected => write!(f, "operation requires a connected graph"),
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid generator parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::SelfLoop { node: NodeId::new(3) };
+        assert_eq!(e.to_string(), "self-loop requested on p3");
+
+        let e = GraphError::NodeOutOfRange { node: NodeId::new(9), node_count: 4 };
+        assert!(e.to_string().contains("p9"));
+        assert!(e.to_string().contains('4'));
+
+        let e = GraphError::DuplicateEdge { a: NodeId::new(0), b: NodeId::new(1) };
+        assert!(e.to_string().contains("{p0, p1}"));
+
+        let e = GraphError::InvalidParameters { reason: "n must be >= 3".into() };
+        assert!(e.to_string().contains("n must be >= 3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+}

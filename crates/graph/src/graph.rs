@@ -1,0 +1,350 @@
+//! The locally-labelled undirected graph type.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::node::{NodeId, Port};
+
+/// An undirected simple graph with per-process local port numbering.
+///
+/// This is the communication topology of the paper's model: every process
+/// `p` has `δ.p` neighbors reachable through local ports `0..δ.p`. A port
+/// number is meaningful only to its owner — the two endpoints of an edge will
+/// in general address it through different port numbers, exactly as in the
+/// anonymous network model where processes can only *locally* distinguish
+/// their neighbors.
+///
+/// `Graph` is immutable once built (use [`GraphBuilder`] or the
+/// [`generators`](crate::generators) module); the simulation runtime shares
+/// it read-only across all simulated processes, which keeps ownership simple
+/// despite the conceptually shared topology.
+///
+/// # Example
+///
+/// ```
+/// use selfstab_graph::{Graph, GraphBuilder, NodeId, Port};
+///
+/// let g: Graph = GraphBuilder::new(3)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .build()
+///     .unwrap();
+/// let p1 = NodeId::new(1);
+/// assert_eq!(g.degree(p1), 2);
+/// // The neighbor behind each port of p1:
+/// let neighbors: Vec<_> = g.neighbors(p1).collect();
+/// assert_eq!(neighbors.len(), 2);
+/// // Port lookup is symmetric with neighbor lookup:
+/// let q = g.neighbor(p1, Port::new(0));
+/// assert_eq!(g.port_to(p1, q), Some(Port::new(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `adj[p][i]` is the neighbor of process `p` behind port `i`.
+    adj: Vec<Vec<NodeId>>,
+    /// Number of undirected edges.
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Builds a graph from a prepared adjacency structure.
+    ///
+    /// This is the internal constructor used by [`GraphBuilder`]; it assumes
+    /// the structure is already a valid simple undirected graph.
+    pub(crate) fn from_adjacency(adj: Vec<Vec<NodeId>>, edge_count: usize) -> Self {
+        Graph { adj, edge_count }
+    }
+
+    /// Number of processes `n = |Π|`.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all process identifiers `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::new)
+    }
+
+    /// Degree `δ.p` of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn degree(&self, p: NodeId) -> usize {
+        self.adj[p.index()].len()
+    }
+
+    /// Maximum degree `Δ` of the graph (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The neighbor of `p` behind local port `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or `port >= δ.p`.
+    pub fn neighbor(&self, p: NodeId, port: Port) -> NodeId {
+        self.adj[p.index()][port.index()]
+    }
+
+    /// Iterator over the neighbors of `p`, in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn neighbors(&self, p: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[p.index()].iter().copied()
+    }
+
+    /// Iterator over `(port, neighbor)` pairs of `p`, in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn ports(&self, p: NodeId) -> impl Iterator<Item = (Port, NodeId)> + '_ {
+        self.adj[p.index()]
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (Port::new(i), q))
+    }
+
+    /// The port of `p` that leads to `q`, if `q` is a neighbor of `p`.
+    pub fn port_to(&self, p: NodeId, q: NodeId) -> Option<Port> {
+        self.adj[p.index()]
+            .iter()
+            .position(|&r| r == q)
+            .map(Port::new)
+    }
+
+    /// Returns `true` when `{p, q}` is an edge of the graph.
+    pub fn has_edge(&self, p: NodeId, q: NodeId) -> bool {
+        self.port_to(p, q).is_some()
+    }
+
+    /// Iterator over all undirected edges, each reported once with
+    /// `edge.0 < edge.1` (by process index).
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |p| {
+            self.neighbors(p)
+                .filter(move |&q| p < q)
+                .map(move |q| (p, q))
+        })
+    }
+
+    /// Checks that a node identifier is valid for this graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] when `p.index() >= n`.
+    pub fn check_node(&self, p: NodeId) -> Result<(), GraphError> {
+        if p.index() < self.node_count() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange { node: p, node_count: self.node_count() })
+        }
+    }
+
+    /// Returns a copy of this graph with the port numbering of every process
+    /// shuffled by `rng`.
+    ///
+    /// The underlying edge set is unchanged; only the local channel labels
+    /// move. The impossibility arguments of the paper (Theorems 1 and 2) rely
+    /// on the adversary's freedom to pick local labellings, and protocol
+    /// correctness must never depend on a particular labelling — the test
+    /// suites use this to check that.
+    pub fn shuffle_ports<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        let mut adj = self.adj.clone();
+        for row in &mut adj {
+            row.shuffle(rng);
+        }
+        Graph { adj, edge_count: self.edge_count }
+    }
+
+    /// Returns a copy of this graph where the ports of process `p` are
+    /// re-ordered according to `order`.
+    ///
+    /// `order` must be a permutation of `0..δ.p`; entry `i` of `order` is the
+    /// old port that becomes new port `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] when `order` is not a
+    /// permutation of `0..δ.p`, and [`GraphError::NodeOutOfRange`] when `p`
+    /// does not exist.
+    pub fn with_port_order(&self, p: NodeId, order: &[usize]) -> Result<Graph, GraphError> {
+        self.check_node(p)?;
+        let degree = self.degree(p);
+        let valid = order.len() == degree
+            && order.iter().collect::<BTreeSet<_>>().len() == degree
+            && order.iter().all(|&i| i < degree);
+        if !valid {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("port order for {p} must be a permutation of 0..{degree}"),
+            });
+        }
+        let mut adj = self.adj.clone();
+        adj[p.index()] = order.iter().map(|&i| self.adj[p.index()][i]).collect();
+        Ok(Graph { adj, edge_count: self.edge_count })
+    }
+
+    /// Returns the adjacency list of the graph (neighbor of each port, per
+    /// process). Mostly useful for serialization and debugging.
+    pub fn adjacency(&self) -> &[Vec<NodeId>] {
+        &self.adj
+    }
+
+    /// Convenience constructor from an explicit edge list over `n` processes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`GraphBuilder`] errors: out-of-range endpoints,
+    /// self-loops and duplicate edges.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use selfstab_graph::Graph;
+    /// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+    /// assert_eq!(g.edge_count(), 4);
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Graph, GraphError> {
+        let mut builder = GraphBuilder::new(n);
+        for &(a, b) in edges {
+            builder = builder.edge(a, b);
+        }
+        builder.build()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph(n={}, m={}, Δ={})", self.node_count(), self.edge_count(), self.max_degree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.max_degree(), 2);
+        for p in g.nodes() {
+            assert_eq!(g.degree(p), 2);
+        }
+    }
+
+    #[test]
+    fn ports_and_neighbors_are_consistent() {
+        let g = triangle();
+        for p in g.nodes() {
+            for (port, q) in g.ports(p) {
+                assert_eq!(g.neighbor(p, port), q);
+                assert_eq!(g.port_to(p, q), Some(port));
+                assert!(g.has_edge(p, q));
+                assert!(g.has_edge(q, p));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_are_reported_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (a, b) in edges {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn port_to_missing_neighbor_is_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(g.port_to(NodeId::new(0), NodeId::new(3)), None);
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(3)));
+    }
+
+    #[test]
+    fn check_node_rejects_out_of_range() {
+        let g = triangle();
+        assert!(g.check_node(NodeId::new(2)).is_ok());
+        assert_eq!(
+            g.check_node(NodeId::new(3)),
+            Err(GraphError::NodeOutOfRange { node: NodeId::new(3), node_count: 3 })
+        );
+    }
+
+    #[test]
+    fn shuffle_ports_preserves_edge_set() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let shuffled = g.shuffle_ports(&mut rng);
+        assert_eq!(shuffled.edge_count(), g.edge_count());
+        for p in g.nodes() {
+            let mut a: Vec<_> = g.neighbors(p).collect();
+            let mut b: Vec<_> = shuffled.neighbors(p).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn with_port_order_permutes_one_node() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let p0 = NodeId::new(0);
+        let original: Vec<_> = g.neighbors(p0).collect();
+        let reordered = g.with_port_order(p0, &[2, 0, 1]).unwrap();
+        let new: Vec<_> = reordered.neighbors(p0).collect();
+        assert_eq!(new, vec![original[2], original[0], original[1]]);
+        // Other processes untouched.
+        assert_eq!(
+            g.neighbors(NodeId::new(1)).collect::<Vec<_>>(),
+            reordered.neighbors(NodeId::new(1)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn with_port_order_rejects_non_permutations() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let p0 = NodeId::new(0);
+        assert!(g.with_port_order(p0, &[0, 0, 1]).is_err());
+        assert!(g.with_port_order(p0, &[0, 1]).is_err());
+        assert!(g.with_port_order(p0, &[0, 1, 5]).is_err());
+        assert!(g.with_port_order(NodeId::new(9), &[0]).is_err());
+    }
+
+    #[test]
+    fn display_mentions_sizes() {
+        let g = triangle();
+        assert_eq!(g.to_string(), "graph(n=3, m=3, Δ=2)");
+    }
+
+    #[test]
+    fn from_edges_rejects_bad_input() {
+        assert!(Graph::from_edges(2, &[(0, 0)]).is_err());
+        assert!(Graph::from_edges(2, &[(0, 1), (1, 0)]).is_err());
+        assert!(Graph::from_edges(2, &[(0, 5)]).is_err());
+    }
+}

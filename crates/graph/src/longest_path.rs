@@ -1,0 +1,179 @@
+//! Longest elementary path (`Lmax`) computation.
+//!
+//! Theorem 6 of the paper states that the MIS protocol is
+//! ♦-(⌊(Lmax + 1)/2⌋, 1)-stable, where `Lmax` is the number of edges of the
+//! longest elementary (simple) path of the network. Computing `Lmax` is
+//! NP-hard in general, so this module provides:
+//!
+//! * [`longest_path_exact`] — exhaustive DFS with pruning, suitable for the
+//!   small and structured graphs used in the experiments (paths, the paper's
+//!   figures, small random graphs),
+//! * [`longest_path_lower_bound`] — a cheap DFS-based heuristic usable on
+//!   large graphs; it always returns a valid path length, hence a sound lower
+//!   bound for the theorem's stability guarantee,
+//! * [`longest_path`] — picks the exact algorithm under a configurable size
+//!   budget and falls back to the heuristic above it.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Default node-count budget under which [`longest_path`] runs the exact
+/// algorithm.
+pub const DEFAULT_EXACT_BUDGET: usize = 24;
+
+/// Result of a longest-path computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LongestPath {
+    /// Number of edges of the reported path (`Lmax` when exact).
+    pub length: usize,
+    /// Whether the value is exact or only a lower bound.
+    pub exact: bool,
+}
+
+/// Computes the exact longest elementary path length (in edges) by
+/// exhaustive DFS from every start process.
+///
+/// Intended for graphs of at most a few dozen processes; the worst-case cost
+/// is exponential.
+pub fn longest_path_exact(graph: &Graph) -> usize {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0usize;
+    let mut visited = vec![false; n];
+    for start in graph.nodes() {
+        visited[start.index()] = true;
+        dfs_exact(graph, start, 0, &mut visited, &mut best);
+        visited[start.index()] = false;
+    }
+    best
+}
+
+fn dfs_exact(graph: &Graph, p: NodeId, depth: usize, visited: &mut [bool], best: &mut usize) {
+    if depth > *best {
+        *best = depth;
+    }
+    // Prune: even visiting every remaining process cannot beat the best.
+    let remaining = visited.iter().filter(|v| !**v).count();
+    if depth + remaining <= *best {
+        return;
+    }
+    for q in graph.neighbors(p) {
+        if !visited[q.index()] {
+            visited[q.index()] = true;
+            dfs_exact(graph, q, depth + 1, visited, best);
+            visited[q.index()] = false;
+        }
+    }
+}
+
+/// Greedy DFS heuristic: from every process, repeatedly walk to the unvisited
+/// neighbor of smallest remaining degree. Returns the length (in edges) of
+/// the best simple path found — always a valid lower bound on `Lmax`.
+pub fn longest_path_lower_bound(graph: &Graph) -> usize {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0usize;
+    for start in graph.nodes() {
+        let mut visited = vec![false; n];
+        let mut current = start;
+        visited[current.index()] = true;
+        let mut length = 0usize;
+        loop {
+            let next = graph
+                .neighbors(current)
+                .filter(|q| !visited[q.index()])
+                .min_by_key(|q| graph.neighbors(*q).filter(|r| !visited[r.index()]).count());
+            match next {
+                Some(q) => {
+                    visited[q.index()] = true;
+                    current = q;
+                    length += 1;
+                }
+                None => break,
+            }
+        }
+        best = best.max(length);
+    }
+    best
+}
+
+/// Computes `Lmax` exactly for graphs of at most `exact_budget` processes and
+/// falls back to [`longest_path_lower_bound`] for larger graphs.
+pub fn longest_path(graph: &Graph, exact_budget: usize) -> LongestPath {
+    if graph.node_count() <= exact_budget {
+        LongestPath { length: longest_path_exact(graph), exact: true }
+    } else {
+        LongestPath { length: longest_path_lower_bound(graph), exact: false }
+    }
+}
+
+/// The ♦-(x, 1)-stability lower bound of Theorem 6: `⌊(Lmax + 1) / 2⌋`.
+pub fn mis_stability_bound(lmax: usize) -> usize {
+    (lmax + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn exact_on_paths_and_rings() {
+        assert_eq!(longest_path_exact(&generators::path(1)), 0);
+        assert_eq!(longest_path_exact(&generators::path(7)), 6);
+        assert_eq!(longest_path_exact(&generators::ring(8)), 7);
+    }
+
+    #[test]
+    fn exact_on_complete_graph_is_hamiltonian() {
+        assert_eq!(longest_path_exact(&generators::complete(6)), 5);
+    }
+
+    #[test]
+    fn exact_on_star_is_two() {
+        assert_eq!(longest_path_exact(&generators::star(9)), 2);
+    }
+
+    #[test]
+    fn exact_on_grid() {
+        // A 2x3 grid has a Hamiltonian path.
+        assert_eq!(longest_path_exact(&generators::grid(2, 3)), 5);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_exact() {
+        for g in [
+            generators::path(9),
+            generators::ring(9),
+            generators::star(8),
+            generators::grid(3, 3),
+            generators::caterpillar(4, 2),
+            generators::complete(5),
+        ] {
+            let exact = longest_path_exact(&g);
+            let lower = longest_path_lower_bound(&g);
+            assert!(lower <= exact, "lower {lower} > exact {exact} on {g}");
+            assert!(lower > 0 || g.edge_count() == 0);
+        }
+    }
+
+    #[test]
+    fn dispatcher_switches_on_budget() {
+        let g = generators::ring(10);
+        assert!(longest_path(&g, 16).exact);
+        assert!(!longest_path(&g, 4).exact);
+        assert_eq!(longest_path(&g, 16).length, 9);
+    }
+
+    #[test]
+    fn stability_bound_matches_paper_formula() {
+        assert_eq!(mis_stability_bound(0), 0);
+        assert_eq!(mis_stability_bound(4), 2);
+        assert_eq!(mis_stability_bound(5), 3);
+        assert_eq!(mis_stability_bound(9), 5);
+    }
+}

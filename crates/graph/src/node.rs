@@ -1,0 +1,177 @@
+//! Identifier newtypes for processes and local ports.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a process (vertex) in a [`Graph`](crate::Graph).
+///
+/// Process indices are dense: a graph with `n` processes uses the identifiers
+/// `0..n`. They are **simulation handles only** — the protocols of the paper
+/// never read them (anonymous model), except through the explicitly provided
+/// local-coloring constants.
+///
+/// # Example
+///
+/// ```
+/// use selfstab_graph::NodeId;
+/// let p = NodeId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(format!("{p}"), "p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a process identifier from its dense index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this process.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+/// A local port (channel) number of a process.
+///
+/// In the paper every process `p` numbers its `δ.p` incident edges with local
+/// indices `1..δ.p`; this crate uses the equivalent 0-based range
+/// `0..δ.p`. Two neighboring processes may (and usually do) refer to their
+/// shared edge through different port numbers.
+///
+/// # Example
+///
+/// ```
+/// use selfstab_graph::Port;
+/// let port = Port::new(0);
+/// assert_eq!(port.index(), 0);
+/// assert_eq!(port.next_round_robin(3).index(), 1);
+/// assert_eq!(Port::new(2).next_round_robin(3).index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Port(usize);
+
+impl Port {
+    /// Creates a port from its 0-based index.
+    pub const fn new(index: usize) -> Self {
+        Port(index)
+    }
+
+    /// Returns the 0-based index of this port.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Returns the next port in round-robin order among `degree` ports.
+    ///
+    /// This is the paper's `cur.p ← (cur.p mod δ.p) + 1` statement translated
+    /// to 0-based ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn next_round_robin(self, degree: usize) -> Port {
+        assert!(degree > 0, "a process with no neighbor has no port");
+        Port((self.0 + 1) % degree)
+    }
+
+    /// Clamps this port into the valid range `0..degree`.
+    ///
+    /// Useful when a transient fault leaves an internal pointer out of range:
+    /// the runtime re-interprets it as a valid port, which matches the
+    /// "arbitrary initial value over the variable domain" assumption.
+    pub fn clamp_to_degree(self, degree: usize) -> Port {
+        if degree == 0 {
+            Port(0)
+        } else {
+            Port(self.0 % degree)
+        }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<usize> for Port {
+    fn from(index: usize) -> Self {
+        Port(index)
+    }
+}
+
+impl From<Port> for usize {
+    fn from(port: Port) -> Self {
+        port.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(NodeId::from(42usize), id);
+        assert_eq!(id.to_string(), "p42");
+    }
+
+    #[test]
+    fn node_id_ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(7), NodeId::new(7));
+    }
+
+    #[test]
+    fn port_round_robin_cycles() {
+        let degree = 4;
+        let mut port = Port::new(0);
+        let mut seen = Vec::new();
+        for _ in 0..degree * 2 {
+            seen.push(port.index());
+            port = port.next_round_robin(degree);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no port")]
+    fn port_round_robin_rejects_zero_degree() {
+        Port::new(0).next_round_robin(0);
+    }
+
+    #[test]
+    fn port_clamp_wraps_out_of_range_values() {
+        assert_eq!(Port::new(7).clamp_to_degree(3), Port::new(1));
+        assert_eq!(Port::new(2).clamp_to_degree(3), Port::new(2));
+        assert_eq!(Port::new(5).clamp_to_degree(0), Port::new(0));
+    }
+
+    #[test]
+    fn port_display() {
+        assert_eq!(Port::new(2).to_string(), "#2");
+    }
+}

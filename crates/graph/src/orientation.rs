@@ -1,0 +1,271 @@
+//! The dag orientation induced by a local coloring (Theorem 4 of the paper).
+//!
+//! With locally-unique, totally-ordered colors, orienting every edge from the
+//! smaller to the larger color yields a directed acyclic graph. The MIS and
+//! MATCHING protocols exploit exactly this orientation for symmetry breaking;
+//! the impossibility result of Theorem 2 shows that even such an orientation
+//! (plus a root) does not make `k`-stable solutions possible for `k < Δ`.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::coloring::LocalColoring;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// A dag orientation of a graph's edges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagOrientation {
+    /// `successors[p]` lists the heads of the edges oriented away from `p`.
+    successors: Vec<Vec<NodeId>>,
+}
+
+impl DagOrientation {
+    /// Builds the orientation of Theorem 4: the edge `{p, q}` is oriented
+    /// `p → q` exactly when `C.p ≺ C.q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] when the coloring does not
+    /// cover the graph or is not proper (two neighbors with equal colors
+    /// cannot be oriented).
+    pub fn from_coloring(graph: &Graph, coloring: &LocalColoring) -> Result<Self, GraphError> {
+        if !coloring.is_proper(graph) {
+            return Err(GraphError::InvalidParameters {
+                reason: "the coloring is not a proper distance-1 coloring of the graph".into(),
+            });
+        }
+        let mut successors = vec![Vec::new(); graph.node_count()];
+        for (p, q) in graph.edges() {
+            if coloring.color(p) < coloring.color(q) {
+                successors[p.index()].push(q);
+            } else {
+                successors[q.index()].push(p);
+            }
+        }
+        Ok(DagOrientation { successors })
+    }
+
+    /// Builds an orientation from an explicit list of directed edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] when an oriented edge is not
+    /// an edge of `graph`, is duplicated, or the orientation has a directed
+    /// cycle.
+    pub fn from_edges(graph: &Graph, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        let mut successors = vec![Vec::new(); graph.node_count()];
+        let mut seen = std::collections::BTreeSet::new();
+        for &(from, to) in edges {
+            graph.check_node(from)?;
+            graph.check_node(to)?;
+            if !graph.has_edge(from, to) {
+                return Err(GraphError::InvalidParameters {
+                    reason: format!("{from} → {to} is not an edge of the graph"),
+                });
+            }
+            let key = (from.index().min(to.index()), from.index().max(to.index()));
+            if !seen.insert(key) {
+                return Err(GraphError::InvalidParameters {
+                    reason: format!("edge {{{from}, {to}}} oriented more than once"),
+                });
+            }
+            successors[from.index()].push(to);
+        }
+        let orientation = DagOrientation { successors };
+        if orientation.topological_order().is_none() {
+            return Err(GraphError::InvalidParameters {
+                reason: "the orientation contains a directed cycle".into(),
+            });
+        }
+        Ok(orientation)
+    }
+
+    /// Successor set `Succ.p`: neighbors reached by edges oriented away from
+    /// `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn successors(&self, p: NodeId) -> &[NodeId] {
+        &self.successors[p.index()]
+    }
+
+    /// Predecessors of `p`: processes whose oriented edge points to `p`.
+    pub fn predecessors(&self, p: NodeId) -> Vec<NodeId> {
+        (0..self.successors.len())
+            .map(NodeId::new)
+            .filter(|&q| self.successors[q.index()].contains(&p))
+            .collect()
+    }
+
+    /// Returns `true` when `p` has no incoming oriented edge.
+    pub fn is_source(&self, p: NodeId) -> bool {
+        self.predecessors(p).is_empty()
+    }
+
+    /// Returns `true` when `p` has no outgoing oriented edge.
+    pub fn is_sink(&self, p: NodeId) -> bool {
+        self.successors[p.index()].is_empty()
+    }
+
+    /// Number of oriented edges.
+    pub fn edge_count(&self) -> usize {
+        self.successors.iter().map(Vec::len).sum()
+    }
+
+    /// A topological order of the processes, or `None` if the orientation
+    /// has a directed cycle (it then is not a dag).
+    pub fn topological_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.successors.len();
+        let mut indegree = vec![0usize; n];
+        for succs in &self.successors {
+            for q in succs {
+                indegree[q.index()] += 1;
+            }
+        }
+        let mut queue: VecDeque<NodeId> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(NodeId::new)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(p) = queue.pop_front() {
+            order.push(p);
+            for &q in &self.successors[p.index()] {
+                indegree[q.index()] -= 1;
+                if indegree[q.index()] == 0 {
+                    queue.push_back(q);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Length (in edges) of the longest directed path of the dag. This upper
+    /// bounds how long a "wait-for" chain can grow in the deterministic
+    /// protocols.
+    pub fn longest_directed_path(&self) -> usize {
+        let order = match self.topological_order() {
+            Some(order) => order,
+            None => return 0,
+        };
+        let mut depth = vec![0usize; self.successors.len()];
+        let mut best = 0;
+        for p in order {
+            for &q in &self.successors[p.index()] {
+                if depth[p.index()] + 1 > depth[q.index()] {
+                    depth[q.index()] = depth[p.index()] + 1;
+                    best = best.max(depth[q.index()]);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Convenience check used by tests and the paper-topology constructors:
+/// returns `true` when `edges` orients a subset of `graph`'s edges without
+/// creating a directed cycle.
+pub fn edges_form_dag(graph: &Graph, edges: &[(NodeId, NodeId)]) -> bool {
+    DagOrientation::from_edges(graph, edges).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring;
+    use crate::generators;
+
+    #[test]
+    fn coloring_orientation_is_acyclic_on_many_graphs() {
+        for g in [
+            generators::path(8),
+            generators::ring(9),
+            generators::complete(6),
+            generators::grid(4, 4),
+            generators::wheel(7),
+        ] {
+            let c = coloring::greedy(&g);
+            let dag = DagOrientation::from_coloring(&g, &c).unwrap();
+            assert!(dag.topological_order().is_some(), "cycle on {g}");
+            assert_eq!(dag.edge_count(), g.edge_count());
+        }
+    }
+
+    #[test]
+    fn orientation_respects_color_order() {
+        let g = generators::path(4);
+        let c = coloring::greedy(&g);
+        let dag = DagOrientation::from_coloring(&g, &c).unwrap();
+        for (p, q) in g.edges() {
+            let p_to_q = dag.successors(p).contains(&q);
+            let q_to_p = dag.successors(q).contains(&p);
+            assert!(p_to_q ^ q_to_p, "every edge is oriented exactly once");
+            if p_to_q {
+                assert!(c.color(p) < c.color(q));
+            } else {
+                assert!(c.color(q) < c.color(p));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_improper_coloring() {
+        let g = generators::path(3);
+        let c = coloring::LocalColoring::new_unchecked(vec![0, 0, 1]);
+        assert!(DagOrientation::from_coloring(&g, &c).is_err());
+    }
+
+    #[test]
+    fn from_edges_validates_input() {
+        let g = generators::ring(4);
+        let n = NodeId::new;
+        // A proper dag orientation.
+        let dag =
+            DagOrientation::from_edges(&g, &[(n(0), n(1)), (n(1), n(2)), (n(3), n(2)), (n(0), n(3))])
+                .unwrap();
+        assert!(dag.is_source(n(0)));
+        assert!(dag.is_sink(n(2)));
+        assert_eq!(dag.predecessors(n(2)), vec![n(1), n(3)]);
+
+        // A directed cycle is rejected.
+        assert!(DagOrientation::from_edges(
+            &g,
+            &[(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(3), n(0))]
+        )
+        .is_err());
+        // Non-edges are rejected.
+        assert!(DagOrientation::from_edges(&g, &[(n(0), n(2))]).is_err());
+        // Duplicated orientations are rejected.
+        assert!(DagOrientation::from_edges(&g, &[(n(0), n(1)), (n(1), n(0))]).is_err());
+    }
+
+    #[test]
+    fn longest_directed_path_on_an_oriented_path() {
+        let g = generators::path(5);
+        let n = NodeId::new;
+        let dag =
+            DagOrientation::from_edges(&g, &[(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(3), n(4))])
+                .unwrap();
+        assert_eq!(dag.longest_directed_path(), 4);
+    }
+
+    #[test]
+    fn sources_and_sinks_cover_all_extremes() {
+        let g = generators::star(5);
+        let c = coloring::greedy(&g);
+        let dag = DagOrientation::from_coloring(&g, &c).unwrap();
+        // In a star colored greedily, the center gets color 0 and points to
+        // every leaf.
+        assert!(dag.is_source(NodeId::new(0)));
+        for leaf in 1..5 {
+            assert!(dag.is_sink(NodeId::new(leaf)));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_graph::{coloring, generators, longest_path, orientation, properties, verify, NodeId};
+
+/// Strategy producing a connected random graph together with the seed used.
+fn connected_graph() -> impl Strategy<Value = selfstab_graph::Graph> {
+    (3usize..40, 0u64..1_000, 1u32..30).prop_map(|(n, seed, dense)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = f64::from(dense) / 100.0 + 2.0 / n as f64;
+        generators::gnp_connected(n, p.min(1.0), &mut rng).expect("valid parameters")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_graphs_are_connected_simple_graphs(g in connected_graph()) {
+        prop_assert!(properties::is_connected(&g));
+        // Port <-> neighbor consistency on every process.
+        for p in g.nodes() {
+            let mut seen = std::collections::BTreeSet::new();
+            for (port, q) in g.ports(p) {
+                prop_assert_eq!(g.neighbor(p, port), q);
+                prop_assert_eq!(g.port_to(p, q), Some(port));
+                prop_assert_ne!(p, q, "no self-loop");
+                prop_assert!(seen.insert(q), "no duplicate edge");
+            }
+        }
+        // Handshake lemma.
+        let degree_sum: usize = g.nodes().map(|p| g.degree(p)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn greedy_and_dsatur_colorings_are_proper(g in connected_graph()) {
+        let greedy = coloring::greedy(&g);
+        let dsatur = coloring::dsatur(&g);
+        prop_assert!(greedy.is_proper(&g));
+        prop_assert!(dsatur.is_proper(&g));
+        prop_assert!(greedy.color_count() <= g.max_degree() + 1);
+        prop_assert!(dsatur.color_count() <= g.max_degree() + 1);
+        prop_assert!(verify::is_proper_coloring(&g, greedy.colors()));
+    }
+
+    #[test]
+    fn coloring_orientation_is_a_dag(g in connected_graph()) {
+        let c = coloring::greedy(&g);
+        let dag = orientation::DagOrientation::from_coloring(&g, &c).expect("proper coloring");
+        prop_assert!(dag.topological_order().is_some());
+        prop_assert_eq!(dag.edge_count(), g.edge_count());
+        // Every process is either a source, a sink, or has both kinds of
+        // incident edges; in all cases successors + predecessors = degree.
+        for p in g.nodes() {
+            prop_assert_eq!(
+                dag.successors(p).len() + dag.predecessors(p).len(),
+                g.degree(p)
+            );
+        }
+    }
+
+    #[test]
+    fn longest_path_heuristic_is_a_lower_bound(
+        n in 3usize..14,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp_connected(n, 0.3, &mut rng).expect("valid parameters");
+        let exact = longest_path::longest_path_exact(&g);
+        let lower = longest_path::longest_path_lower_bound(&g);
+        prop_assert!(lower <= exact);
+        prop_assert!(exact <= n - 1);
+    }
+
+    #[test]
+    fn shuffling_ports_preserves_structure(g in connected_graph(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shuffled = g.shuffle_ports(&mut rng);
+        prop_assert_eq!(shuffled.node_count(), g.node_count());
+        prop_assert_eq!(shuffled.edge_count(), g.edge_count());
+        for p in g.nodes() {
+            let mut a: Vec<NodeId> = g.neighbors(p).collect();
+            let mut b: Vec<NodeId> = shuffled.neighbors(p).collect();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(
+            properties::degree_sequence(&shuffled),
+            properties::degree_sequence(&g)
+        );
+    }
+
+    #[test]
+    fn matching_lower_bound_is_attainable(g in connected_graph()) {
+        // Build any maximal matching greedily and check it respects the
+        // Biedl et al. bound used by Theorem 8.
+        let mut matched = vec![false; g.node_count()];
+        let mut edges = Vec::new();
+        for (p, q) in g.edges() {
+            if !matched[p.index()] && !matched[q.index()] {
+                matched[p.index()] = true;
+                matched[q.index()] = true;
+                edges.push((p, q));
+            }
+        }
+        prop_assert!(verify::is_maximal_matching(&g, &edges));
+        prop_assert!(edges.len() >= verify::maximal_matching_size_lower_bound(&g));
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared-register, guarded-action computational model for self-stabilizing
+//! protocols.
+//!
+//! This crate implements the execution model of Section 2 of *Communication
+//! Efficiency in Self-stabilizing Silent Protocols* (Devismes, Masuzawa,
+//! Tixeuil):
+//!
+//! * processes hold **communication variables** (readable by neighbors) and
+//!   **internal variables** (private); a [`Protocol`](protocol::Protocol)
+//!   describes one local algorithm executed by every process,
+//! * a **scheduler** (daemon) picks a non-empty subset of processes at each
+//!   step; selected processes execute one enabled action atomically, all
+//!   reading the *pre-step* configuration ([`scheduler`]),
+//! * **rounds** capture the execution rate of the slowest process,
+//! * every neighbor read goes through a [`NeighborView`](view::NeighborView)
+//!   that records which ports were read, so that the paper's communication
+//!   measures (k-efficiency, ♦-(x,k)-stability, communication complexity) are
+//!   *measured* from executions rather than assumed ([`stats`]),
+//! * [`Simulation`](executor::Simulation) drives executions from arbitrary
+//!   (possibly corrupted) configurations, detects silence and legitimacy, and
+//!   supports transient-fault injection ([`faults`]).
+//!
+//! # Example
+//!
+//! ```
+//! use selfstab_graph::generators;
+//! use selfstab_runtime::executor::{SimOptions, Simulation};
+//! use selfstab_runtime::protocol::Protocol;
+//! use selfstab_runtime::scheduler::DistributedRandom;
+//! use selfstab_runtime::view::NeighborView;
+//! use rand::RngCore;
+//!
+//! /// A toy silent protocol: every process copies the minimum of its own
+//! /// value and its neighbors' values (converges to the global minimum).
+//! struct MinProtocol;
+//!
+//! impl Protocol for MinProtocol {
+//!     type State = u32;
+//!     type Comm = u32;
+//!     fn name(&self) -> &'static str { "min" }
+//!     fn arbitrary_state(
+//!         &self,
+//!         _graph: &selfstab_graph::Graph,
+//!         p: selfstab_graph::NodeId,
+//!         _rng: &mut dyn RngCore,
+//!     ) -> u32 { p.index() as u32 + 1 }
+//!     fn comm(&self, _p: selfstab_graph::NodeId, state: &u32) -> u32 { *state }
+//!     fn is_enabled(
+//!         &self,
+//!         graph: &selfstab_graph::Graph,
+//!         p: selfstab_graph::NodeId,
+//!         state: &u32,
+//!         view: &NeighborView<'_, u32>,
+//!     ) -> bool {
+//!         (0..graph.degree(p)).any(|i| view.read(selfstab_graph::Port::new(i)) < state)
+//!     }
+//!     fn activate(
+//!         &self,
+//!         graph: &selfstab_graph::Graph,
+//!         p: selfstab_graph::NodeId,
+//!         state: &u32,
+//!         view: &NeighborView<'_, u32>,
+//!         _rng: &mut dyn RngCore,
+//!     ) -> Option<u32> {
+//!         let min = (0..graph.degree(p))
+//!             .map(|i| *view.read(selfstab_graph::Port::new(i)))
+//!             .min()
+//!             .unwrap_or(*state);
+//!         (min < *state).then_some(min)
+//!     }
+//!     fn comm_bits(&self, _g: &selfstab_graph::Graph, _p: selfstab_graph::NodeId) -> u64 { 32 }
+//!     fn state_bits(&self, _g: &selfstab_graph::Graph, _p: selfstab_graph::NodeId) -> u64 { 32 }
+//!     fn is_legitimate(&self, graph: &selfstab_graph::Graph, config: &[u32]) -> bool {
+//!         let min = config.iter().min().copied().unwrap_or(0);
+//!         config.iter().all(|&v| v == min) && graph.node_count() == config.len()
+//!     }
+//! }
+//!
+//! let graph = generators::ring(6);
+//! let mut sim = Simulation::new(&graph, MinProtocol, DistributedRandom::new(0.5), 42, SimOptions::default());
+//! let report = sim.run_until_silent(10_000);
+//! assert!(report.silent);
+//! assert!(sim.is_legitimate());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod faults;
+pub mod guarded;
+pub mod protocol;
+pub mod scheduler;
+pub mod stats;
+pub mod trace;
+pub mod view;
+
+pub use executor::{RunReport, SimOptions, Simulation};
+pub use protocol::Protocol;
+pub use scheduler::Scheduler;
+pub use stats::RunStats;
+pub use trace::{StepRecord, Trace};
+pub use view::NeighborView;

@@ -1,0 +1,146 @@
+//! The [`Protocol`] trait: one local algorithm, executed by every process.
+
+use std::fmt;
+
+use rand::RngCore;
+use selfstab_graph::{Graph, NodeId};
+
+use crate::view::NeighborView;
+
+/// A distributed protocol in the paper's locally shared memory model.
+///
+/// A protocol is a collection of identical local algorithms, one per process
+/// (the *uniform* / anonymous setting; per-process constants such as the
+/// local colors of the MIS and MATCHING protocols are stored inside the
+/// protocol value itself and indexed by [`NodeId`]).
+///
+/// The state of a process splits into:
+///
+/// * its **communication state** ([`Protocol::Comm`]), the part neighbors may
+///   read — extracted by [`Protocol::comm`],
+/// * its **internal variables**, the remainder of [`Protocol::State`].
+///
+/// An activation ([`Protocol::activate`]) atomically evaluates the process's
+/// guarded actions in priority order against a read-tracked view of its
+/// neighbors' communication states and returns the new state of the enabled
+/// action with the highest priority, or `None` when the process is disabled.
+///
+/// # Contract
+///
+/// * `activate` must return `Some` exactly when `is_enabled` returns `true`
+///   for the same configuration (guards are deterministic; only action
+///   *bodies* may use randomness).
+/// * `activate` and `is_enabled` may only learn about other processes through
+///   `view` — this is what makes the measured read sets meaningful.
+/// * `comm` must be a pure projection of the state.
+pub trait Protocol {
+    /// Full per-process state: communication plus internal variables.
+    type State: Clone + fmt::Debug + PartialEq;
+    /// Communication state: the projection of the state neighbors can read.
+    type Comm: Clone + fmt::Debug + PartialEq;
+
+    /// Short human-readable protocol name (used in reports and traces).
+    fn name(&self) -> &'static str;
+
+    /// Samples an arbitrary state for process `p`.
+    ///
+    /// Self-stabilization quantifies over *every* initial configuration; the
+    /// simulation approximates this by sampling states uniformly over the
+    /// variable domains (and the test suites additionally exercise
+    /// hand-crafted worst cases).
+    fn arbitrary_state(&self, graph: &Graph, p: NodeId, rng: &mut dyn RngCore) -> Self::State;
+
+    /// Projects the communication state of process `p` out of its full
+    /// state. Per-process communication **constants** (such as the local
+    /// color `C.p` of the MIS and MATCHING protocols) are part of the
+    /// communication state and are attached here.
+    fn comm(&self, p: NodeId, state: &Self::State) -> Self::Comm;
+
+    /// Returns `true` when at least one guarded action of `p` is enabled.
+    ///
+    /// Reads performed here are **not** charged to the communication
+    /// measures: enabledness is the scheduler's (daemon's) omniscient view,
+    /// not a message exchanged by the protocol.
+    fn is_enabled(
+        &self,
+        graph: &Graph,
+        p: NodeId,
+        state: &Self::State,
+        view: &NeighborView<'_, Self::Comm>,
+    ) -> bool;
+
+    /// Executes one atomic activation of `p` from `state`, reading neighbors
+    /// through `view`, and returns the new state, or `None` when every
+    /// guarded action is disabled.
+    fn activate(
+        &self,
+        graph: &Graph,
+        p: NodeId,
+        state: &Self::State,
+        view: &NeighborView<'_, Self::Comm>,
+        rng: &mut dyn RngCore,
+    ) -> Option<Self::State>;
+
+    /// Number of bits needed to encode the communication state of `p`
+    /// (used for the communication complexity of Definition 5).
+    fn comm_bits(&self, graph: &Graph, p: NodeId) -> u64;
+
+    /// Number of bits needed to encode the full local state of `p`
+    /// (communication + internal variables; Definition 6 adds the
+    /// communication complexity on top of this).
+    fn state_bits(&self, graph: &Graph, p: NodeId) -> u64;
+
+    /// The problem's legitimacy predicate over a full configuration.
+    fn is_legitimate(&self, graph: &Graph, config: &[Self::State]) -> bool;
+
+    /// Returns `true` when `config` is a *silent* configuration: every
+    /// continuation keeps all communication variables fixed.
+    ///
+    /// The default implementation returns [`Protocol::is_legitimate`], which
+    /// is exact for the paper's three protocols (their lemmas show silent ⇔
+    /// legitimate up to internal-variable churn); override when the two
+    /// notions differ.
+    fn is_silent_config(&self, graph: &Graph, config: &[Self::State]) -> bool {
+        self.is_legitimate(graph, config)
+    }
+
+    /// Number of bits `log2(ceil)` helper for describing variable domains.
+    ///
+    /// Provided for implementors: the number of bits required to store a
+    /// variable ranging over `domain_size` values (at least 1 bit).
+    fn bits_for_domain(domain_size: u64) -> u64
+    where
+        Self: Sized,
+    {
+        bits_for_domain(domain_size)
+    }
+}
+
+/// Number of bits required to store a variable ranging over `domain_size`
+/// distinct values (at least 1).
+pub fn bits_for_domain(domain_size: u64) -> u64 {
+    if domain_size <= 2 {
+        1
+    } else {
+        64 - (domain_size - 1).leading_zeros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_domain_matches_log2_ceiling() {
+        assert_eq!(bits_for_domain(0), 1);
+        assert_eq!(bits_for_domain(1), 1);
+        assert_eq!(bits_for_domain(2), 1);
+        assert_eq!(bits_for_domain(3), 2);
+        assert_eq!(bits_for_domain(4), 2);
+        assert_eq!(bits_for_domain(5), 3);
+        assert_eq!(bits_for_domain(8), 3);
+        assert_eq!(bits_for_domain(9), 4);
+        assert_eq!(bits_for_domain(1 << 20), 20);
+        assert_eq!(bits_for_domain((1 << 20) + 1), 21);
+    }
+}

@@ -1,0 +1,452 @@
+//! Schedulers (daemons): which processes are activated at each step.
+//!
+//! The paper assumes a **distributed fair** scheduler: any non-empty subset
+//! of processes may be selected at each step, and every process is selected
+//! infinitely often. [`DistributedRandom`] models it (fair with probability
+//! 1); [`Fair`] wraps any scheduler with an explicit fairness enforcer so
+//! that even adversarial strategies satisfy the assumption within a bounded
+//! window. The synchronous and central daemons are special cases useful for
+//! experiments and for deterministic tests.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::RngCore;
+use selfstab_graph::NodeId;
+
+/// Read-only information handed to a scheduler when it selects a step.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerContext<'a> {
+    /// 0-based index of the step being scheduled.
+    pub step: u64,
+    /// `enabled[p]` tells whether process `p` has an enabled action in the
+    /// current configuration.
+    pub enabled: &'a [bool],
+}
+
+impl SchedulerContext<'_> {
+    /// Number of processes in the system.
+    pub fn node_count(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// Identifiers of the currently enabled processes.
+    pub fn enabled_nodes(&self) -> Vec<NodeId> {
+        self.enabled
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+}
+
+/// A scheduler selects a non-empty subset of processes at every step.
+pub trait Scheduler {
+    /// Short human-readable name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Selects the processes activated at this step.
+    ///
+    /// Implementations must return a non-empty subset of `0..n`; the
+    /// executor treats duplicate mentions as a single activation.
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId>;
+}
+
+/// Synchronous daemon: every process is activated at every step.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Synchronous;
+
+impl Scheduler for Synchronous {
+    fn name(&self) -> &'static str {
+        "synchronous"
+    }
+
+    fn select(&mut self, ctx: &SchedulerContext<'_>, _rng: &mut dyn RngCore) -> Vec<NodeId> {
+        (0..ctx.node_count()).map(NodeId::new).collect()
+    }
+}
+
+/// Central round-robin daemon: exactly one process per step, in cyclic order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CentralRoundRobin {
+    next: usize,
+}
+
+impl CentralRoundRobin {
+    /// Creates a round-robin daemon starting from process 0.
+    pub fn new() -> Self {
+        CentralRoundRobin { next: 0 }
+    }
+}
+
+impl Scheduler for CentralRoundRobin {
+    fn name(&self) -> &'static str {
+        "central-round-robin"
+    }
+
+    fn select(&mut self, ctx: &SchedulerContext<'_>, _rng: &mut dyn RngCore) -> Vec<NodeId> {
+        let n = ctx.node_count();
+        let chosen = NodeId::new(self.next % n.max(1));
+        self.next = (self.next + 1) % n.max(1);
+        vec![chosen]
+    }
+}
+
+/// Central random daemon: one uniformly random process per step.
+///
+/// Prefers enabled processes when `prefer_enabled` is set, which speeds up
+/// convergence measurements without affecting correctness (selecting a
+/// disabled process is a no-op in the model).
+#[derive(Debug, Clone, Copy)]
+pub struct CentralRandom {
+    prefer_enabled: bool,
+}
+
+impl CentralRandom {
+    /// One uniformly random process per step.
+    pub fn new() -> Self {
+        CentralRandom { prefer_enabled: false }
+    }
+
+    /// One uniformly random *enabled* process per step (falls back to any
+    /// process when none is enabled).
+    pub fn enabled_only() -> Self {
+        CentralRandom { prefer_enabled: true }
+    }
+}
+
+impl Default for CentralRandom {
+    fn default() -> Self {
+        CentralRandom::new()
+    }
+}
+
+impl Scheduler for CentralRandom {
+    fn name(&self) -> &'static str {
+        "central-random"
+    }
+
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        if self.prefer_enabled {
+            let enabled = ctx.enabled_nodes();
+            if let Some(&p) = enabled.choose(rng) {
+                return vec![p];
+            }
+        }
+        let n = ctx.node_count();
+        vec![NodeId::new(rng.gen_range(0..n.max(1)))]
+    }
+}
+
+/// Distributed random daemon: every process is selected independently with
+/// probability `activation_prob`; if the sample is empty, one process is
+/// drawn uniformly so the step is never empty.
+///
+/// This daemon is fair with probability 1, which is the paper's assumption
+/// for the probabilistic convergence of the COLORING protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedRandom {
+    activation_prob: f64,
+}
+
+impl DistributedRandom {
+    /// Creates the daemon with a per-process activation probability clamped
+    /// to `(0, 1]`.
+    pub fn new(activation_prob: f64) -> Self {
+        DistributedRandom { activation_prob: activation_prob.clamp(f64::MIN_POSITIVE, 1.0) }
+    }
+}
+
+impl Default for DistributedRandom {
+    fn default() -> Self {
+        DistributedRandom::new(0.5)
+    }
+}
+
+impl Scheduler for DistributedRandom {
+    fn name(&self) -> &'static str {
+        "distributed-random"
+    }
+
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        let n = ctx.node_count();
+        let mut chosen: Vec<NodeId> = (0..n)
+            .filter(|_| rng.gen_bool(self.activation_prob))
+            .map(NodeId::new)
+            .collect();
+        if chosen.is_empty() && n > 0 {
+            chosen.push(NodeId::new(rng.gen_range(0..n)));
+        }
+        chosen
+    }
+}
+
+/// Adversarial daemon that tries to starve progress: it activates only the
+/// single enabled process that was activated most recently (breaking ties by
+/// smallest index), in an attempt to let the same processes run over and
+/// over. Wrap it in [`Fair`] to satisfy the paper's fairness assumption.
+#[derive(Debug, Clone, Default)]
+pub struct StarvingAdversary {
+    last_activation: Vec<u64>,
+}
+
+impl StarvingAdversary {
+    /// Creates the adversary.
+    pub fn new() -> Self {
+        StarvingAdversary { last_activation: Vec::new() }
+    }
+}
+
+impl Scheduler for StarvingAdversary {
+    fn name(&self) -> &'static str {
+        "starving-adversary"
+    }
+
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        let n = ctx.node_count();
+        if self.last_activation.len() != n {
+            self.last_activation = vec![0; n];
+        }
+        let enabled = ctx.enabled_nodes();
+        let chosen = enabled
+            .iter()
+            .copied()
+            .max_by_key(|p| (self.last_activation[p.index()], std::cmp::Reverse(p.index())))
+            .unwrap_or_else(|| NodeId::new(rng.gen_range(0..n.max(1))));
+        self.last_activation[chosen.index()] = ctx.step + 1;
+        vec![chosen]
+    }
+}
+
+/// Locally-central daemon: selects a random *independent* set of enabled
+/// processes — no two neighbors are ever activated in the same step.
+///
+/// Many self-stabilizing algorithms in the literature are proved under this
+/// daemon because it removes simultaneous moves of neighbors; it is a
+/// strictly weaker adversary than the distributed daemon, so every protocol
+/// in this crate also works under it. Useful for experiments isolating the
+/// effect of neighbor concurrency.
+#[derive(Debug, Clone)]
+pub struct LocallyCentral {
+    /// `neighbors[p]` lists the neighbor indices of process `p`.
+    neighbors: Vec<Vec<usize>>,
+    activation_prob: f64,
+}
+
+impl LocallyCentral {
+    /// Creates the daemon for `graph` with the given per-process activation
+    /// probability (clamped to `(0, 1]`).
+    pub fn new(graph: &selfstab_graph::Graph, activation_prob: f64) -> Self {
+        let neighbors = graph
+            .nodes()
+            .map(|p| graph.neighbors(p).map(|q| q.index()).collect())
+            .collect();
+        LocallyCentral {
+            neighbors,
+            activation_prob: activation_prob.clamp(f64::MIN_POSITIVE, 1.0),
+        }
+    }
+}
+
+impl Scheduler for LocallyCentral {
+    fn name(&self) -> &'static str {
+        "locally-central"
+    }
+
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        let n = ctx.node_count();
+        // Visit processes in a random order, greedily keeping those whose
+        // neighbors have not been kept yet.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut kept = vec![false; n];
+        let mut chosen = Vec::new();
+        for p in order {
+            if !rng.gen_bool(self.activation_prob) {
+                continue;
+            }
+            let conflicts = self
+                .neighbors
+                .get(p)
+                .map(|ns| ns.iter().any(|&q| kept[q]))
+                .unwrap_or(false);
+            if !conflicts {
+                kept[p] = true;
+                chosen.push(NodeId::new(p));
+            }
+        }
+        if chosen.is_empty() && n > 0 {
+            chosen.push(NodeId::new(rng.gen_range(0..n)));
+        }
+        chosen
+    }
+}
+
+/// Fairness-enforcing wrapper: guarantees that no process goes more than
+/// `window` consecutive steps without being selected, by force-including any
+/// overdue process in the selection.
+///
+/// With this wrapper, any inner scheduler satisfies the paper's *fair*
+/// assumption (every process selected infinitely often).
+#[derive(Debug, Clone)]
+pub struct Fair<S> {
+    inner: S,
+    window: u64,
+    last_selected: Vec<u64>,
+}
+
+impl<S: Scheduler> Fair<S> {
+    /// Wraps `inner`, forcing every process to be selected at least once
+    /// every `window` steps (`window >= 1`).
+    pub fn new(inner: S, window: u64) -> Self {
+        Fair { inner, window: window.max(1), last_selected: Vec::new() }
+    }
+
+    /// Read access to the wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Scheduler> Scheduler for Fair<S> {
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        let n = ctx.node_count();
+        if self.last_selected.len() != n {
+            self.last_selected = vec![ctx.step; n];
+        }
+        let mut chosen = self.inner.select(ctx, rng);
+        for i in 0..n {
+            if ctx.step.saturating_sub(self.last_selected[i]) >= self.window {
+                let p = NodeId::new(i);
+                if !chosen.contains(&p) {
+                    chosen.push(p);
+                }
+            }
+        }
+        for p in &chosen {
+            self.last_selected[p.index()] = ctx.step + 1;
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx(enabled: &[bool], step: u64) -> SchedulerContext<'_> {
+        SchedulerContext { step, enabled }
+    }
+
+    #[test]
+    fn synchronous_selects_everyone() {
+        let enabled = vec![true, false, true];
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = Synchronous;
+        assert_eq!(s.select(&ctx(&enabled, 0), &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn round_robin_cycles_over_processes() {
+        let enabled = vec![true; 3];
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = CentralRoundRobin::new();
+        let picks: Vec<usize> = (0..6)
+            .map(|i| s.select(&ctx(&enabled, i), &mut rng)[0].index())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn central_random_prefers_enabled_when_asked() {
+        let enabled = vec![false, false, true, false];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = CentralRandom::enabled_only();
+        for step in 0..20 {
+            let picked = s.select(&ctx(&enabled, step), &mut rng);
+            assert_eq!(picked, vec![NodeId::new(2)]);
+        }
+        // Falls back to any process when nothing is enabled.
+        let none = vec![false; 4];
+        let picked = s.select(&ctx(&none, 0), &mut rng);
+        assert_eq!(picked.len(), 1);
+    }
+
+    #[test]
+    fn distributed_random_never_returns_empty() {
+        let enabled = vec![true; 5];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = DistributedRandom::new(0.01);
+        for step in 0..200 {
+            assert!(!s.select(&ctx(&enabled, step), &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn distributed_random_eventually_selects_everyone() {
+        let enabled = vec![true; 6];
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = DistributedRandom::new(0.3);
+        let mut seen = vec![false; 6];
+        for step in 0..500 {
+            for p in s.select(&ctx(&enabled, step), &mut rng) {
+                seen[p.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "fair with probability 1");
+    }
+
+    #[test]
+    fn starving_adversary_keeps_activating_the_same_process() {
+        let enabled = vec![true; 4];
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut s = StarvingAdversary::new();
+        let first = s.select(&ctx(&enabled, 0), &mut rng)[0];
+        for step in 1..10 {
+            assert_eq!(s.select(&ctx(&enabled, step), &mut rng), vec![first]);
+        }
+    }
+
+    #[test]
+    fn locally_central_never_activates_two_neighbors() {
+        let graph = selfstab_graph::generators::ring(8);
+        let enabled = vec![true; 8];
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut s = LocallyCentral::new(&graph, 0.8);
+        for step in 0..200 {
+            let chosen = s.select(&ctx(&enabled, step), &mut rng);
+            assert!(!chosen.is_empty());
+            for &a in &chosen {
+                for &b in &chosen {
+                    if a != b {
+                        assert!(!graph.has_edge(a, b), "neighbors {a} and {b} both activated");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fair_wrapper_bounds_starvation() {
+        let enabled = vec![true; 4];
+        let mut rng = StdRng::seed_from_u64(5);
+        let window = 6;
+        let mut s = Fair::new(StarvingAdversary::new(), window);
+        let mut last = vec![0u64; 4];
+        for step in 0..100 {
+            for p in s.select(&ctx(&enabled, step), &mut rng) {
+                last[p.index()] = step;
+            }
+            for (i, &l) in last.iter().enumerate() {
+                assert!(step - l <= window, "process {i} starved at step {step}");
+            }
+        }
+        assert_eq!(s.inner().name(), "starving-adversary");
+    }
+}

@@ -1,0 +1,249 @@
+//! Online per-process statistics collected during a simulation.
+//!
+//! These counters are what turn the paper's definitions into measurable
+//! quantities:
+//!
+//! * **k-efficiency** (Definition 4): `max_reads_per_activation` over every
+//!   process must stay ≤ k in *every* step,
+//! * **communication complexity** (Definition 5): the maximum amount of
+//!   memory read from neighbors in a step — derived by multiplying the read
+//!   counts with the protocol's `comm_bits`,
+//! * **♦-(x, k)-stability** (Definition 9): the number of processes whose
+//!   *suffix* read set (`distinct_ports_since_marker`) has size ≤ k after the
+//!   suffix marker has been placed (typically at stabilization).
+
+use serde::{Deserialize, Serialize};
+use selfstab_graph::{NodeId, Port};
+
+/// Statistics of a single process across a (partial) execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessStats {
+    /// Number of times the scheduler selected this process.
+    pub selections: u64,
+    /// Number of selections in which some action was enabled and executed.
+    pub activations: u64,
+    /// Largest number of *distinct* neighbors read during a single
+    /// activation.
+    pub max_reads_per_activation: usize,
+    /// Total number of read operations (repeats included).
+    pub total_read_operations: u64,
+    /// Ports read at least once since the beginning of the execution.
+    pub ports_read_ever: Vec<bool>,
+    /// Ports read at least once since the last suffix marker
+    /// ([`RunStats::mark_suffix`]).
+    pub ports_read_since_marker: Vec<bool>,
+    /// Number of steps in which this process changed its communication
+    /// state.
+    pub comm_changes: u64,
+    /// Step index of the last communication-state change, if any.
+    pub last_comm_change_step: Option<u64>,
+}
+
+impl ProcessStats {
+    fn new(degree: usize) -> Self {
+        ProcessStats {
+            selections: 0,
+            activations: 0,
+            max_reads_per_activation: 0,
+            total_read_operations: 0,
+            ports_read_ever: vec![false; degree],
+            ports_read_since_marker: vec![false; degree],
+            comm_changes: 0,
+            last_comm_change_step: None,
+        }
+    }
+
+    /// Number of distinct neighbors read since the start of the execution
+    /// (`R_p(C)` of Definition 7 for the whole computation observed so far).
+    pub fn distinct_neighbors_ever(&self) -> usize {
+        self.ports_read_ever.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of distinct neighbors read since the last suffix marker
+    /// (`R_p(C')` of Definitions 8–9 for the suffix starting at the marker).
+    pub fn distinct_neighbors_since_marker(&self) -> usize {
+        self.ports_read_since_marker.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Statistics of a whole execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    per_process: Vec<ProcessStats>,
+    /// Total number of steps executed.
+    pub steps: u64,
+    /// Number of completed rounds (paper definition: a round ends when every
+    /// process has been selected at least once since the previous round
+    /// boundary).
+    pub rounds: u64,
+    /// Step at which the last suffix marker was placed, if any.
+    pub suffix_marker_step: Option<u64>,
+}
+
+impl RunStats {
+    /// Creates empty statistics for processes with the given degrees.
+    pub fn new(degrees: &[usize]) -> Self {
+        RunStats {
+            per_process: degrees.iter().map(|&d| ProcessStats::new(d)).collect(),
+            steps: 0,
+            rounds: 0,
+            suffix_marker_step: None,
+        }
+    }
+
+    /// Statistics of one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn process(&self, p: NodeId) -> &ProcessStats {
+        &self.per_process[p.index()]
+    }
+
+    /// Statistics of every process, indexed by [`NodeId`].
+    pub fn processes(&self) -> &[ProcessStats] {
+        &self.per_process
+    }
+
+    /// Records that `p` was selected by the scheduler.
+    pub(crate) fn record_selection(&mut self, p: NodeId) {
+        self.per_process[p.index()].selections += 1;
+    }
+
+    /// Records an activation of `p` that read the given distinct ports.
+    pub(crate) fn record_activation(&mut self, p: NodeId, reads: &[Port], read_operations: usize) {
+        let stats = &mut self.per_process[p.index()];
+        stats.activations += 1;
+        stats.total_read_operations += read_operations as u64;
+        stats.max_reads_per_activation = stats.max_reads_per_activation.max(reads.len());
+        for &port in reads {
+            if port.index() < stats.ports_read_ever.len() {
+                stats.ports_read_ever[port.index()] = true;
+                stats.ports_read_since_marker[port.index()] = true;
+            }
+        }
+    }
+
+    /// Records that `p` changed its communication state at `step`.
+    pub(crate) fn record_comm_change(&mut self, p: NodeId, step: u64) {
+        let stats = &mut self.per_process[p.index()];
+        stats.comm_changes += 1;
+        stats.last_comm_change_step = Some(step);
+    }
+
+    /// Places the suffix marker at `step`: the per-process suffix read sets
+    /// are cleared so that subsequent reads measure `R_p` over the suffix
+    /// only. Typically called right after stabilization is detected so the
+    /// ♦-(x, k)-stability of Definition 9 can be evaluated.
+    pub fn mark_suffix(&mut self, step: u64) {
+        self.suffix_marker_step = Some(step);
+        for stats in &mut self.per_process {
+            for flag in &mut stats.ports_read_since_marker {
+                *flag = false;
+            }
+        }
+    }
+
+    /// The measured efficiency of the execution: the smallest `k` such that
+    /// every process read at most `k` distinct neighbors in every activation
+    /// (Definition 4 evaluated on this execution).
+    pub fn measured_efficiency(&self) -> usize {
+        self.per_process
+            .iter()
+            .map(|s| s.max_reads_per_activation)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of processes whose suffix read set has size at most `k` —
+    /// the `x` of ♦-(x, k)-stability measured from the suffix marker.
+    pub fn stable_process_count(&self, k: usize) -> usize {
+        self.per_process
+            .iter()
+            .filter(|s| s.distinct_neighbors_since_marker() <= k)
+            .count()
+    }
+
+    /// Number of processes whose *whole-execution* read set has size at most
+    /// `k` (the unconditioned k-stability of Definition 7).
+    pub fn k_stable_process_count(&self, k: usize) -> usize {
+        self.per_process
+            .iter()
+            .filter(|s| s.distinct_neighbors_ever() <= k)
+            .count()
+    }
+
+    /// Total number of read operations across all processes.
+    pub fn total_read_operations(&self) -> u64 {
+        self.per_process.iter().map(|s| s.total_read_operations).sum()
+    }
+
+    /// Total number of communication-state changes across all processes.
+    pub fn total_comm_changes(&self) -> u64 {
+        self.per_process.iter().map(|s| s.comm_changes).sum()
+    }
+
+    /// The latest step at which any communication variable changed, if any.
+    pub fn last_comm_change_step(&self) -> Option<u64> {
+        self.per_process
+            .iter()
+            .filter_map(|s| s.last_comm_change_step)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_accounting() {
+        let mut stats = RunStats::new(&[3, 2]);
+        let p0 = NodeId::new(0);
+        let p1 = NodeId::new(1);
+        stats.record_selection(p0);
+        stats.record_activation(p0, &[Port::new(0), Port::new(2)], 5);
+        stats.record_selection(p1);
+        stats.record_activation(p1, &[Port::new(1)], 1);
+        stats.record_comm_change(p1, 0);
+
+        assert_eq!(stats.process(p0).selections, 1);
+        assert_eq!(stats.process(p0).activations, 1);
+        assert_eq!(stats.process(p0).max_reads_per_activation, 2);
+        assert_eq!(stats.process(p0).total_read_operations, 5);
+        assert_eq!(stats.process(p0).distinct_neighbors_ever(), 2);
+        assert_eq!(stats.process(p1).comm_changes, 1);
+        assert_eq!(stats.process(p1).last_comm_change_step, Some(0));
+        assert_eq!(stats.measured_efficiency(), 2);
+        assert_eq!(stats.total_read_operations(), 6);
+        assert_eq!(stats.total_comm_changes(), 1);
+        assert_eq!(stats.last_comm_change_step(), Some(0));
+    }
+
+    #[test]
+    fn suffix_marker_resets_suffix_read_sets_only() {
+        let mut stats = RunStats::new(&[2]);
+        let p = NodeId::new(0);
+        stats.record_activation(p, &[Port::new(0), Port::new(1)], 2);
+        assert_eq!(stats.process(p).distinct_neighbors_since_marker(), 2);
+        stats.mark_suffix(10);
+        assert_eq!(stats.suffix_marker_step, Some(10));
+        assert_eq!(stats.process(p).distinct_neighbors_since_marker(), 0);
+        assert_eq!(stats.process(p).distinct_neighbors_ever(), 2);
+        stats.record_activation(p, &[Port::new(1)], 1);
+        assert_eq!(stats.process(p).distinct_neighbors_since_marker(), 1);
+        assert_eq!(stats.stable_process_count(1), 1);
+        assert_eq!(stats.stable_process_count(0), 0);
+    }
+
+    #[test]
+    fn stability_counts() {
+        let mut stats = RunStats::new(&[2, 2, 2]);
+        stats.record_activation(NodeId::new(0), &[Port::new(0)], 1);
+        stats.record_activation(NodeId::new(1), &[Port::new(0), Port::new(1)], 2);
+        // Process 2 never reads anyone.
+        assert_eq!(stats.k_stable_process_count(0), 1);
+        assert_eq!(stats.k_stable_process_count(1), 2);
+        assert_eq!(stats.k_stable_process_count(2), 3);
+    }
+}

@@ -1,0 +1,189 @@
+//! Full execution traces.
+//!
+//! A [`Trace`] records, step by step, which processes the scheduler
+//! selected, which of them executed an action, which neighbors each of them
+//! read, and whose communication state changed. Traces make the paper's
+//! per-step definitions (k-efficiency must hold in *every* step) directly
+//! checkable in tests and experiments; for long runs prefer the aggregated
+//! [`RunStats`](crate::stats::RunStats), which the executor always
+//! maintains.
+
+use serde::{Deserialize, Serialize};
+use selfstab_graph::{NodeId, Port};
+
+/// What one process did during one step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationRecord {
+    /// The selected process.
+    pub process: NodeId,
+    /// Whether one of its actions was enabled (and therefore executed).
+    pub executed: bool,
+    /// Distinct ports read during the activation, in first-read order.
+    pub reads: Vec<Port>,
+    /// Whether the activation changed the process's communication state.
+    pub comm_changed: bool,
+}
+
+/// One step of an execution: the scheduler's selection and the resulting
+/// activations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// 0-based step index.
+    pub step: u64,
+    /// Activations of the selected processes.
+    pub activations: Vec<ActivationRecord>,
+}
+
+impl StepRecord {
+    /// Identifiers of the processes selected at this step.
+    pub fn selected(&self) -> Vec<NodeId> {
+        self.activations.iter().map(|a| a.process).collect()
+    }
+
+    /// Returns `true` when some communication variable changed in this step.
+    pub fn any_comm_changed(&self) -> bool {
+        self.activations.iter().any(|a| a.comm_changed)
+    }
+
+    /// Largest number of distinct neighbors read by a single process in this
+    /// step.
+    pub fn max_reads(&self) -> usize {
+        self.activations.iter().map(|a| a.reads.len()).max().unwrap_or(0)
+    }
+}
+
+/// A recorded execution prefix.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    steps: Vec<StepRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { steps: Vec::new() }
+    }
+
+    /// Appends a step record.
+    pub fn push(&mut self, record: StepRecord) {
+        self.steps.push(record);
+    }
+
+    /// The recorded steps, oldest first.
+    pub fn steps(&self) -> &[StepRecord] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The smallest `k` such that every process read at most `k` distinct
+    /// neighbors in every recorded step — Definition 4 evaluated over the
+    /// trace.
+    pub fn measured_efficiency(&self) -> usize {
+        self.steps.iter().map(StepRecord::max_reads).max().unwrap_or(0)
+    }
+
+    /// `R_p` over the trace suffix starting at `from_step`: the set of
+    /// distinct ports process `p` read from that step on.
+    pub fn suffix_read_set(&self, p: NodeId, from_step: u64) -> Vec<Port> {
+        let mut ports: Vec<Port> = Vec::new();
+        for record in self.steps.iter().filter(|s| s.step >= from_step) {
+            for activation in &record.activations {
+                if activation.process == p {
+                    for &port in &activation.reads {
+                        if !ports.contains(&port) {
+                            ports.push(port);
+                        }
+                    }
+                }
+            }
+        }
+        ports
+    }
+
+    /// The last step in which any communication variable changed, if any.
+    pub fn last_comm_change_step(&self) -> Option<u64> {
+        self.steps
+            .iter()
+            .filter(|s| s.any_comm_changed())
+            .map(|s| s.step)
+            .max()
+    }
+
+    /// Number of processes whose suffix read set (from `from_step`) has at
+    /// most `k` elements — the `x` of ♦-(x, k)-stability over the trace,
+    /// given the total process count `n`.
+    pub fn stable_process_count(&self, n: usize, k: usize, from_step: u64) -> usize {
+        (0..n)
+            .filter(|&i| self.suffix_read_set(NodeId::new(i), from_step).len() <= k)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(step: u64, entries: &[(usize, &[usize], bool)]) -> StepRecord {
+        StepRecord {
+            step,
+            activations: entries
+                .iter()
+                .map(|&(p, reads, comm_changed)| ActivationRecord {
+                    process: NodeId::new(p),
+                    executed: true,
+                    reads: reads.iter().map(|&r| Port::new(r)).collect(),
+                    comm_changed,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn step_record_helpers() {
+        let r = record(3, &[(0, &[0, 1], true), (2, &[1], false)]);
+        assert_eq!(r.selected(), vec![NodeId::new(0), NodeId::new(2)]);
+        assert!(r.any_comm_changed());
+        assert_eq!(r.max_reads(), 2);
+    }
+
+    #[test]
+    fn trace_efficiency_and_suffix_sets() {
+        let mut trace = Trace::new();
+        trace.push(record(0, &[(0, &[0, 1, 2], true)]));
+        trace.push(record(1, &[(0, &[1], false), (1, &[0], true)]));
+        trace.push(record(2, &[(0, &[2], false)]));
+
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.measured_efficiency(), 3);
+        assert_eq!(trace.last_comm_change_step(), Some(1));
+        assert_eq!(
+            trace.suffix_read_set(NodeId::new(0), 1),
+            vec![Port::new(1), Port::new(2)]
+        );
+        assert_eq!(trace.suffix_read_set(NodeId::new(0), 0).len(), 3);
+        assert_eq!(trace.suffix_read_set(NodeId::new(1), 2), vec![]);
+        // From step 1 on, process 0 reads 2 distinct ports, process 1 reads
+        // 1, process 2 reads none.
+        assert_eq!(trace.stable_process_count(3, 1, 1), 2);
+        assert_eq!(trace.stable_process_count(3, 2, 1), 3);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let trace = Trace::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.measured_efficiency(), 0);
+        assert_eq!(trace.last_comm_change_step(), None);
+        assert_eq!(trace.stable_process_count(4, 0, 0), 4);
+    }
+}

@@ -1,0 +1,206 @@
+//! Read-tracked views of a process's neighborhood.
+
+use std::cell::RefCell;
+
+use selfstab_graph::{Graph, NodeId, Port};
+
+/// The window through which a process observes its neighbors' communication
+/// states during one activation.
+///
+/// Every call to [`NeighborView::read`] (or [`NeighborView::try_read`]) is
+/// recorded; the executor collects the recorded port set after the
+/// activation, which is how the paper's communication measures
+/// (k-efficiency, Definition 4; ♦-(x,k)-stability, Definition 9) are
+/// evaluated on actual executions.
+///
+/// A view can optionally *restrict* the readable ports. Restrictions are used
+/// by the impossibility experiments (Theorems 1 and 2) to model protocols
+/// that have committed to never read some neighbor again: a restricted port
+/// behaves as if the neighbor did not exist ([`NeighborView::try_read`]
+/// returns `None`).
+#[derive(Debug)]
+pub struct NeighborView<'a, C> {
+    /// Communication states of the neighbors, indexed by port.
+    neighbor_comms: Vec<&'a C>,
+    /// `allowed[i] == false` marks a restricted port.
+    allowed: Vec<bool>,
+    /// Ports read so far during the current activation.
+    reads: RefCell<Vec<Port>>,
+    /// Whether reads are recorded (enabledness checks are not charged).
+    tracking: bool,
+}
+
+impl<'a, C> NeighborView<'a, C> {
+    /// Builds the view of process `p` from a snapshot of every process's
+    /// communication state (indexed by [`NodeId`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or `comm_snapshot` does not cover the
+    /// graph.
+    pub fn from_snapshot(graph: &Graph, p: NodeId, comm_snapshot: &'a [C], tracking: bool) -> Self {
+        let neighbor_comms: Vec<&C> = graph
+            .neighbors(p)
+            .map(|q| &comm_snapshot[q.index()])
+            .collect();
+        let degree = neighbor_comms.len();
+        NeighborView {
+            neighbor_comms,
+            allowed: vec![true; degree],
+            reads: RefCell::new(Vec::new()),
+            tracking,
+        }
+    }
+
+    /// Restricts this view so that only the listed ports are readable.
+    ///
+    /// Ports not mentioned behave as if the corresponding neighbor did not
+    /// exist: [`NeighborView::try_read`] returns `None`.
+    #[must_use]
+    pub fn restricted_to(mut self, allowed_ports: &[Port]) -> Self {
+        for flag in &mut self.allowed {
+            *flag = false;
+        }
+        for port in allowed_ports {
+            if port.index() < self.allowed.len() {
+                self.allowed[port.index()] = true;
+            }
+        }
+        self
+    }
+
+    /// Degree of the observed process (number of ports).
+    pub fn degree(&self) -> usize {
+        self.neighbor_comms.len()
+    }
+
+    /// Returns `true` when `port` may be read under the current restriction.
+    pub fn is_readable(&self, port: Port) -> bool {
+        self.allowed.get(port.index()).copied().unwrap_or(false)
+    }
+
+    /// Reads the communication state of the neighbor behind `port`,
+    /// recording the read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is out of range or restricted; protocols that may
+    /// run under read restrictions must use [`NeighborView::try_read`].
+    pub fn read(&self, port: Port) -> &C {
+        self.try_read(port)
+            .unwrap_or_else(|| panic!("read of restricted or out-of-range port {port}"))
+    }
+
+    /// Reads the communication state of the neighbor behind `port`, or
+    /// returns `None` when the port is restricted or out of range. Successful
+    /// reads are recorded.
+    pub fn try_read(&self, port: Port) -> Option<&C> {
+        if !self.is_readable(port) {
+            return None;
+        }
+        let comm = self.neighbor_comms.get(port.index())?;
+        if self.tracking {
+            self.reads.borrow_mut().push(port);
+        }
+        Some(comm)
+    }
+
+    /// The distinct ports read so far during this activation, in first-read
+    /// order.
+    pub fn reads(&self) -> Vec<Port> {
+        let mut seen = Vec::new();
+        for &port in self.reads.borrow().iter() {
+            if !seen.contains(&port) {
+                seen.push(port);
+            }
+        }
+        seen
+    }
+
+    /// Total number of read operations performed (including repeated reads of
+    /// the same port).
+    pub fn read_operations(&self) -> usize {
+        self.reads.borrow().len()
+    }
+
+    /// Clears the recorded reads (used when a view is reused across the
+    /// enabledness check and the activation).
+    pub fn reset_reads(&self) {
+        self.reads.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_graph::generators;
+
+    #[test]
+    fn reads_are_recorded_in_order_and_deduplicated() {
+        let graph = generators::star(4);
+        let comms: Vec<u32> = vec![10, 11, 12, 13];
+        let view = NeighborView::from_snapshot(&graph, NodeId::new(0), &comms, true);
+        assert_eq!(view.degree(), 3);
+        assert_eq!(*view.read(Port::new(2)), 13);
+        assert_eq!(*view.read(Port::new(0)), 11);
+        assert_eq!(*view.read(Port::new(2)), 13);
+        assert_eq!(view.reads(), vec![Port::new(2), Port::new(0)]);
+        assert_eq!(view.read_operations(), 3);
+        view.reset_reads();
+        assert!(view.reads().is_empty());
+    }
+
+    #[test]
+    fn untracked_views_record_nothing() {
+        let graph = generators::path(3);
+        let comms: Vec<u32> = vec![0, 1, 2];
+        let view = NeighborView::from_snapshot(&graph, NodeId::new(1), &comms, false);
+        let _ = view.read(Port::new(0));
+        let _ = view.read(Port::new(1));
+        assert!(view.reads().is_empty());
+        assert_eq!(view.read_operations(), 0);
+    }
+
+    #[test]
+    fn restriction_hides_ports() {
+        let graph = generators::star(5);
+        let comms: Vec<u32> = vec![0, 1, 2, 3, 4];
+        let view = NeighborView::from_snapshot(&graph, NodeId::new(0), &comms, true)
+            .restricted_to(&[Port::new(1), Port::new(3)]);
+        assert!(view.is_readable(Port::new(1)));
+        assert!(!view.is_readable(Port::new(0)));
+        assert_eq!(view.try_read(Port::new(0)), None);
+        assert_eq!(view.try_read(Port::new(1)), Some(&2));
+        assert_eq!(view.reads(), vec![Port::new(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "restricted or out-of-range")]
+    fn read_panics_on_restricted_port() {
+        let graph = generators::path(2);
+        let comms: Vec<u32> = vec![0, 1];
+        let view = NeighborView::from_snapshot(&graph, NodeId::new(0), &comms, true)
+            .restricted_to(&[]);
+        let _ = view.read(Port::new(0));
+    }
+
+    #[test]
+    fn out_of_range_port_is_not_readable() {
+        let graph = generators::path(2);
+        let comms: Vec<u32> = vec![0, 1];
+        let view = NeighborView::from_snapshot(&graph, NodeId::new(0), &comms, true);
+        assert!(!view.is_readable(Port::new(5)));
+        assert_eq!(view.try_read(Port::new(5)), None);
+    }
+
+    #[test]
+    fn view_maps_ports_to_the_right_neighbors() {
+        let graph = generators::ring(4);
+        let comms: Vec<u32> = vec![100, 101, 102, 103];
+        let p = NodeId::new(2);
+        let view = NeighborView::from_snapshot(&graph, p, &comms, true);
+        for (port, q) in graph.ports(p) {
+            assert_eq!(*view.read(port), comms[q.index()]);
+        }
+    }
+}
