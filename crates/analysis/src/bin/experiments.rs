@@ -21,7 +21,11 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { quick: false, csv_dir: None, only: None };
+    let mut args = Args {
+        quick: false,
+        csv_dir: None,
+        only: None,
+    };
     let mut iter = env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -31,9 +35,10 @@ fn parse_args() -> Result<Args, String> {
                 args.csv_dir = Some(PathBuf::from(dir));
             }
             "--only" => {
-                let list = iter.next().ok_or("--only requires a comma-separated list (e.g. E3,E4)")?;
-                args.only =
-                    Some(list.split(',').map(|s| s.trim().to_uppercase()).collect());
+                let list = iter
+                    .next()
+                    .ok_or("--only requires a comma-separated list (e.g. E3,E4)")?;
+                args.only = Some(list.split(',').map(|s| s.trim().to_uppercase()).collect());
             }
             "--help" | "-h" => {
                 return Err("usage: experiments [--quick] [--csv DIR] [--only E1,E2,...]".into())
@@ -52,7 +57,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let config = if args.quick { ExperimentConfig::quick() } else { ExperimentConfig::default() };
+    let config = if args.quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
     println!(
         "reproduction of: Devismes, Masuzawa, Tixeuil — Communication Efficiency in \
          Self-stabilizing Silent Protocols (ICDCS 2009)"

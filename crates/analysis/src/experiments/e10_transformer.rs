@@ -63,14 +63,21 @@ where
             timeouts += 1;
         }
     }
-    TransformerMeasurement { protocol: name, steps, max_efficiency, timeouts }
+    TransformerMeasurement {
+        protocol: name,
+        steps,
+        max_efficiency,
+        timeouts,
+    }
 }
 
 /// Measures the three coloring variants on one workload.
 pub fn measure(workload: &Workload, config: &ExperimentConfig) -> Vec<TransformerMeasurement> {
     vec![
         measure_with(workload, config, Coloring::new),
-        measure_with(workload, config, |g| RoundRobinChecker::new(ColoringSpec::new(g))),
+        measure_with(workload, config, |g| {
+            RoundRobinChecker::new(ColoringSpec::new(g))
+        }),
         measure_with(workload, config, BaselineColoring::new),
     ]
 }
@@ -80,9 +87,19 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E10",
         "round-robin transformer vs hand-written COLORING vs Δ-efficient baseline",
-        vec!["workload", "protocol", "steps to silence", "max k", "timeouts"],
+        vec![
+            "workload",
+            "protocol",
+            "steps to silence",
+            "max k",
+            "timeouts",
+        ],
     );
-    for workload in [Workload::Ring(24), Workload::Grid(5, 5), Workload::Gnp(32, 0.15)] {
+    for workload in [
+        Workload::Ring(24),
+        Workload::Grid(5, 5),
+        Workload::Gnp(32, 0.15),
+    ] {
         for m in measure(&workload, config) {
             table.push_row(vec![
                 workload.label(),
@@ -118,7 +135,13 @@ mod tests {
         let table = run(&ExperimentConfig::quick());
         assert_eq!(table.rows.len(), 9);
         for row in &table.rows {
-            assert_eq!(row.last().unwrap(), "0", "timeout on {} / {}", row[0], row[1]);
+            assert_eq!(
+                row.last().unwrap(),
+                "0",
+                "timeout on {} / {}",
+                row[0],
+                row[1]
+            );
         }
     }
 }

@@ -56,13 +56,8 @@ pub fn identifier_ablation(workload: &Workload, config: &ExperimentConfig) -> Id
             .seeds()
             .map(|seed| {
                 let protocol = Mis::new(coloring.clone());
-                let mut sim = Simulation::new(
-                    &graph,
-                    protocol,
-                    Synchronous,
-                    seed,
-                    SimOptions::default(),
-                );
+                let mut sim =
+                    Simulation::new(&graph, protocol, Synchronous, seed, SimOptions::default());
                 let report = sim.run_until_silent(bound + 16);
                 assert!(report.silent, "MIS must stabilize within its bound");
                 report.total_rounds
@@ -117,10 +112,21 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E11",
         "ablations: local-identifier quality (MIS) and daemon choice (COLORING)",
-        vec!["workload", "knob", "variant", "#C / daemon detail", "bound", "measured"],
+        vec![
+            "workload",
+            "knob",
+            "variant",
+            "#C / daemon detail",
+            "bound",
+            "measured",
+        ],
     );
     // Identifier ablation.
-    for workload in [Workload::Gnp(48, 0.12), Workload::Grid(6, 6), Workload::Star(24)] {
+    for workload in [
+        Workload::Gnp(48, 0.12),
+        Workload::Grid(6, 6),
+        Workload::Star(24),
+    ] {
         let a = identifier_ablation(&workload, config);
         table.push_row(vec![
             workload.label(),

@@ -24,7 +24,13 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
         "E1",
         "communication complexity per step: 1-efficient vs Δ-efficient (bits)",
         vec![
-            "workload", "n", "Δ", "protocol", "measured k", "comm bits/step", "Δ-efficient bits",
+            "workload",
+            "n",
+            "Δ",
+            "protocol",
+            "measured k",
+            "comm bits/step",
+            "Δ-efficient bits",
             "ratio",
         ],
     );

@@ -63,7 +63,16 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E2",
         "COLORING convergence (probabilistic stabilization, 1-efficiency)",
-        vec!["workload", "n", "Δ", "runs", "steps to silence", "rounds to silence", "max k", "timeouts"],
+        vec![
+            "workload",
+            "n",
+            "Δ",
+            "runs",
+            "steps to silence",
+            "rounds to silence",
+            "max k",
+            "timeouts",
+        ],
     );
     for workload in Workload::convergence_suite()
         .into_iter()
@@ -107,7 +116,12 @@ mod tests {
         let table = run(&ExperimentConfig::quick());
         assert_eq!(table.rows.len(), Workload::convergence_suite().len() + 2);
         for row in &table.rows {
-            assert_eq!(row.last().unwrap(), "0", "timeouts must be zero ({})", row[0]);
+            assert_eq!(
+                row.last().unwrap(),
+                "0",
+                "timeouts must be zero ({})",
+                row[0]
+            );
         }
     }
 }

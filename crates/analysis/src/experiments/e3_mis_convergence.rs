@@ -38,8 +38,7 @@ pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MisConvergence
     let mut timeouts = 0;
     for seed in config.seeds() {
         let protocol = Mis::with_greedy_coloring(&graph);
-        let mut sim =
-            Simulation::new(&graph, protocol, Synchronous, seed, SimOptions::default());
+        let mut sim = Simulation::new(&graph, protocol, Synchronous, seed, SimOptions::default());
         let report = sim.run_until_silent(config.max_steps.min(bound + 16));
         if report.silent {
             rounds.push(report.total_rounds);
@@ -49,7 +48,12 @@ pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MisConvergence
             timeouts += 1;
         }
     }
-    MisConvergence { rounds, bound, all_legitimate, timeouts }
+    MisConvergence {
+        rounds,
+        bound,
+        all_legitimate,
+        timeouts,
+    }
 }
 
 /// Runs E3 and renders its table.
@@ -57,7 +61,16 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E3",
         "MIS convergence vs the Lemma 4 bound Δ·#C (rounds, synchronous daemon)",
-        vec!["workload", "n", "Δ", "#C", "rounds to silence", "bound Δ·#C", "within bound", "MIS in every silent config"],
+        vec![
+            "workload",
+            "n",
+            "Δ",
+            "#C",
+            "rounds to silence",
+            "bound Δ·#C",
+            "within bound",
+            "MIS in every silent config",
+        ],
     );
     for workload in Workload::convergence_suite() {
         let graph = workload.build(config.base_seed);

@@ -68,8 +68,16 @@ pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MisStability {
         lmax: lp.length,
         lmax_exact: lp.exact,
         bound,
-        min_stable: if min_stable == usize::MAX { 0 } else { min_stable },
-        min_dominated: if min_dominated == usize::MAX { 0 } else { min_dominated },
+        min_stable: if min_stable == usize::MAX {
+            0
+        } else {
+            min_stable
+        },
+        min_dominated: if min_dominated == usize::MAX {
+            0
+        } else {
+            min_dominated
+        },
         nodes: graph.node_count(),
     }
 }
@@ -79,7 +87,15 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E4",
         "MIS ♦-(x,1)-stability vs the Theorem 6 bound ⌊(Lmax+1)/2⌋",
-        vec!["workload", "n", "Lmax", "bound", "1-stable (min over runs)", "dominated (min)", "bound satisfied"],
+        vec![
+            "workload",
+            "n",
+            "Lmax",
+            "bound",
+            "1-stable (min over runs)",
+            "dominated (min)",
+            "bound satisfied",
+        ],
     );
     let workloads = vec![
         Workload::Path(9),

@@ -37,8 +37,7 @@ pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MatchingConver
     let mut timeouts = 0;
     for seed in config.seeds() {
         let protocol = Matching::with_greedy_coloring(&graph);
-        let mut sim =
-            Simulation::new(&graph, protocol, Synchronous, seed, SimOptions::default());
+        let mut sim = Simulation::new(&graph, protocol, Synchronous, seed, SimOptions::default());
         let report = sim.run_until_silent(config.max_steps.min(bound + 16));
         if report.silent {
             rounds.push(report.total_rounds);
@@ -48,7 +47,12 @@ pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MatchingConver
             timeouts += 1;
         }
     }
-    MatchingConvergence { rounds, bound, all_legitimate, timeouts }
+    MatchingConvergence {
+        rounds,
+        bound,
+        all_legitimate,
+        timeouts,
+    }
 }
 
 /// Runs E5 and renders its table.
@@ -56,7 +60,15 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E5",
         "MATCHING convergence vs the Lemma 9 bound (Δ+1)·n+2 (rounds, synchronous daemon)",
-        vec!["workload", "n", "Δ", "rounds to silence", "bound (Δ+1)n+2", "within bound", "maximal matching in every silent config"],
+        vec![
+            "workload",
+            "n",
+            "Δ",
+            "rounds to silence",
+            "bound (Δ+1)n+2",
+            "within bound",
+            "maximal matching in every silent config",
+        ],
     );
     for workload in Workload::convergence_suite()
         .into_iter()

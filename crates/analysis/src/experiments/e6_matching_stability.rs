@@ -61,8 +61,16 @@ pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MatchingStabil
         edges: graph.edge_count(),
         max_degree: graph.max_degree(),
         bound,
-        min_matched: if min_matched == usize::MAX { 0 } else { min_matched },
-        min_stable: if min_stable == usize::MAX { 0 } else { min_stable },
+        min_matched: if min_matched == usize::MAX {
+            0
+        } else {
+            min_matched
+        },
+        min_stable: if min_stable == usize::MAX {
+            0
+        } else {
+            min_stable
+        },
         nodes: graph.node_count(),
     }
 }
@@ -72,7 +80,16 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E6",
         "MATCHING ♦-(x,1)-stability vs the Theorem 8 bound 2⌈m/(2Δ−1)⌉",
-        vec!["workload", "n", "m", "Δ", "bound", "matched (min over runs)", "1-stable (min)", "bound satisfied"],
+        vec![
+            "workload",
+            "n",
+            "m",
+            "Δ",
+            "bound",
+            "matched (min over runs)",
+            "1-stable (min)",
+            "bound satisfied",
+        ],
     );
     let workloads = vec![
         Workload::Figure11,

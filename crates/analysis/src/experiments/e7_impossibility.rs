@@ -82,7 +82,15 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "E7/E8",
         "impossibility constructions: illegitimate silent configurations for 1-stable protocols",
-        vec!["theorem", "Δ", "topology size", "violates predicate", "silent", "steps simulated", "ever escaped"],
+        vec![
+            "theorem",
+            "Δ",
+            "topology size",
+            "violates predicate",
+            "silent",
+            "steps simulated",
+            "ever escaped",
+        ],
     );
     let steps = (config.max_steps / 100).clamp(1_000, 50_000);
     for delta in 2..=4 {
@@ -123,9 +131,15 @@ mod tests {
     fn counterexamples_never_escape() {
         for delta in 2..=3 {
             let c1 = check_theorem1(delta, 2_000, 7);
-            assert!(c1.violates_predicate && c1.silent && !c1.escaped, "thm1 Δ={delta}");
+            assert!(
+                c1.violates_predicate && c1.silent && !c1.escaped,
+                "thm1 Δ={delta}"
+            );
             let c2 = check_theorem2(delta, 2_000, 7);
-            assert!(c2.violates_predicate && c2.silent && !c2.escaped, "thm2 Δ={delta}");
+            assert!(
+                c2.violates_predicate && c2.silent && !c2.escaped,
+                "thm2 Δ={delta}"
+            );
         }
     }
 

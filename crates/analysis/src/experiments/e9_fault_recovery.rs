@@ -101,7 +101,9 @@ pub fn measure_efficient(
     config: &ExperimentConfig,
     faults: FaultLoad,
 ) -> FaultRecovery {
-    measure_protocol(workload, config, faults, Mis::with_greedy_coloring, || Synchronous)
+    measure_protocol(workload, config, faults, Mis::with_greedy_coloring, || {
+        Synchronous
+    })
 }
 
 /// Measures the Δ-efficient baseline MIS on one workload.
@@ -110,7 +112,13 @@ pub fn measure_baseline(
     config: &ExperimentConfig,
     faults: FaultLoad,
 ) -> FaultRecovery {
-    measure_protocol(workload, config, faults, BaselineMis::with_greedy_coloring, || Synchronous)
+    measure_protocol(
+        workload,
+        config,
+        faults,
+        BaselineMis::with_greedy_coloring,
+        || Synchronous,
+    )
 }
 
 /// Runs E9 and renders its table.
@@ -120,8 +128,16 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
         "stabilized-phase reads per process per round and recovery after transient faults (MIS vs baseline)",
         vec!["workload", "faults f", "protocol", "steady reads/process/round", "recovery rounds", "timeouts"],
     );
-    let workloads = vec![Workload::Grid(5, 5), Workload::Gnp(40, 0.15), Workload::Star(25)];
-    let fault_loads = [FaultLoad::Count(1), FaultLoad::Fraction(0.1), FaultLoad::Fraction(0.25)];
+    let workloads = vec![
+        Workload::Grid(5, 5),
+        Workload::Gnp(40, 0.15),
+        Workload::Star(25),
+    ];
+    let fault_loads = [
+        FaultLoad::Count(1),
+        FaultLoad::Fraction(0.1),
+        FaultLoad::Fraction(0.25),
+    ];
     for workload in &workloads {
         for &faults in &fault_loads {
             let graph = workload.build(config.base_seed);

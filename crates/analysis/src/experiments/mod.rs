@@ -1,10 +1,12 @@
 //! The experiments E1–E10 (see the crate-level table).
 //!
 //! Every experiment is a pure function from an [`ExperimentConfig`] to an
-//! [`ExperimentTable`](crate::table::ExperimentTable); the `experiments`
+//! [`ExperimentTable`]; the `experiments`
 //! binary prints them, the integration tests check their invariants, and the
 //! criterion benches time their workloads.
 
+pub mod e10_transformer;
+pub mod e11_ablation;
 pub mod e1_communication;
 pub mod e2_coloring;
 pub mod e3_mis_convergence;
@@ -13,8 +15,6 @@ pub mod e5_matching_convergence;
 pub mod e6_matching_stability;
 pub mod e7_impossibility;
 pub mod e9_fault_recovery;
-pub mod e10_transformer;
-pub mod e11_ablation;
 
 use serde::{Deserialize, Serialize};
 
@@ -34,14 +34,22 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { runs: 10, max_steps: 2_000_000, base_seed: 0xC0FFEE }
+        ExperimentConfig {
+            runs: 10,
+            max_steps: 2_000_000,
+            base_seed: 0xC0FFEE,
+        }
     }
 }
 
 impl ExperimentConfig {
     /// A cheaper configuration for smoke tests and CI.
     pub fn quick() -> Self {
-        ExperimentConfig { runs: 3, max_steps: 500_000, base_seed: 0xC0FFEE }
+        ExperimentConfig {
+            runs: 3,
+            max_steps: 500_000,
+            base_seed: 0xC0FFEE,
+        }
     }
 
     /// The seeds of the individual runs.
@@ -72,7 +80,11 @@ mod tests {
 
     #[test]
     fn config_seeds_are_distinct_and_counted() {
-        let cfg = ExperimentConfig { runs: 5, max_steps: 10, base_seed: 100 };
+        let cfg = ExperimentConfig {
+            runs: 5,
+            max_steps: 10,
+            base_seed: 100,
+        };
         let seeds: Vec<u64> = cfg.seeds().collect();
         assert_eq!(seeds, vec![100, 101, 102, 103, 104]);
     }

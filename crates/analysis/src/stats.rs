@@ -27,11 +27,17 @@ impl Summary {
         values.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
         let count = values.len();
         if count == 0 {
-            return Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, median: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            };
         }
         let mean = values.iter().sum::<f64>() / count as f64;
-        let variance =
-            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
+        let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
         let median = if count % 2 == 1 {
             values[count / 2]
         } else {
@@ -54,7 +60,10 @@ impl Summary {
 
     /// Formats the summary as `mean ± std (max max)` with one decimal.
     pub fn display_mean_max(&self) -> String {
-        format!("{:.1} ± {:.1} (max {:.0})", self.mean, self.std_dev, self.max)
+        format!(
+            "{:.1} ± {:.1} (max {:.0})",
+            self.mean, self.std_dev, self.max
+        )
     }
 }
 

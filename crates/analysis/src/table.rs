@@ -92,7 +92,14 @@ impl ExperimentTable {
         for note in &self.notes {
             out.push_str(&format!("# {note}\n"));
         }
-        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
@@ -139,6 +146,9 @@ mod tests {
     #[test]
     fn rows_are_padded_to_header_width() {
         let t = sample();
-        assert_eq!(t.rows[1], vec!["grid".to_string(), "12".to_string(), String::new()]);
+        assert_eq!(
+            t.rows[1],
+            vec!["grid".to_string(), "12".to_string(), String::new()]
+        );
     }
 }

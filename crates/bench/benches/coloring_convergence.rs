@@ -25,22 +25,29 @@ fn bench(c: &mut Criterion) {
     ];
     for workload in workloads {
         let graph = workload.build(cfg.base_seed);
-        group.bench_with_input(BenchmarkId::from_parameter(workload.label()), &graph, |b, g| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                let mut sim = Simulation::new(
-                    g,
-                    Coloring::new(g),
-                    DistributedRandom::new(0.5),
-                    seed,
-                    SimOptions::default(),
-                );
-                let report = sim.run_until_silent(cfg.max_steps);
-                assert!(report.silent, "COLORING must stabilize (probability-1 convergence)");
-                report.total_steps
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.label()),
+            &graph,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let mut sim = Simulation::new(
+                        g,
+                        Coloring::new(g),
+                        DistributedRandom::new(0.5),
+                        seed,
+                        SimOptions::default(),
+                    );
+                    let report = sim.run_until_silent(cfg.max_steps);
+                    assert!(
+                        report.silent,
+                        "COLORING must stabilize (probability-1 convergence)"
+                    );
+                    report.total_steps
+                })
+            },
+        );
     }
     group.finish();
 }

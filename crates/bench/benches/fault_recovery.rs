@@ -26,7 +26,10 @@ fn cycle<P: Protocol>(
     let mut rng = StdRng::seed_from_u64(seed ^ 0xFA);
     inject_random_faults(&mut sim, faults, &mut rng);
     let report = sim.run_until_silent(max_steps);
-    assert!(report.silent, "self-stabilization: must recover from any transient fault");
+    assert!(
+        report.silent,
+        "self-stabilization: must recover from any transient fault"
+    );
     report.total_rounds
 }
 

@@ -1,0 +1,133 @@
+//! Executor hot path: incremental enabled-set maintenance versus the
+//! full-recompute reference.
+//!
+//! The executor caches the communication configuration and the enabled set
+//! across steps, re-evaluating guards only for processes whose neighborhood
+//! changed. `SimOptions::with_full_recompute` restores the historical
+//! behavior (every guard re-evaluated on every step) with an otherwise
+//! byte-identical execution, which makes the two directly comparable.
+//!
+//! Two scenarios on paper-family graphs at n ∈ {10², 10³, 10⁴}:
+//!
+//! * `silent_stepping` — per-step cost of driving an already-silent system
+//!   (the regime the paper's silence/stability measures live in). Under the
+//!   single-activation daemons the incremental executor's guard work per
+//!   step is bounded by the one activation's dirtied neighborhood, versus
+//!   `n` guard evaluations for the reference. (MIS keeps its dominator
+//!   processes enabled after silence — they re-scan without changing comm
+//!   state — so the synchronous rows, where every process activates each
+//!   step, narrow the gap to the guard-work overhead alone; the
+//!   single-activation rows show the full effect.)
+//! * `convergence` — a full run to silence from a random configuration
+//!   under the central round-robin daemon, where the reference's per-step
+//!   `O(n·Δ)` makes the whole run quadratic-plus.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_core::mis::Mis;
+use selfstab_graph::{generators, Graph};
+use selfstab_runtime::scheduler::{CentralRandom, CentralRoundRobin, Scheduler, Synchronous};
+use selfstab_runtime::{SimOptions, Simulation};
+
+const SIZES: [usize; 3] = [100, 1_000, 10_000];
+
+fn mode_options(full_recompute: bool) -> SimOptions {
+    if full_recompute {
+        SimOptions::default().with_full_recompute()
+    } else {
+        SimOptions::default()
+    }
+}
+
+fn mode_label(full_recompute: bool) -> &'static str {
+    if full_recompute {
+        "full-recompute"
+    } else {
+        "incremental"
+    }
+}
+
+fn bench_silent_stepping_for<S: Scheduler>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    graph: &Graph,
+    daemon_name: &str,
+    make_daemon: impl Fn() -> S,
+) {
+    let n = graph.node_count();
+    for full_recompute in [false, true] {
+        let id = BenchmarkId::from_parameter(format!(
+            "ring-{n}/{daemon_name}/{}",
+            mode_label(full_recompute)
+        ));
+        let mut sim = Simulation::new(
+            graph,
+            Mis::with_greedy_coloring(graph),
+            make_daemon(),
+            0xC0FFEE,
+            mode_options(full_recompute),
+        );
+        let report = sim.run_until_silent(200 * n as u64);
+        assert!(
+            report.silent,
+            "MIS must stabilize before the stepping benchmark"
+        );
+        group.bench_with_input(id, graph, |b, _| {
+            b.iter(|| sim.step());
+        });
+    }
+}
+
+/// Steps an already-silent MIS execution and reports per-step cost.
+fn bench_silent_stepping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_executor/silent_stepping");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+    for n in SIZES {
+        let graph: Graph = generators::ring(n);
+        bench_silent_stepping_for(&mut group, &graph, "synchronous", || Synchronous);
+        bench_silent_stepping_for(&mut group, &graph, "round-robin", CentralRoundRobin::new);
+        bench_silent_stepping_for(&mut group, &graph, "central-random", CentralRandom::new);
+    }
+    group.finish();
+}
+
+/// Runs MIS to silence from scratch under the central round-robin daemon.
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_executor/convergence");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+    // The full-recompute reference is quadratic-plus: keep it to the sizes
+    // where a single run still finishes in reasonable time.
+    for n in [100usize, 1_000] {
+        let graph: Graph = generators::ring(n);
+        for full_recompute in [false, true] {
+            let id = BenchmarkId::from_parameter(format!(
+                "ring-{n}/round-robin/{}",
+                mode_label(full_recompute)
+            ));
+            group.bench_with_input(id, &graph, |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let mut sim = Simulation::new(
+                        g,
+                        Mis::with_greedy_coloring(g),
+                        CentralRoundRobin::new(),
+                        seed,
+                        mode_options(full_recompute),
+                    );
+                    let report = sim.run_until_silent(500 * n as u64);
+                    assert!(report.silent);
+                    sim.steps()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_silent_stepping, bench_convergence);
+criterion_main!(benches);

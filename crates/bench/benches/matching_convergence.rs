@@ -24,23 +24,30 @@ fn bench(c: &mut Criterion) {
     for workload in workloads {
         let graph = workload.build(cfg.base_seed);
         let bound = Matching::round_bound(&graph);
-        group.bench_with_input(BenchmarkId::from_parameter(workload.label()), &graph, |b, g| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                let mut sim = Simulation::new(
-                    g,
-                    Matching::with_greedy_coloring(g),
-                    Synchronous,
-                    seed,
-                    SimOptions::default(),
-                );
-                let report = sim.run_until_silent(bound + 16);
-                assert!(report.silent, "MATCHING must stabilize within (Δ+1)n+2 rounds (Lemma 9)");
-                assert!(report.total_rounds <= bound);
-                report.total_rounds
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.label()),
+            &graph,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let mut sim = Simulation::new(
+                        g,
+                        Matching::with_greedy_coloring(g),
+                        Synchronous,
+                        seed,
+                        SimOptions::default(),
+                    );
+                    let report = sim.run_until_silent(bound + 16);
+                    assert!(
+                        report.silent,
+                        "MATCHING must stabilize within (Δ+1)n+2 rounds (Lemma 9)"
+                    );
+                    assert!(report.total_rounds <= bound);
+                    report.total_rounds
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -18,26 +18,33 @@ fn bench(c: &mut Criterion) {
     for workload in [Workload::Figure11, Workload::Ring(32), Workload::Grid(6, 6)] {
         let graph = workload.build(cfg.base_seed);
         let bound = Matching::stability_bound(&graph);
-        group.bench_with_input(BenchmarkId::from_parameter(workload.label()), &graph, |b, g| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                let mut sim = Simulation::new(
-                    g,
-                    Matching::with_greedy_coloring(g),
-                    DistributedRandom::new(0.5),
-                    seed,
-                    SimOptions::default(),
-                );
-                let report = sim.run_until_silent(cfg.max_steps);
-                assert!(report.silent);
-                let matched = 2 * sim.protocol().output(g, sim.config()).len();
-                assert!(matched >= bound, "Theorem 8 bound violated: {matched} < {bound}");
-                sim.mark_suffix();
-                sim.run_steps(20 * g.node_count() as u64);
-                sim.stats().stable_process_count(1)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.label()),
+            &graph,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let mut sim = Simulation::new(
+                        g,
+                        Matching::with_greedy_coloring(g),
+                        DistributedRandom::new(0.5),
+                        seed,
+                        SimOptions::default(),
+                    );
+                    let report = sim.run_until_silent(cfg.max_steps);
+                    assert!(report.silent);
+                    let matched = 2 * sim.protocol().output(g, sim.config()).len();
+                    assert!(
+                        matched >= bound,
+                        "Theorem 8 bound violated: {matched} < {bound}"
+                    );
+                    sim.mark_suffix();
+                    sim.run_steps(20 * g.node_count() as u64);
+                    sim.stats().stable_process_count(1)
+                })
+            },
+        );
     }
     group.finish();
 }

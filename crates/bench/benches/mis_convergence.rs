@@ -24,23 +24,30 @@ fn bench(c: &mut Criterion) {
     for workload in workloads {
         let graph = workload.build(cfg.base_seed);
         let bound = Mis::with_greedy_coloring(&graph).round_bound(&graph);
-        group.bench_with_input(BenchmarkId::from_parameter(workload.label()), &graph, |b, g| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                let mut sim = Simulation::new(
-                    g,
-                    Mis::with_greedy_coloring(g),
-                    Synchronous,
-                    seed,
-                    SimOptions::default(),
-                );
-                let report = sim.run_until_silent(bound + 16);
-                assert!(report.silent, "MIS must stabilize within Δ·#C rounds (Lemma 4)");
-                assert!(report.total_rounds <= bound + 1);
-                report.total_rounds
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workload.label()),
+            &graph,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let mut sim = Simulation::new(
+                        g,
+                        Mis::with_greedy_coloring(g),
+                        Synchronous,
+                        seed,
+                        SimOptions::default(),
+                    );
+                    let report = sim.run_until_silent(bound + 16);
+                    assert!(
+                        report.silent,
+                        "MIS must stabilize within Δ·#C rounds (Lemma 4)"
+                    );
+                    assert!(report.total_rounds <= bound + 1);
+                    report.total_rounds
+                })
+            },
+        );
     }
     group.finish();
 }

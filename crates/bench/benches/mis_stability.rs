@@ -18,26 +18,33 @@ fn bench(c: &mut Criterion) {
     for n in [9usize, 17, 33, 65] {
         let graph = generators::figure9_path(n);
         let bound = Mis::stability_bound(n - 1);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("path({n})")), &graph, |b, g| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                let mut sim = Simulation::new(
-                    g,
-                    Mis::with_greedy_coloring(g),
-                    DistributedRandom::new(0.5),
-                    seed,
-                    SimOptions::default(),
-                );
-                let report = sim.run_until_silent(cfg.max_steps);
-                assert!(report.silent);
-                sim.mark_suffix();
-                sim.run_steps(20 * g.node_count() as u64);
-                let stable = sim.stats().stable_process_count(1);
-                assert!(stable >= bound, "Theorem 6 bound violated: {stable} < {bound}");
-                stable
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("path({n})")),
+            &graph,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let mut sim = Simulation::new(
+                        g,
+                        Mis::with_greedy_coloring(g),
+                        DistributedRandom::new(0.5),
+                        seed,
+                        SimOptions::default(),
+                    );
+                    let report = sim.run_until_silent(cfg.max_steps);
+                    assert!(report.silent);
+                    sim.mark_suffix();
+                    sim.run_steps(20 * g.node_count() as u64);
+                    let stable = sim.stats().stable_process_count(1);
+                    assert!(
+                        stable >= bound,
+                        "Theorem 6 bound violated: {stable} < {bound}"
+                    );
+                    stable
+                })
+            },
+        );
     }
     group.finish();
 }

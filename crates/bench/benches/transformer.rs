@@ -36,7 +36,11 @@ fn bench(c: &mut Criterion) {
     group.sample_size(SAMPLE_SIZE);
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(3));
-    for workload in [Workload::Ring(32), Workload::Grid(6, 6), Workload::Gnp(48, 0.12)] {
+    for workload in [
+        Workload::Ring(32),
+        Workload::Grid(6, 6),
+        Workload::Gnp(48, 0.12),
+    ] {
         let graph = workload.build(cfg.base_seed);
         group.bench_with_input(
             BenchmarkId::new("handwritten_coloring", workload.label()),

@@ -12,7 +12,11 @@ use selfstab_analysis::experiments::ExperimentConfig;
 /// The configuration used by every benchmark: few runs, generous step
 /// budget, fixed seed — criterion supplies the repetition.
 pub fn bench_config() -> ExperimentConfig {
-    ExperimentConfig { runs: 2, max_steps: 2_000_000, base_seed: 0xBEEF }
+    ExperimentConfig {
+        runs: 2,
+        max_steps: 2_000_000,
+        base_seed: 0xBEEF,
+    }
 }
 
 /// Criterion sample size used across the suite (kept small: each sample is

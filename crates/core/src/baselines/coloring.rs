@@ -24,12 +24,16 @@ pub struct BaselineColoring {
 impl BaselineColoring {
     /// Creates the protocol for `graph` with the minimal palette `∆ + 1`.
     pub fn new(graph: &Graph) -> Self {
-        BaselineColoring { palette: graph.max_degree() + 1 }
+        BaselineColoring {
+            palette: graph.max_degree() + 1,
+        }
     }
 
     /// Creates the protocol with an explicit palette size (at least 1).
     pub fn with_palette(palette: usize) -> Self {
-        BaselineColoring { palette: palette.max(1) }
+        BaselineColoring {
+            palette: palette.max(1),
+        }
     }
 
     /// Number of colors available to each process.
@@ -79,13 +83,15 @@ impl Protocol for BaselineColoring {
         view: &NeighborView<'_, usize>,
         rng: &mut dyn RngCore,
     ) -> Option<usize> {
-        let neighbor_colors: Vec<usize> =
-            (0..graph.degree(p)).map(|i| *view.read(Port::new(i))).collect();
+        let neighbor_colors: Vec<usize> = (0..graph.degree(p))
+            .map(|i| *view.read(Port::new(i)))
+            .collect();
         if !neighbor_colors.contains(state) {
             return None;
         }
-        let free: Vec<usize> =
-            (0..self.palette).filter(|c| !neighbor_colors.contains(c)).collect();
+        let free: Vec<usize> = (0..self.palette)
+            .filter(|c| !neighbor_colors.contains(c))
+            .collect();
         // With palette ∆+1 and at most ∆ neighbors a free color always
         // exists; keep the current color as a last resort if the palette was
         // chosen too small.
@@ -158,7 +164,10 @@ mod tests {
             SimOptions::default().with_trace(),
         );
         sim.run_until_silent(10_000);
-        assert_eq!(sim.trace().unwrap().measured_efficiency(), graph.max_degree());
+        assert_eq!(
+            sim.trace().unwrap().measured_efficiency(),
+            graph.max_degree()
+        );
     }
 
     #[test]

@@ -50,7 +50,9 @@ impl BaselineMatching {
 
     /// Creates the protocol using a greedy distance-1 coloring of `graph`.
     pub fn with_greedy_coloring(graph: &Graph) -> Self {
-        BaselineMatching { coloring: selfstab_graph::coloring::greedy(graph) }
+        BaselineMatching {
+            coloring: selfstab_graph::coloring::greedy(graph),
+        }
     }
 
     /// The local identifiers used by this instance.
@@ -63,11 +65,7 @@ impl BaselineMatching {
     }
 
     /// The matched edges of a configuration (mutually pointing pairs).
-    pub fn output(
-        &self,
-        graph: &Graph,
-        config: &[BaselineMatchingState],
-    ) -> Vec<(NodeId, NodeId)> {
+    pub fn output(&self, graph: &Graph, config: &[BaselineMatchingState]) -> Vec<(NodeId, NodeId)> {
         let mut edges = Vec::new();
         for p in graph.nodes() {
             if let Some(port) = config[p.index()].pr {
@@ -93,13 +91,15 @@ impl BaselineMatching {
         let degree = graph.degree(p);
         if degree == 0 {
             if state.married || state.pr.is_some() {
-                return Some(BaselineMatchingState { married: false, pr: None });
+                return Some(BaselineMatchingState {
+                    married: false,
+                    pr: None,
+                });
             }
             return None;
         }
         let my_color = self.color(p);
-        let neighbors: Vec<MatchingComm> =
-            (0..degree).map(|i| *view.read(Port::new(i))).collect();
+        let neighbors: Vec<MatchingComm> = (0..degree).map(|i| *view.read(Port::new(i))).collect();
         let pr = state.pr.map(|port| port.clamp_to_degree(degree));
         let points_back = |port: Port| {
             let q = graph.neighbor(p, port);
@@ -109,26 +109,38 @@ impl BaselineMatching {
 
         // Rule 1: keep M consistent.
         if state.married != married_now {
-            return Some(BaselineMatchingState { married: married_now, pr });
+            return Some(BaselineMatchingState {
+                married: married_now,
+                pr,
+            });
         }
         match pr {
             Some(port) if !points_back(port) => {
                 let n = &neighbors[port.index()];
                 // Rule 2: abandon a hopeless proposal.
                 if n.married || n.color < my_color {
-                    return Some(BaselineMatchingState { married: state.married, pr: None });
+                    return Some(BaselineMatchingState {
+                        married: state.married,
+                        pr: None,
+                    });
                 }
                 // Otherwise keep waiting for the neighbor to accept.
                 // A corrupted out-of-range pointer is normalised.
                 if pr != state.pr {
-                    return Some(BaselineMatchingState { married: state.married, pr });
+                    return Some(BaselineMatchingState {
+                        married: state.married,
+                        pr,
+                    });
                 }
                 None
             }
             Some(_) => {
                 // Married and consistent: disabled.
                 if pr != state.pr {
-                    return Some(BaselineMatchingState { married: state.married, pr });
+                    return Some(BaselineMatchingState {
+                        married: state.married,
+                        pr,
+                    });
                 }
                 None
             }
@@ -139,7 +151,10 @@ impl BaselineMatching {
                     .filter(|&port| points_back(port))
                     .min_by_key(|&port| neighbors[port.index()].color);
                 if let Some(port) = suitor {
-                    return Some(BaselineMatchingState { married: state.married, pr: Some(port) });
+                    return Some(BaselineMatchingState {
+                        married: state.married,
+                        pr: Some(port),
+                    });
                 }
                 // Rule 4: propose to the smallest-color free unmarried
                 // neighbor of larger color.
@@ -151,7 +166,10 @@ impl BaselineMatching {
                     })
                     .min_by_key(|&port| neighbors[port.index()].color);
                 if let Some(port) = target {
-                    return Some(BaselineMatchingState { married: state.married, pr: Some(port) });
+                    return Some(BaselineMatchingState {
+                        married: state.married,
+                        pr: Some(port),
+                    });
                 }
                 None
             }
@@ -174,12 +192,23 @@ impl Protocol for BaselineMatching {
         rng: &mut dyn RngCore,
     ) -> BaselineMatchingState {
         let degree = graph.degree(p).max(1);
-        let pr = if rng.gen_bool(0.5) { None } else { Some(Port::new(rng.gen_range(0..degree))) };
-        BaselineMatchingState { married: rng.gen_bool(0.5), pr }
+        let pr = if rng.gen_bool(0.5) {
+            None
+        } else {
+            Some(Port::new(rng.gen_range(0..degree)))
+        };
+        BaselineMatchingState {
+            married: rng.gen_bool(0.5),
+            pr,
+        }
     }
 
     fn comm(&self, p: NodeId, state: &BaselineMatchingState) -> MatchingComm {
-        MatchingComm { married: state.married, pr: state.pr, color: self.color(p) }
+        MatchingComm {
+            married: state.married,
+            pr: state.pr,
+            color: self.color(p),
+        }
     }
 
     fn is_enabled(
@@ -280,7 +309,13 @@ mod tests {
     fn reads_every_neighbor_each_step() {
         let graph = generators::star(6);
         let protocol = BaselineMatching::with_greedy_coloring(&graph);
-        let config = vec![BaselineMatchingState { married: false, pr: None }; 6];
+        let config = vec![
+            BaselineMatchingState {
+                married: false,
+                pr: None
+            };
+            6
+        ];
         let mut sim = Simulation::with_config(
             &graph,
             protocol,
@@ -290,7 +325,10 @@ mod tests {
             SimOptions::default().with_trace(),
         );
         sim.run_until_silent(10_000);
-        assert_eq!(sim.trace().unwrap().measured_efficiency(), graph.max_degree());
+        assert_eq!(
+            sim.trace().unwrap().measured_efficiency(),
+            graph.max_degree()
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ impl BaselineMis {
 
     /// Creates the protocol using a greedy distance-1 coloring of `graph`.
     pub fn with_greedy_coloring(graph: &Graph) -> Self {
-        BaselineMis { coloring: selfstab_graph::coloring::greedy(graph) }
+        BaselineMis {
+            coloring: selfstab_graph::coloring::greedy(graph),
+        }
     }
 
     /// The local identifiers used by this instance.
@@ -62,8 +64,9 @@ impl BaselineMis {
         view: &NeighborView<'_, MisComm>,
     ) -> Option<Membership> {
         let my_color = self.color(p);
-        let neighbors: Vec<MisComm> =
-            (0..graph.degree(p)).map(|i| *view.read(Port::new(i))).collect();
+        let neighbors: Vec<MisComm> = (0..graph.degree(p))
+            .map(|i| *view.read(Port::new(i)))
+            .collect();
         match state {
             Membership::Dominator => {
                 let must_leave = neighbors
@@ -99,7 +102,10 @@ impl Protocol for BaselineMis {
     }
 
     fn comm(&self, p: NodeId, state: &Membership) -> MisComm {
-        MisComm { status: *state, color: self.color(p) }
+        MisComm {
+            status: *state,
+            color: self.color(p),
+        }
     }
 
     fn is_enabled(
@@ -161,7 +167,10 @@ mod tests {
             );
             let report = sim.run_until_silent(200_000);
             assert!(report.silent, "no silence on {graph}");
-            assert!(verify::is_maximal_independent_set(&graph, &BaselineMis::output(sim.config())));
+            assert!(verify::is_maximal_independent_set(
+                &graph,
+                &BaselineMis::output(sim.config())
+            ));
         }
     }
 
@@ -197,7 +206,10 @@ mod tests {
             SimOptions::default().with_trace(),
         );
         sim.run_until_silent(10_000);
-        assert_eq!(sim.trace().unwrap().measured_efficiency(), graph.max_degree());
+        assert_eq!(
+            sim.trace().unwrap().measured_efficiency(),
+            graph.max_degree()
+        );
     }
 
     #[test]

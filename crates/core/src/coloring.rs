@@ -48,7 +48,9 @@ pub struct Coloring {
 impl Coloring {
     /// Creates the protocol for `graph`, using the minimal palette `∆ + 1`.
     pub fn new(graph: &Graph) -> Self {
-        Coloring { palette: graph.max_degree() + 1 }
+        Coloring {
+            palette: graph.max_degree() + 1,
+        }
     }
 
     /// Creates the protocol with an explicit palette size (at least 1).
@@ -57,7 +59,9 @@ impl Coloring {
     /// which case the protocol never stabilizes; larger palettes speed up
     /// convergence at the cost of `comm_bits`.
     pub fn with_palette(palette: usize) -> Self {
-        Coloring { palette: palette.max(1) }
+        Coloring {
+            palette: palette.max(1),
+        }
     }
 
     /// Number of colors available to each process.
@@ -121,10 +125,16 @@ impl Protocol for Coloring {
         let next = cur.next_round_robin(degree);
         if state.color == neighbor_color {
             // Action 1: conflict with the checked neighbor — redraw.
-            Some(ColoringState { color: rng.gen_range(0..self.palette), cur: next })
+            Some(ColoringState {
+                color: rng.gen_range(0..self.palette),
+                cur: next,
+            })
         } else {
             // Action 2: no conflict — just move the check pointer.
-            Some(ColoringState { color: state.color, cur: next })
+            Some(ColoringState {
+                color: state.color,
+                cur: next,
+            })
         }
     }
 
@@ -164,7 +174,9 @@ pub fn space_complexity_bits(graph: &Graph, p: NodeId) -> u64 {
 mod tests {
     use super::*;
     use selfstab_graph::generators;
-    use selfstab_runtime::scheduler::{CentralRandom, DistributedRandom, Fair, StarvingAdversary, Synchronous};
+    use selfstab_runtime::scheduler::{
+        CentralRandom, DistributedRandom, Fair, StarvingAdversary, Synchronous,
+    };
     use selfstab_runtime::{SimOptions, Simulation};
 
     #[test]
@@ -181,7 +193,10 @@ mod tests {
         let report = sim.run_until_silent(200_000);
         assert!(report.silent, "did not stabilize within the step budget");
         assert!(report.legitimate);
-        assert!(verify::is_proper_coloring(&graph, &Coloring::output(sim.config())));
+        assert!(verify::is_proper_coloring(
+            &graph,
+            &Coloring::output(sim.config())
+        ));
     }
 
     #[test]
@@ -241,7 +256,10 @@ mod tests {
         // Build an explicitly proper configuration.
         let config: Vec<ColoringState> = graph
             .nodes()
-            .map(|p| ColoringState { color: p.index() % 2, cur: Port::new(0) })
+            .map(|p| ColoringState {
+                color: p.index() % 2,
+                cur: Port::new(0),
+            })
             .collect();
         let mut sim = Simulation::with_config(
             &graph,
@@ -317,10 +335,27 @@ mod tests {
         let protocol = Coloring::new(&graph);
         let comm = vec![0usize, 0, 0];
         let view = NeighborView::from_snapshot(&graph, NodeId::new(2), &comm, true);
-        assert!(!protocol.is_enabled(&graph, NodeId::new(2), &ColoringState { color: 0, cur: Port::new(0) }, &view));
+        assert!(!protocol.is_enabled(
+            &graph,
+            NodeId::new(2),
+            &ColoringState {
+                color: 0,
+                cur: Port::new(0)
+            },
+            &view
+        ));
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         assert!(protocol
-            .activate(&graph, NodeId::new(2), &ColoringState { color: 0, cur: Port::new(0) }, &view, &mut rng)
+            .activate(
+                &graph,
+                NodeId::new(2),
+                &ColoringState {
+                    color: 0,
+                    cur: Port::new(0)
+                },
+                &view,
+                &mut rng
+            )
             .is_none());
     }
 
@@ -331,9 +366,18 @@ mod tests {
         let graph = generators::path(3);
         let protocol = Coloring::new(&graph);
         let config = vec![
-            ColoringState { color: 0, cur: Port::new(0) },
-            ColoringState { color: 0, cur: Port::new(17) },
-            ColoringState { color: 1, cur: Port::new(0) },
+            ColoringState {
+                color: 0,
+                cur: Port::new(0),
+            },
+            ColoringState {
+                color: 0,
+                cur: Port::new(17),
+            },
+            ColoringState {
+                color: 1,
+                cur: Port::new(0),
+            },
         ];
         let mut sim = Simulation::with_config(
             &graph,

@@ -41,7 +41,10 @@ impl FrozenReadColoring {
     /// Panics if `frozen.len()` does not match the graph size when the
     /// protocol is later executed (checked lazily at activation).
     pub fn new(palette: usize, frozen: Vec<Port>) -> Self {
-        FrozenReadColoring { palette: palette.max(1), frozen }
+        FrozenReadColoring {
+            palette: palette.max(1),
+            frozen,
+        }
     }
 
     /// The designated port of process `p`.
@@ -158,7 +161,10 @@ impl FrozenReadMis {
 
     /// The output function (membership booleans).
     pub fn output(config: &[MisState]) -> Vec<bool> {
-        config.iter().map(|s| s.status == Membership::Dominator).collect()
+        config
+            .iter()
+            .map(|s| s.status == Membership::Dominator)
+            .collect()
     }
 
     fn color(&self, p: NodeId) -> usize {
@@ -174,9 +180,10 @@ impl FrozenReadMis {
     ) -> Option<MisState> {
         if graph.degree(p) == 0 {
             return match state.status {
-                Membership::Dominated => {
-                    Some(MisState { status: Membership::Dominator, cur: state.cur })
-                }
+                Membership::Dominated => Some(MisState {
+                    status: Membership::Dominator,
+                    cur: state.cur,
+                }),
                 Membership::Dominator => None,
             };
         }
@@ -187,12 +194,18 @@ impl FrozenReadMis {
             && neighbor.color < my_color
             && state.status == Membership::Dominator
         {
-            return Some(MisState { status: Membership::Dominated, cur: port });
+            return Some(MisState {
+                status: Membership::Dominated,
+                cur: port,
+            });
         }
         if (neighbor.status == Membership::Dominated || my_color < neighbor.color)
             && state.status == Membership::Dominated
         {
-            return Some(MisState { status: Membership::Dominator, cur: port });
+            return Some(MisState {
+                status: Membership::Dominator,
+                cur: port,
+            });
         }
         None
     }
@@ -209,13 +222,20 @@ impl Protocol for FrozenReadMis {
     fn arbitrary_state(&self, graph: &Graph, p: NodeId, rng: &mut dyn RngCore) -> MisState {
         let degree = graph.degree(p).max(1);
         MisState {
-            status: if rng.gen_bool(0.5) { Membership::Dominator } else { Membership::Dominated },
+            status: if rng.gen_bool(0.5) {
+                Membership::Dominator
+            } else {
+                Membership::Dominated
+            },
             cur: Port::new(rng.gen_range(0..degree)),
         }
     }
 
     fn comm(&self, p: NodeId, state: &MisState) -> MisComm {
-        MisComm { status: state.status, color: self.color(p) }
+        MisComm {
+            status: state.status,
+            color: self.color(p),
+        }
     }
 
     fn is_enabled(
@@ -262,8 +282,9 @@ impl Protocol for FrozenReadMis {
             let q = graph.neighbor(p, port);
             let neighbor_status = config[q.index()].status;
             match config[p.index()].status {
-                Membership::Dominator => !(neighbor_status == Membership::Dominator
-                    && self.color(q) < self.color(p)),
+                Membership::Dominator => {
+                    !(neighbor_status == Membership::Dominator && self.color(q) < self.color(p))
+                }
                 Membership::Dominated => {
                     neighbor_status == Membership::Dominator && self.color(q) < self.color(p)
                 }

@@ -107,7 +107,9 @@ pub fn counterexample_general(delta: usize) -> Result<Theorem1Counterexample, Gr
 
     let mut frozen = vec![Port::new(0); n];
     // The center reads a middle process that is NOT the conflicting one.
-    frozen[center.index()] = graph.port_to(center, other_middle).expect("center-middle edge");
+    frozen[center.index()] = graph
+        .port_to(center, other_middle)
+        .expect("center-middle edge");
     // The conflicting middle reads one of its leaves, never the center.
     frozen[conflicting_middle.index()] = Port::new(1);
     // Every other middle reads the center; every leaf reads its middle
@@ -140,7 +142,10 @@ mod tests {
 
     fn assert_counterexample_holds(ce: &Theorem1Counterexample) {
         // (1) The spliced configuration violates the coloring predicate…
-        assert!(ce.violates_predicate(), "the configuration should be illegitimate");
+        assert!(
+            ce.violates_predicate(),
+            "the configuration should be illegitimate"
+        );
         let (a, b) = ce.conflicting_pair;
         assert!(ce.graph.has_edge(a, b));
         assert_eq!(ce.config[a.index()], ce.config[b.index()]);
@@ -180,7 +185,11 @@ mod tests {
                 SimOptions::default(),
             );
             sim.run_steps(2_000);
-            assert_eq!(sim.config(), ce.config.as_slice(), "colors changed under seed {seed}");
+            assert_eq!(
+                sim.config(),
+                ce.config.as_slice(),
+                "colors changed under seed {seed}"
+            );
             assert!(!sim.is_legitimate());
             assert_eq!(sim.stats().total_comm_changes(), 0);
         }
@@ -208,7 +217,10 @@ mod tests {
         let config: Vec<ColoringState> = ce
             .config
             .iter()
-            .map(|&color| ColoringState { color, cur: Port::new(0) })
+            .map(|&color| ColoringState {
+                color,
+                cur: Port::new(0),
+            })
             .collect();
         let protocol = Coloring::with_palette(3);
         let mut sim = Simulation::with_config(

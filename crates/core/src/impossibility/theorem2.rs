@@ -132,7 +132,10 @@ fn build(network: RootedDagNetwork, pendants_per_core: usize) -> Theorem2Counter
     // Spliced configuration.
     let mut config: Vec<MisState> = CORE_STATUS
         .iter()
-        .map(|&status| MisState { status, cur: Port::new(0) })
+        .map(|&status| MisState {
+            status,
+            cur: Port::new(0),
+        })
         .collect();
     for leaf in 6..n {
         let core = graph.neighbor(NodeId::new(leaf), Port::new(0));
@@ -144,7 +147,10 @@ fn build(network: RootedDagNetwork, pendants_per_core: usize) -> Theorem2Counter
             // a dominated process, so action 1 never fires.
             Membership::Dominated => Membership::Dominator,
         };
-        config.push(MisState { status, cur: Port::new(0) });
+        config.push(MisState {
+            status,
+            cur: Port::new(0),
+        });
     }
     // Make every process's cur equal to its designated port for tidiness
     // (the frozen protocol ignores cur anyway).

@@ -15,7 +15,7 @@
 //! other; the predicate `PRmarried(p) ≡ (PR.p = cur.p ∧ PR.(cur.p) = p)`
 //! lets `p` evaluate this by reading only the neighbor designated by `cur.p`.
 //! The six guarded actions (priority order) are transcribed verbatim in
-//! [`Matching::eval`].
+//! `Matching::eval`.
 //!
 //! The protocol reads one neighbor per activation (1-efficient), reaches a
 //! silent configuration in at most `(∆+1)·n + 2` rounds (Lemma 9), every
@@ -71,7 +71,9 @@ impl Matching {
     /// Creates the protocol using a greedy distance-1 coloring of `graph` as
     /// the local identifiers.
     pub fn with_greedy_coloring(graph: &Graph) -> Self {
-        Matching { coloring: selfstab_graph::coloring::greedy(graph) }
+        Matching {
+            coloring: selfstab_graph::coloring::greedy(graph),
+        }
     }
 
     /// The local identifiers used by this instance.
@@ -113,13 +115,7 @@ impl Matching {
     }
 
     /// `inMM[p].q` expressed with explicit endpoints (helper for `output`).
-    fn in_mm_towards(
-        &self,
-        graph: &Graph,
-        config: &[MatchingState],
-        q: NodeId,
-        p: NodeId,
-    ) -> bool {
+    fn in_mm_towards(&self, graph: &Graph, config: &[MatchingState], q: NodeId, p: NodeId) -> bool {
         match graph.port_to(q, p) {
             Some(port) => self.in_mm(graph, config, q, port),
             None => false,
@@ -153,7 +149,11 @@ impl Matching {
             // A process with no neighbor can never be matched; it is
             // silent once its variables are sane.
             if state.married || state.pr.is_some() {
-                return Some(MatchingState { married: false, pr: None, cur: state.cur });
+                return Some(MatchingState {
+                    married: false,
+                    pr: None,
+                    cur: state.cur,
+                });
             }
             return None;
         }
@@ -172,16 +172,28 @@ impl Matching {
         // Action 1: PR.p ∉ {0, cur.p} → PR.p ← cur.p.
         if let Some(target) = pr {
             if target != cur {
-                return Some(MatchingState { married: state.married, pr: Some(cur), cur });
+                return Some(MatchingState {
+                    married: state.married,
+                    pr: Some(cur),
+                    cur,
+                });
             }
         }
         // Action 2: M.p ≠ PRmarried(p) → M.p ← PRmarried(p).
         if state.married != pr_married {
-            return Some(MatchingState { married: pr_married, pr, cur });
+            return Some(MatchingState {
+                married: pr_married,
+                pr,
+                cur,
+            });
         }
         // Action 3: PR.p = 0 ∧ PR.(cur.p) = p → PR.p ← cur.p.
         if pr.is_none() && neighbor_points_back {
-            return Some(MatchingState { married: state.married, pr: Some(cur), cur });
+            return Some(MatchingState {
+                married: state.married,
+                pr: Some(cur),
+                cur,
+            });
         }
         // Action 4: PR.p = cur.p ∧ PR.(cur.p) ≠ p ∧ (M.(cur.p) ∨ C.(cur.p) ≺ C.p)
         //           → PR.p ← 0.
@@ -189,28 +201,39 @@ impl Matching {
             && !neighbor_points_back
             && (neighbor.married || neighbor.color < my_color)
         {
-            return Some(MatchingState { married: state.married, pr: None, cur });
+            return Some(MatchingState {
+                married: state.married,
+                pr: None,
+                cur,
+            });
         }
         // Action 5: PR.p = 0 ∧ PR.(cur.p) = 0 ∧ C.p ≺ C.(cur.p) ∧ ¬M.(cur.p)
         //           → PR.p ← cur.p.
-        if pr.is_none()
-            && neighbor.pr.is_none()
-            && my_color < neighbor.color
-            && !neighbor.married
-        {
-            return Some(MatchingState { married: state.married, pr: Some(cur), cur });
+        if pr.is_none() && neighbor.pr.is_none() && my_color < neighbor.color && !neighbor.married {
+            return Some(MatchingState {
+                married: state.married,
+                pr: Some(cur),
+                cur,
+            });
         }
         // Action 6: PR.p = 0 ∧ (PR.(cur.p) ≠ 0 ∨ C.(cur.p) ≺ C.p ∨ M.(cur.p))
         //           → advance cur.p.
-        if pr.is_none()
-            && (neighbor.pr.is_some() || neighbor.color < my_color || neighbor.married)
+        if pr.is_none() && (neighbor.pr.is_some() || neighbor.color < my_color || neighbor.married)
         {
-            return Some(MatchingState { married: state.married, pr, cur: next });
+            return Some(MatchingState {
+                married: state.married,
+                pr,
+                cur: next,
+            });
         }
         // If a corrupted out-of-range pointer was re-normalised, commit the
         // normalisation so the state stays within its domain.
         if pr != state.pr || cur != state.cur {
-            return Some(MatchingState { married: state.married, pr, cur });
+            return Some(MatchingState {
+                married: state.married,
+                pr,
+                cur,
+            });
         }
         None
     }
@@ -226,7 +249,11 @@ impl Protocol for Matching {
 
     fn arbitrary_state(&self, graph: &Graph, p: NodeId, rng: &mut dyn RngCore) -> MatchingState {
         let degree = graph.degree(p).max(1);
-        let pr = if rng.gen_bool(0.5) { None } else { Some(Port::new(rng.gen_range(0..degree))) };
+        let pr = if rng.gen_bool(0.5) {
+            None
+        } else {
+            Some(Port::new(rng.gen_range(0..degree)))
+        };
         MatchingState {
             married: rng.gen_bool(0.5),
             pr,
@@ -235,7 +262,11 @@ impl Protocol for Matching {
     }
 
     fn comm(&self, p: NodeId, state: &MatchingState) -> MatchingComm {
-        MatchingComm { married: state.married, pr: state.pr, color: self.color(p) }
+        MatchingComm {
+            married: state.married,
+            pr: state.pr,
+            color: self.color(p),
+        }
     }
 
     fn is_enabled(
@@ -339,9 +370,7 @@ impl Protocol for Matching {
                         if q_state.pr == graph.port_to(q, p) {
                             return false;
                         }
-                        if q_state.pr.is_none()
-                            && !q_state.married
-                            && self.color(p) < self.color(q)
+                        if q_state.pr.is_none() && !q_state.married && self.color(p) < self.color(q)
                         {
                             return false;
                         }
@@ -384,7 +413,10 @@ mod tests {
             );
             let report = sim.run_until_silent(400_000);
             assert!(report.silent, "MATCHING did not stabilize on {graph}");
-            assert!(report.legitimate, "silent but not a maximal matching on {graph}");
+            assert!(
+                report.legitimate,
+                "silent but not a maximal matching on {graph}"
+            );
         }
     }
 
@@ -464,7 +496,10 @@ mod tests {
         let report = sim.run_until_silent(400_000);
         assert!(report.silent);
         let matched = sim.protocol().output(&graph, sim.config()).len() * 2;
-        assert!(matched >= bound, "only {matched} matched processes, bound {bound}");
+        assert!(
+            matched >= bound,
+            "only {matched} matched processes, bound {bound}"
+        );
         // Married processes are 1-stable on the suffix: they keep reading
         // their partner only.
         sim.mark_suffix();
@@ -478,8 +513,16 @@ mod tests {
         let coloring = LocalColoring::new(&graph, vec![0, 1]).unwrap();
         let protocol = Matching::new(coloring);
         let married = vec![
-            MatchingState { married: true, pr: Some(Port::new(0)), cur: Port::new(0) },
-            MatchingState { married: true, pr: Some(Port::new(0)), cur: Port::new(0) },
+            MatchingState {
+                married: true,
+                pr: Some(Port::new(0)),
+                cur: Port::new(0),
+            },
+            MatchingState {
+                married: true,
+                pr: Some(Port::new(0)),
+                cur: Port::new(0),
+            },
         ];
         assert!(protocol.is_silent_config(&graph, &married));
         assert!(protocol.is_legitimate(&graph, &married));
@@ -490,8 +533,16 @@ mod tests {
 
         // Two free neighbors are never silent: the smaller color proposes.
         let free = vec![
-            MatchingState { married: false, pr: None, cur: Port::new(0) },
-            MatchingState { married: false, pr: None, cur: Port::new(0) },
+            MatchingState {
+                married: false,
+                pr: None,
+                cur: Port::new(0),
+            },
+            MatchingState {
+                married: false,
+                pr: None,
+                cur: Port::new(0),
+            },
         ];
         assert!(!protocol.is_silent_config(&graph, &free));
         assert!(!protocol.is_legitimate(&graph, &free));
@@ -504,9 +555,21 @@ mod tests {
         let graph = generators::path(3);
         let protocol = protocol_for(&graph);
         let config = vec![
-            MatchingState { married: true, pr: None, cur: Port::new(0) },
-            MatchingState { married: false, pr: None, cur: Port::new(0) },
-            MatchingState { married: true, pr: None, cur: Port::new(0) },
+            MatchingState {
+                married: true,
+                pr: None,
+                cur: Port::new(0),
+            },
+            MatchingState {
+                married: false,
+                pr: None,
+                cur: Port::new(0),
+            },
+            MatchingState {
+                married: true,
+                pr: None,
+                cur: Port::new(0),
+            },
         ];
         let mut sim = Simulation::with_config(
             &graph,
@@ -528,12 +591,26 @@ mod tests {
         let graph = generators::ring(3);
         let protocol = protocol_for(&graph);
         let port_to = |a: usize, b: usize| {
-            graph.port_to(NodeId::new(a), NodeId::new(b)).expect("neighbors")
+            graph
+                .port_to(NodeId::new(a), NodeId::new(b))
+                .expect("neighbors")
         };
         let config = vec![
-            MatchingState { married: false, pr: Some(port_to(0, 1)), cur: port_to(0, 1) },
-            MatchingState { married: false, pr: Some(port_to(1, 2)), cur: port_to(1, 2) },
-            MatchingState { married: false, pr: Some(port_to(2, 0)), cur: port_to(2, 0) },
+            MatchingState {
+                married: false,
+                pr: Some(port_to(0, 1)),
+                cur: port_to(0, 1),
+            },
+            MatchingState {
+                married: false,
+                pr: Some(port_to(1, 2)),
+                cur: port_to(1, 2),
+            },
+            MatchingState {
+                married: false,
+                pr: Some(port_to(2, 0)),
+                cur: port_to(2, 0),
+            },
         ];
         let mut sim = Simulation::with_config(
             &graph,
@@ -554,10 +631,26 @@ mod tests {
         let graph = generators::path(4);
         let protocol = protocol_for(&graph);
         let config = vec![
-            MatchingState { married: true, pr: Some(Port::new(9)), cur: Port::new(7) },
-            MatchingState { married: false, pr: Some(Port::new(3)), cur: Port::new(5) },
-            MatchingState { married: true, pr: None, cur: Port::new(2) },
-            MatchingState { married: false, pr: Some(Port::new(1)), cur: Port::new(0) },
+            MatchingState {
+                married: true,
+                pr: Some(Port::new(9)),
+                cur: Port::new(7),
+            },
+            MatchingState {
+                married: false,
+                pr: Some(Port::new(3)),
+                cur: Port::new(5),
+            },
+            MatchingState {
+                married: true,
+                pr: None,
+                cur: Port::new(2),
+            },
+            MatchingState {
+                married: false,
+                pr: Some(Port::new(1)),
+                cur: Port::new(0),
+            },
         ];
         let mut sim = Simulation::with_config(
             &graph,
@@ -587,13 +680,7 @@ mod tests {
     fn isolated_process_stays_free_and_silent() {
         let graph = Graph::from_edges(3, &[(0, 1)]).unwrap();
         let protocol = Matching::with_greedy_coloring(&graph);
-        let mut sim = Simulation::new(
-            &graph,
-            protocol,
-            Synchronous,
-            5,
-            SimOptions::default(),
-        );
+        let mut sim = Simulation::new(&graph, protocol, Synchronous, 5, SimOptions::default());
         let report = sim.run_until_silent(10_000);
         assert!(report.silent);
         let s = &sim.config()[2];

@@ -52,7 +52,11 @@ pub struct ComplexityReport {
 /// Largest `comm_bits` over all processes (the size of the biggest register
 /// a neighbor may read).
 pub fn max_comm_bits<P: Protocol>(protocol: &P, graph: &Graph) -> u64 {
-    graph.nodes().map(|p| protocol.comm_bits(graph, p)).max().unwrap_or(0)
+    graph
+        .nodes()
+        .map(|p| protocol.comm_bits(graph, p))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Worst-case communication complexity (Definition 5) for a protocol that

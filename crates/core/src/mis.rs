@@ -78,7 +78,9 @@ impl Mis {
     /// Creates the protocol using a greedy distance-1 coloring of `graph` as
     /// the local identifiers.
     pub fn with_greedy_coloring(graph: &Graph) -> Self {
-        Mis { coloring: selfstab_graph::coloring::greedy(graph) }
+        Mis {
+            coloring: selfstab_graph::coloring::greedy(graph),
+        }
     }
 
     /// The local identifiers used by this instance.
@@ -89,7 +91,10 @@ impl Mis {
     /// The protocol's output function `inMIS.p` over a configuration: one
     /// boolean per process.
     pub fn output(config: &[MisState]) -> Vec<bool> {
-        config.iter().map(|s| s.status == Membership::Dominator).collect()
+        config
+            .iter()
+            .map(|s| s.status == Membership::Dominator)
+            .collect()
     }
 
     /// Lemma 4's convergence bound: at most `∆ · #C` rounds to reach a
@@ -126,9 +131,10 @@ impl Mis {
             // An isolated process must be in the MIS; once there it is
             // disabled forever.
             return match state.status {
-                Membership::Dominated => {
-                    Some(MisState { status: Membership::Dominator, cur: state.cur })
-                }
+                Membership::Dominated => Some(MisState {
+                    status: Membership::Dominator,
+                    cur: state.cur,
+                }),
                 Membership::Dominator => None,
             };
         }
@@ -142,18 +148,27 @@ impl Mis {
             && neighbor.color < my_color
             && state.status == Membership::Dominator
         {
-            return Some(MisState { status: Membership::Dominated, cur });
+            return Some(MisState {
+                status: Membership::Dominated,
+                cur,
+            });
         }
         // Action 2: a dominated process with no justification from the
         // checked neighbor promotes itself.
         if (neighbor.status == Membership::Dominated || my_color < neighbor.color)
             && state.status == Membership::Dominated
         {
-            return Some(MisState { status: Membership::Dominator, cur: next });
+            return Some(MisState {
+                status: Membership::Dominator,
+                cur: next,
+            });
         }
         // Action 3: a Dominator keeps scanning its neighborhood forever.
         if state.status == Membership::Dominator {
-            return Some(MisState { status: Membership::Dominator, cur: next });
+            return Some(MisState {
+                status: Membership::Dominator,
+                cur: next,
+            });
         }
         None
     }
@@ -170,7 +185,11 @@ impl Protocol for Mis {
     fn arbitrary_state(&self, graph: &Graph, p: NodeId, rng: &mut dyn RngCore) -> MisState {
         let degree = graph.degree(p).max(1);
         MisState {
-            status: if rng.gen_bool(0.5) { Membership::Dominator } else { Membership::Dominated },
+            status: if rng.gen_bool(0.5) {
+                Membership::Dominator
+            } else {
+                Membership::Dominated
+            },
             cur: Port::new(rng.gen_range(0..degree)),
         }
     }
@@ -178,7 +197,10 @@ impl Protocol for Mis {
     fn comm(&self, p: NodeId, state: &MisState) -> MisComm {
         // The communication state a neighbor reads is the S variable plus
         // the color constant C.p.
-        MisComm { status: state.status, color: self.color(p) }
+        MisComm {
+            status: state.status,
+            color: self.color(p),
+        }
     }
 
     fn is_enabled(
@@ -296,7 +318,10 @@ mod tests {
             let report = sim.run_until_silent(200_000);
             assert!(report.silent, "MIS did not stabilize on {graph}");
             assert!(report.legitimate, "silent but not a MIS on {graph}");
-            assert!(verify::is_maximal_independent_set(&graph, &Mis::output(sim.config())));
+            assert!(verify::is_maximal_independent_set(
+                &graph,
+                &Mis::output(sim.config())
+            ));
         }
     }
 
@@ -382,8 +407,11 @@ mod tests {
         let report = sim.run_until_silent(200_000);
         assert!(report.silent);
         // Dominated processes are exactly the eventually-1-stable ones.
-        let dominated =
-            sim.config().iter().filter(|s| s.status == Membership::Dominated).count();
+        let dominated = sim
+            .config()
+            .iter()
+            .filter(|s| s.status == Membership::Dominated)
+            .count();
         assert!(dominated >= bound);
         // Measure it through the read sets as well: after stabilization every
         // dominated process reads its single justifying neighbor only.
@@ -399,9 +427,18 @@ mod tests {
         let protocol = Mis::new(coloring);
         // p1 (color 1) dominated pointing at p0 (color 0, Dominator): silent.
         let silent_config = vec![
-            MisState { status: Membership::Dominator, cur: Port::new(0) },
-            MisState { status: Membership::Dominated, cur: Port::new(0) },
-            MisState { status: Membership::Dominator, cur: Port::new(0) },
+            MisState {
+                status: Membership::Dominator,
+                cur: Port::new(0),
+            },
+            MisState {
+                status: Membership::Dominated,
+                cur: Port::new(0),
+            },
+            MisState {
+                status: Membership::Dominator,
+                cur: Port::new(0),
+            },
         ];
         assert!(protocol.is_legitimate(&graph, &silent_config));
         assert!(protocol.is_silent_config(&graph, &silent_config));
@@ -411,9 +448,18 @@ mod tests {
         // make it non-silent instead by turning p2 into a dominated process:
         // p1 then points at a dominated neighbor and will promote itself.
         let not_silent = vec![
-            MisState { status: Membership::Dominator, cur: Port::new(0) },
-            MisState { status: Membership::Dominated, cur: Port::new(1) },
-            MisState { status: Membership::Dominated, cur: Port::new(0) },
+            MisState {
+                status: Membership::Dominator,
+                cur: Port::new(0),
+            },
+            MisState {
+                status: Membership::Dominated,
+                cur: Port::new(1),
+            },
+            MisState {
+                status: Membership::Dominated,
+                cur: Port::new(0),
+            },
         ];
         assert!(!protocol.is_silent_config(&graph, &not_silent));
         // And it is not even legitimate: p2 is dominated with no Dominator
@@ -427,8 +473,14 @@ mod tests {
         let coloring = LocalColoring::new(&graph, vec![0, 1]).unwrap();
         let protocol = Mis::new(coloring);
         let config = vec![
-            MisState { status: Membership::Dominator, cur: Port::new(0) },
-            MisState { status: Membership::Dominator, cur: Port::new(0) },
+            MisState {
+                status: Membership::Dominator,
+                cur: Port::new(0),
+            },
+            MisState {
+                status: Membership::Dominator,
+                cur: Port::new(0),
+            },
         ];
         assert!(!protocol.is_silent_config(&graph, &config));
         assert!(!protocol.is_legitimate(&graph, &config));
@@ -453,13 +505,7 @@ mod tests {
         let graph = Graph::from_edges(3, &[(0, 1)]).unwrap();
         let coloring = LocalColoring::new(&graph, vec![0, 1, 0]).unwrap();
         let protocol = Mis::new(coloring);
-        let mut sim = Simulation::new(
-            &graph,
-            protocol,
-            Synchronous,
-            2,
-            SimOptions::default(),
-        );
+        let mut sim = Simulation::new(&graph, protocol, Synchronous, 2, SimOptions::default());
         let report = sim.run_until_silent(1_000);
         assert!(report.silent);
         assert_eq!(sim.config()[2].status, Membership::Dominator);
@@ -481,7 +527,10 @@ mod tests {
         let graph = generators::path(3);
         let protocol = protocol_for(&graph);
         let config = vec![
-            MisState { status: Membership::Dominator, cur: Port::new(0) };
+            MisState {
+                status: Membership::Dominator,
+                cur: Port::new(0)
+            };
             3
         ];
         let snapshot = protocol.comm_snapshot(&config);

@@ -143,9 +143,15 @@ impl<E: EdgeCheckable> Protocol for RoundRobinChecker<E> {
         let next = cur.next_round_robin(degree);
         if self.spec.conflict(&state.output, neighbor) {
             let corrected = self.spec.correct(graph, p, &state.output, neighbor, rng);
-            Some(CheckerState { output: corrected, cur: next })
+            Some(CheckerState {
+                output: corrected,
+                cur: next,
+            })
         } else {
-            Some(CheckerState { output: state.output.clone(), cur: next })
+            Some(CheckerState {
+                output: state.output.clone(),
+                cur: next,
+            })
         }
     }
 
@@ -159,7 +165,9 @@ impl<E: EdgeCheckable> Protocol for RoundRobinChecker<E> {
 
     fn is_legitimate(&self, graph: &Graph, config: &[Self::State]) -> bool {
         graph.edges().all(|(p, q)| {
-            !self.spec.conflict(&config[p.index()].output, &config[q.index()].output)
+            !self
+                .spec
+                .conflict(&config[p.index()].output, &config[q.index()].output)
         })
     }
 }
@@ -180,7 +188,9 @@ pub struct ColoringSpec {
 impl ColoringSpec {
     /// Minimal palette for `graph`: `∆ + 1`.
     pub fn new(graph: &Graph) -> Self {
-        ColoringSpec { palette: graph.max_degree() + 1 }
+        ColoringSpec {
+            palette: graph.max_degree() + 1,
+        }
     }
 }
 
@@ -233,7 +243,10 @@ impl SeparationSpec {
     /// Creates the specification; `modulus` must be large enough for the
     /// graph's maximum degree (`modulus > 2 · gap · ∆` is always safe).
     pub fn new(modulus: usize, gap: usize) -> Self {
-        SeparationSpec { modulus: modulus.max(1), gap }
+        SeparationSpec {
+            modulus: modulus.max(1),
+            gap,
+        }
     }
 
     fn circular_distance(&self, a: usize, b: usize) -> usize {
@@ -343,7 +356,10 @@ mod tests {
         let graph = generators::path(4);
         let protocol = RoundRobinChecker::new(ColoringSpec::new(&graph));
         let config: Vec<CheckerState<usize>> = (0..4)
-            .map(|i| CheckerState { output: i % 2, cur: Port::new(0) })
+            .map(|i| CheckerState {
+                output: i % 2,
+                cur: Port::new(0),
+            })
             .collect();
         let mut sim = Simulation::with_config(
             &graph,

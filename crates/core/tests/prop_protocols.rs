@@ -7,7 +7,11 @@
 //! * 1-efficiency in every step (Definition 4),
 //! * the round bounds of Lemma 4 and Lemma 9,
 //! * the ♦-(x, 1)-stability bounds of Theorems 6 and 8,
-//! * closure of the legitimacy predicates.
+//! * closure of the legitimacy predicates,
+//! * equivalence of the incremental enabled-set executor with the
+//!   full-recompute reference (identical `RunStats` and `Trace` on fixed
+//!   seeds, and an enabled set matching a from-scratch recomputation on
+//!   sampled steps).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -228,6 +232,119 @@ proptest! {
         let mut sim = Simulation::new(&graph, matching, DistributedRandom::new(0.5), run_seed, SimOptions::default());
         if sim.run_until_silent(500_000).silent {
             prop_assert!(sim.is_legitimate());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_executor_matches_full_recompute_reference(
+        n in 4usize..20,
+        graph_seed in 0u64..1_000,
+        run_seed in 0u64..1_000,
+    ) {
+        // The incremental enabled-set executor must be observationally
+        // indistinguishable from re-evaluating every guard on every step:
+        // identical reports, final configurations, `RunStats` and `Trace`
+        // for the same seed, on all three of the paper's protocols.
+        let graph = random_connected_graph(n, graph_seed);
+
+        let mut fast = Simulation::new(
+            &graph,
+            Coloring::new(&graph),
+            DistributedRandom::new(0.5),
+            run_seed,
+            SimOptions::default().with_trace(),
+        );
+        let mut reference = Simulation::new(
+            &graph,
+            Coloring::new(&graph),
+            DistributedRandom::new(0.5),
+            run_seed,
+            SimOptions::default().with_trace().with_full_recompute(),
+        );
+        prop_assert_eq!(fast.run_until_silent(200_000), reference.run_until_silent(200_000));
+        prop_assert_eq!(fast.config(), reference.config());
+        prop_assert_eq!(fast.stats(), reference.stats());
+        prop_assert_eq!(fast.trace(), reference.trace());
+        prop_assert!(fast.guard_evaluations() <= reference.guard_evaluations());
+
+        let mut fast = Simulation::new(
+            &graph,
+            Mis::with_greedy_coloring(&graph),
+            Synchronous,
+            run_seed,
+            SimOptions::default().with_trace(),
+        );
+        let mut reference = Simulation::new(
+            &graph,
+            Mis::with_greedy_coloring(&graph),
+            Synchronous,
+            run_seed,
+            SimOptions::default().with_trace().with_full_recompute(),
+        );
+        prop_assert_eq!(fast.run_until_silent(200_000), reference.run_until_silent(200_000));
+        prop_assert_eq!(fast.config(), reference.config());
+        prop_assert_eq!(fast.stats(), reference.stats());
+        prop_assert_eq!(fast.trace(), reference.trace());
+
+        let mut fast = Simulation::new(
+            &graph,
+            Matching::with_greedy_coloring(&graph),
+            DistributedRandom::new(0.5),
+            run_seed,
+            SimOptions::default().with_trace(),
+        );
+        let mut reference = Simulation::new(
+            &graph,
+            Matching::with_greedy_coloring(&graph),
+            DistributedRandom::new(0.5),
+            run_seed,
+            SimOptions::default().with_trace().with_full_recompute(),
+        );
+        prop_assert_eq!(fast.run_until_silent(200_000), reference.run_until_silent(200_000));
+        prop_assert_eq!(fast.config(), reference.config());
+        prop_assert_eq!(fast.stats(), reference.stats());
+        prop_assert_eq!(fast.trace(), reference.trace());
+    }
+
+    #[test]
+    fn maintained_enabled_set_matches_a_fresh_recomputation(
+        n in 4usize..18,
+        graph_seed in 0u64..500,
+        run_seed in 0u64..500,
+    ) {
+        // Sampled-step check of the executor's core invariant, evaluated
+        // from outside the crate: after any prefix of steps (and mid-run,
+        // not just at silence), the maintained enabled set equals
+        // `is_enabled` recomputed from scratch for every process.
+        use selfstab_runtime::view::NeighborView;
+        let graph = random_connected_graph(n, graph_seed);
+        let protocol = Mis::with_greedy_coloring(&graph);
+        let mut sim = Simulation::new(
+            &graph,
+            Mis::with_greedy_coloring(&graph),
+            DistributedRandom::new(0.4),
+            run_seed,
+            SimOptions::default(),
+        );
+        for sampled_prefix in 0..20u64 {
+            sim.run_steps(sampled_prefix % 5 + 1);
+            let comm = sim.comm_config();
+            for p in graph.nodes() {
+                let view = NeighborView::from_snapshot(&graph, p, &comm, false);
+                let expected =
+                    protocol.is_enabled(&graph, p, &sim.config()[p.index()], &view);
+                prop_assert_eq!(
+                    sim.enabled_set().is_enabled(p),
+                    expected,
+                    "enabled set diverged for process {} after {} steps",
+                    p,
+                    sim.steps()
+                );
+            }
         }
     }
 }

@@ -36,7 +36,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph over `node_count` processes and no edge.
     pub fn new(node_count: usize) -> Self {
-        GraphBuilder { node_count, edges: Vec::new() }
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds the undirected edge `{a, b}`.
@@ -75,17 +78,28 @@ impl GraphBuilder {
         let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for &(a, b) in &self.edges {
             if a >= n {
-                return Err(GraphError::NodeOutOfRange { node: NodeId::new(a), node_count: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: NodeId::new(a),
+                    node_count: n,
+                });
             }
             if b >= n {
-                return Err(GraphError::NodeOutOfRange { node: NodeId::new(b), node_count: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: NodeId::new(b),
+                    node_count: n,
+                });
             }
             if a == b {
-                return Err(GraphError::SelfLoop { node: NodeId::new(a) });
+                return Err(GraphError::SelfLoop {
+                    node: NodeId::new(a),
+                });
             }
             let key = (a.min(b), a.max(b));
             if !seen.insert(key) {
-                return Err(GraphError::DuplicateEdge { a: NodeId::new(a), b: NodeId::new(b) });
+                return Err(GraphError::DuplicateEdge {
+                    a: NodeId::new(a),
+                    b: NodeId::new(b),
+                });
             }
             adj[a].push(NodeId::new(b));
             adj[b].push(NodeId::new(a));
@@ -117,27 +131,50 @@ mod tests {
 
     #[test]
     fn port_order_follows_insertion_order() {
-        let g = GraphBuilder::new(4).edge(0, 2).edge(0, 1).edge(0, 3).build().unwrap();
+        let g = GraphBuilder::new(4)
+            .edge(0, 2)
+            .edge(0, 1)
+            .edge(0, 3)
+            .build()
+            .unwrap();
         let neighbors: Vec<_> = g.neighbors(NodeId::new(0)).collect();
-        assert_eq!(neighbors, vec![NodeId::new(2), NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(
+            neighbors,
+            vec![NodeId::new(2), NodeId::new(1), NodeId::new(3)]
+        );
     }
 
     #[test]
     fn rejects_self_loop() {
         let err = GraphBuilder::new(2).edge(1, 1).build().unwrap_err();
-        assert_eq!(err, GraphError::SelfLoop { node: NodeId::new(1) });
+        assert_eq!(
+            err,
+            GraphError::SelfLoop {
+                node: NodeId::new(1)
+            }
+        );
     }
 
     #[test]
     fn rejects_duplicate_edge_in_either_direction() {
-        let err = GraphBuilder::new(2).edge(0, 1).edge(1, 0).build().unwrap_err();
+        let err = GraphBuilder::new(2)
+            .edge(0, 1)
+            .edge(1, 0)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, GraphError::DuplicateEdge { .. }));
     }
 
     #[test]
     fn rejects_out_of_range_endpoint() {
         let err = GraphBuilder::new(2).edge(0, 2).build().unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: NodeId::new(2), node_count: 2 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(2),
+                node_count: 2
+            }
+        );
     }
 
     #[test]

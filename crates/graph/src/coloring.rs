@@ -160,7 +160,9 @@ pub fn greedy_with_order<I: IntoIterator<Item = NodeId>>(graph: &Graph, order: I
         }
         colors[p.index()] = Some(c);
     }
-    LocalColoring { colors: colors.into_iter().map(|c| c.unwrap_or(0)).collect() }
+    LocalColoring {
+        colors: colors.into_iter().map(|c| c.unwrap_or(0)).collect(),
+    }
 }
 
 /// DSATUR coloring: always colors next the process with the highest number
@@ -176,11 +178,17 @@ pub fn dsatur(graph: &Graph) -> LocalColoring {
             .nodes()
             .filter(|p| colors[p.index()].is_none())
             .max_by_key(|&p| {
-                let mut nbr_colors: Vec<Color> =
-                    graph.neighbors(p).filter_map(|q| colors[q.index()]).collect();
+                let mut nbr_colors: Vec<Color> = graph
+                    .neighbors(p)
+                    .filter_map(|q| colors[q.index()])
+                    .collect();
                 nbr_colors.sort_unstable();
                 nbr_colors.dedup();
-                (nbr_colors.len(), graph.degree(p), std::cmp::Reverse(p.index()))
+                (
+                    nbr_colors.len(),
+                    graph.degree(p),
+                    std::cmp::Reverse(p.index()),
+                )
             })
             .expect("an uncolored process remains");
         let used: Vec<Color> = graph
@@ -193,7 +201,9 @@ pub fn dsatur(graph: &Graph) -> LocalColoring {
         }
         colors[p.index()] = Some(c);
     }
-    LocalColoring { colors: colors.into_iter().map(|c| c.unwrap_or(0)).collect() }
+    LocalColoring {
+        colors: colors.into_iter().map(|c| c.unwrap_or(0)).collect(),
+    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,11 @@ pub fn to_dot_colored(
     let _ = writeln!(out, "graph {name} {{");
     for p in graph.nodes() {
         let color = coloring.colors().get(p.index()).copied().unwrap_or(0);
-        let style = if highlighted.contains(&p) { ", penwidth=3" } else { "" };
+        let style = if highlighted.contains(&p) {
+            ", penwidth=3"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "  {p} [label=\"{p}\\nC={color}\"{style}];");
     }
     for (p, q) in graph.edges() {

@@ -41,7 +41,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} is out of range for a graph of {node_count} processes")
+                write!(
+                    f,
+                    "node {node} is out of range for a graph of {node_count} processes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop requested on {node}"),
             GraphError::DuplicateEdge { a, b } => {
@@ -63,17 +66,27 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = GraphError::SelfLoop { node: NodeId::new(3) };
+        let e = GraphError::SelfLoop {
+            node: NodeId::new(3),
+        };
         assert_eq!(e.to_string(), "self-loop requested on p3");
 
-        let e = GraphError::NodeOutOfRange { node: NodeId::new(9), node_count: 4 };
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId::new(9),
+            node_count: 4,
+        };
         assert!(e.to_string().contains("p9"));
         assert!(e.to_string().contains('4'));
 
-        let e = GraphError::DuplicateEdge { a: NodeId::new(0), b: NodeId::new(1) };
+        let e = GraphError::DuplicateEdge {
+            a: NodeId::new(0),
+            b: NodeId::new(1),
+        };
         assert!(e.to_string().contains("{p0, p1}"));
 
-        let e = GraphError::InvalidParameters { reason: "n must be >= 3".into() };
+        let e = GraphError::InvalidParameters {
+            reason: "n must be >= 3".into(),
+        };
         assert!(e.to_string().contains("n must be >= 3"));
     }
 

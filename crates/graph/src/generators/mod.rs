@@ -16,7 +16,7 @@
 pub mod paper;
 
 pub use paper::{
-    figure9_path, figure11_example, figure11_tight_matching, theorem1_chain, theorem1_general,
+    figure11_example, figure11_tight_matching, figure9_path, theorem1_chain, theorem1_general,
     theorem1_spliced_chain, theorem2_general, theorem2_network, RootedDagNetwork,
 };
 
@@ -66,7 +66,9 @@ pub fn complete(n: usize) -> Graph {
             builder = builder.edge(i, j);
         }
     }
-    builder.build().expect("complete graph construction is always valid")
+    builder
+        .build()
+        .expect("complete graph construction is always valid")
 }
 
 /// Star graph: process 0 is the center, processes `1..n` are leaves.
@@ -106,14 +108,19 @@ pub fn wheel(n: usize) -> Graph {
 ///
 /// Panics if `a == 0` or `b == 0`.
 pub fn complete_bipartite(a: usize, b: usize) -> Graph {
-    assert!(a > 0 && b > 0, "both sides of a complete bipartite graph must be non-empty");
+    assert!(
+        a > 0 && b > 0,
+        "both sides of a complete bipartite graph must be non-empty"
+    );
     let mut builder = GraphBuilder::new(a + b);
     for i in 0..a {
         for j in 0..b {
             builder = builder.edge(i, a + j);
         }
     }
-    builder.build().expect("complete bipartite construction is always valid")
+    builder
+        .build()
+        .expect("complete bipartite construction is always valid")
 }
 
 /// `rows × cols` grid graph.
@@ -122,7 +129,10 @@ pub fn complete_bipartite(a: usize, b: usize) -> Graph {
 ///
 /// Panics if `rows == 0` or `cols == 0`.
 pub fn grid(rows: usize, cols: usize) -> Graph {
-    assert!(rows > 0 && cols > 0, "a grid needs at least one row and one column");
+    assert!(
+        rows > 0 && cols > 0,
+        "a grid needs at least one row and one column"
+    );
     let id = |r: usize, c: usize| r * cols + c;
     let mut builder = GraphBuilder::new(rows * cols);
     for r in 0..rows {
@@ -145,7 +155,10 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
 ///
 /// Panics if `rows < 3` or `cols < 3`.
 pub fn torus(rows: usize, cols: usize) -> Graph {
-    assert!(rows >= 3 && cols >= 3, "a torus needs at least 3 rows and 3 columns");
+    assert!(
+        rows >= 3 && cols >= 3,
+        "a torus needs at least 3 rows and 3 columns"
+    );
     let id = |r: usize, c: usize| r * cols + c;
     let mut builder = GraphBuilder::new(rows * cols);
     for r in 0..rows {
@@ -183,7 +196,9 @@ pub fn balanced_tree(arity: usize, depth: usize) -> Graph {
             }
         }
     }
-    builder.build().expect("balanced tree construction is always valid")
+    builder
+        .build()
+        .expect("balanced tree construction is always valid")
 }
 
 /// Caterpillar: a spine path of `spine` processes, each with `legs` pendant
@@ -210,7 +225,9 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
             next += 1;
         }
     }
-    builder.build().expect("caterpillar construction is always valid")
+    builder
+        .build()
+        .expect("caterpillar construction is always valid")
 }
 
 /// Lollipop graph: a clique of `clique` processes attached to a path of
@@ -220,7 +237,10 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
 ///
 /// Panics if `clique < 3` or `tail == 0`.
 pub fn lollipop(clique: usize, tail: usize) -> Graph {
-    assert!(clique >= 3, "lollipop clique must have at least 3 processes");
+    assert!(
+        clique >= 3,
+        "lollipop clique must have at least 3 processes"
+    );
     assert!(tail > 0, "lollipop tail must be non-empty");
     let n = clique + tail;
     let mut builder = GraphBuilder::new(n);
@@ -233,7 +253,9 @@ pub fn lollipop(clique: usize, tail: usize) -> Graph {
     for i in clique..(n - 1) {
         builder = builder.edge(i, i + 1);
     }
-    builder.build().expect("lollipop construction is always valid")
+    builder
+        .build()
+        .expect("lollipop construction is always valid")
 }
 
 /// `d`-dimensional hypercube: `2^d` processes, each of degree `d`; two
@@ -244,7 +266,10 @@ pub fn lollipop(clique: usize, tail: usize) -> Graph {
 /// Panics if `dimension == 0` or `dimension > 20`.
 pub fn hypercube(dimension: usize) -> Graph {
     assert!(dimension > 0, "a hypercube needs at least one dimension");
-    assert!(dimension <= 20, "hypercubes above 2^20 processes are not supported");
+    assert!(
+        dimension <= 20,
+        "hypercubes above 2^20 processes are not supported"
+    );
     let n = 1usize << dimension;
     let mut builder = GraphBuilder::new(n);
     for v in 0..n {
@@ -255,7 +280,9 @@ pub fn hypercube(dimension: usize) -> Graph {
             }
         }
     }
-    builder.build().expect("hypercube construction is always valid")
+    builder
+        .build()
+        .expect("hypercube construction is always valid")
 }
 
 /// Barbell graph: two cliques of `clique` processes joined by a path of
@@ -283,7 +310,9 @@ pub fn barbell(clique: usize, bridge: usize) -> Graph {
         previous = clique + b;
     }
     builder = builder.edge(previous, clique + bridge);
-    builder.build().expect("barbell construction is always valid")
+    builder
+        .build()
+        .expect("barbell construction is always valid")
 }
 
 /// The Petersen graph: 10 processes, 3-regular, girth 5 — a standard stress
@@ -329,7 +358,9 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
         let parent = rng.gen_range(0..i);
         builder = builder.edge(parent, i);
     }
-    builder.build().expect("random tree construction is always valid")
+    builder
+        .build()
+        .expect("random tree construction is always valid")
 }
 
 /// Erdős–Rényi `G(n, p)` conditioned on connectivity: every possible edge is
@@ -351,7 +382,9 @@ pub fn gnp_connected<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "n must be positive".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "n must be positive".into(),
+        });
     }
     if !(0.0..=1.0).contains(&prob) {
         return Err(GraphError::InvalidParameters {
@@ -399,7 +432,9 @@ pub fn gnm_connected<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "n must be positive".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "n must be positive".into(),
+        });
     }
     let max_m = n * (n - 1) / 2;
     if m > max_m {
@@ -427,7 +462,9 @@ pub fn gnm_connected<R: Rng + ?Sized>(
         let b = *comp.choose(rng).expect("components are non-empty");
         extra.push((a.index(), b.index()));
     }
-    GraphBuilder::new(n).edges(chosen.into_iter().chain(extra)).build()
+    GraphBuilder::new(n)
+        .edges(chosen.into_iter().chain(extra))
+        .build()
 }
 
 /// Approximately `d`-regular random graph built by pairing half-edges
@@ -482,7 +519,9 @@ pub fn random_regular<R: Rng + ?Sized>(
         let b = *comp.choose(rng).expect("components are non-empty");
         extra.push((a.index(), b.index()));
     }
-    GraphBuilder::new(n).edges(edges.into_iter().chain(extra)).build()
+    GraphBuilder::new(n)
+        .edges(edges.into_iter().chain(extra))
+        .build()
 }
 
 #[cfg(test)]

@@ -111,11 +111,8 @@ impl RootedDagNetwork {
 /// Figure 3.
 pub fn theorem2_network() -> RootedDagNetwork {
     // 0-based: p1=0, p2=1, p3=2, p4=3, p5=4, p6=5.
-    let graph = Graph::from_edges(
-        6,
-        &[(0, 1), (0, 2), (1, 4), (2, 5), (3, 4), (3, 5)],
-    )
-    .expect("theorem 2 network construction is always valid");
+    let graph = Graph::from_edges(6, &[(0, 1), (0, 2), (1, 4), (2, 5), (3, 4), (3, 5)])
+        .expect("theorem 2 network construction is always valid");
     let o = |a: usize, b: usize| (NodeId::new(a), NodeId::new(b));
     RootedDagNetwork {
         graph,
@@ -161,7 +158,11 @@ pub fn theorem2_general(delta: usize) -> Result<RootedDagNetwork, GraphError> {
             next += 1;
         }
     }
-    Ok(RootedDagNetwork { graph: builder.build()?, root: base.root, oriented_edges: oriented })
+    Ok(RootedDagNetwork {
+        graph: builder.build()?,
+        root: base.root,
+        oriented_edges: oriented,
+    })
 }
 
 /// The path family of Figure 9: on a path, once the MIS protocol has
@@ -217,7 +218,10 @@ pub fn figure11_example() -> Graph {
 
 /// The two matched edges of the Figure 11 example, as `(u, v)` pairs.
 pub fn figure11_tight_matching() -> Vec<(NodeId, NodeId)> {
-    vec![(NodeId::new(0), NodeId::new(1)), (NodeId::new(2), NodeId::new(3))]
+    vec![
+        (NodeId::new(0), NodeId::new(1)),
+        (NodeId::new(2), NodeId::new(3)),
+    ]
 }
 
 #[cfg(test)]
@@ -267,7 +271,10 @@ mod tests {
         assert_eq!(net.sources(), vec![NodeId::new(0), NodeId::new(3)]);
         assert_eq!(net.sinks(), vec![NodeId::new(4), NodeId::new(5)]);
         // Orientation must be acyclic.
-        assert!(crate::orientation::edges_form_dag(&net.graph, &net.oriented_edges));
+        assert!(crate::orientation::edges_form_dag(
+            &net.graph,
+            &net.oriented_edges
+        ));
     }
 
     #[test]
@@ -283,7 +290,10 @@ mod tests {
             assert!(sources.contains(&NodeId::new(3)), "p4 must stay a source");
             assert!(sinks.contains(&NodeId::new(4)), "p5 must stay a sink");
             assert!(sinks.contains(&NodeId::new(5)), "p6 must stay a sink");
-            assert!(crate::orientation::edges_form_dag(&net.graph, &net.oriented_edges));
+            assert!(crate::orientation::edges_form_dag(
+                &net.graph,
+                &net.oriented_edges
+            ));
         }
         assert!(theorem2_general(0).is_err());
     }

@@ -152,7 +152,10 @@ impl Graph {
         if p.index() < self.node_count() {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfRange { node: p, node_count: self.node_count() })
+            Err(GraphError::NodeOutOfRange {
+                node: p,
+                node_count: self.node_count(),
+            })
         }
     }
 
@@ -169,7 +172,10 @@ impl Graph {
         for row in &mut adj {
             row.shuffle(rng);
         }
-        Graph { adj, edge_count: self.edge_count }
+        Graph {
+            adj,
+            edge_count: self.edge_count,
+        }
     }
 
     /// Returns a copy of this graph where the ports of process `p` are
@@ -196,7 +202,10 @@ impl Graph {
         }
         let mut adj = self.adj.clone();
         adj[p.index()] = order.iter().map(|&i| self.adj[p.index()][i]).collect();
-        Ok(Graph { adj, edge_count: self.edge_count })
+        Ok(Graph {
+            adj,
+            edge_count: self.edge_count,
+        })
     }
 
     /// Returns the adjacency list of the graph (neighbor of each port, per
@@ -230,7 +239,13 @@ impl Graph {
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "graph(n={}, m={}, Δ={})", self.node_count(), self.edge_count(), self.max_degree())
+        write!(
+            f,
+            "graph(n={}, m={}, Δ={})",
+            self.node_count(),
+            self.edge_count(),
+            self.max_degree()
+        )
     }
 }
 
@@ -291,7 +306,10 @@ mod tests {
         assert!(g.check_node(NodeId::new(2)).is_ok());
         assert_eq!(
             g.check_node(NodeId::new(3)),
-            Err(GraphError::NodeOutOfRange { node: NodeId::new(3), node_count: 3 })
+            Err(GraphError::NodeOutOfRange {
+                node: NodeId::new(3),
+                node_count: 3
+            })
         );
     }
 

@@ -105,9 +105,15 @@ pub fn longest_path_lower_bound(graph: &Graph) -> usize {
 /// falls back to [`longest_path_lower_bound`] for larger graphs.
 pub fn longest_path(graph: &Graph, exact_budget: usize) -> LongestPath {
     if graph.node_count() <= exact_budget {
-        LongestPath { length: longest_path_exact(graph), exact: true }
+        LongestPath {
+            length: longest_path_exact(graph),
+            exact: true,
+        }
     } else {
-        LongestPath { length: longest_path_lower_bound(graph), exact: false }
+        LongestPath {
+            length: longest_path_lower_bound(graph),
+            exact: false,
+        }
     }
 }
 

@@ -227,9 +227,11 @@ mod tests {
         let g = generators::ring(4);
         let n = NodeId::new;
         // A proper dag orientation.
-        let dag =
-            DagOrientation::from_edges(&g, &[(n(0), n(1)), (n(1), n(2)), (n(3), n(2)), (n(0), n(3))])
-                .unwrap();
+        let dag = DagOrientation::from_edges(
+            &g,
+            &[(n(0), n(1)), (n(1), n(2)), (n(3), n(2)), (n(0), n(3))],
+        )
+        .unwrap();
         assert!(dag.is_source(n(0)));
         assert!(dag.is_sink(n(2)));
         assert_eq!(dag.predecessors(n(2)), vec![n(1), n(3)]);
@@ -250,9 +252,11 @@ mod tests {
     fn longest_directed_path_on_an_oriented_path() {
         let g = generators::path(5);
         let n = NodeId::new;
-        let dag =
-            DagOrientation::from_edges(&g, &[(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(3), n(4))])
-                .unwrap();
+        let dag = DagOrientation::from_edges(
+            &g,
+            &[(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(3), n(4))],
+        )
+        .unwrap();
         assert_eq!(dag.longest_directed_path(), 4);
     }
 

@@ -112,9 +112,7 @@ pub fn is_connected(graph: &Graph) -> bool {
 
 /// Returns `true` when the graph is a tree (connected with `m = n - 1`).
 pub fn is_tree(graph: &Graph) -> bool {
-    graph.node_count() > 0
-        && graph.edge_count() == graph.node_count() - 1
-        && is_connected(graph)
+    graph.node_count() > 0 && graph.edge_count() == graph.node_count() - 1 && is_connected(graph)
 }
 
 /// Eccentricity of `source`: the greatest BFS distance to any reachable
@@ -124,7 +122,11 @@ pub fn is_tree(graph: &Graph) -> bool {
 ///
 /// Panics if `source` is out of range.
 pub fn eccentricity(graph: &Graph, source: NodeId) -> usize {
-    bfs_distances(graph, source).into_iter().flatten().max().unwrap_or(0)
+    bfs_distances(graph, source)
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
 }
 
 /// Diameter `D` of the graph: the largest eccentricity over all processes.
@@ -135,7 +137,13 @@ pub fn diameter(graph: &Graph) -> Option<usize> {
     if graph.node_count() == 0 || !is_connected(graph) {
         return None;
     }
-    Some(graph.nodes().map(|p| eccentricity(graph, p)).max().unwrap_or(0))
+    Some(
+        graph
+            .nodes()
+            .map(|p| eccentricity(graph, p))
+            .max()
+            .unwrap_or(0),
+    )
 }
 
 /// Returns `true` when the graph is bipartite (2-colorable).
@@ -257,7 +265,10 @@ mod tests {
         assert_eq!(diameter(&generators::ring(8)), Some(4));
         assert_eq!(diameter(&generators::complete(5)), Some(1));
         assert_eq!(diameter(&generators::path(1)), Some(0));
-        assert_eq!(diameter(&Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap()), None);
+        assert_eq!(
+            diameter(&Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap()),
+            None
+        );
     }
 
     #[test]

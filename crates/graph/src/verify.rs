@@ -16,7 +16,9 @@ use crate::node::NodeId;
 /// proper coloring.
 pub fn is_proper_coloring(graph: &Graph, colors: &[usize]) -> bool {
     colors.len() == graph.node_count()
-        && graph.edges().all(|(p, q)| colors[p.index()] != colors[q.index()])
+        && graph
+            .edges()
+            .all(|(p, q)| colors[p.index()] != colors[q.index()])
 }
 
 /// Returns `true` when `members` is an independent set: no two members are
@@ -33,9 +35,9 @@ pub fn is_independent_set(graph: &Graph, members: &[bool]) -> bool {
 /// the MIS predicate of Section 5.2.
 pub fn is_maximal_independent_set(graph: &Graph, members: &[bool]) -> bool {
     is_independent_set(graph, members)
-        && graph.nodes().all(|p| {
-            members[p.index()] || graph.neighbors(p).any(|q| members[q.index()])
-        })
+        && graph
+            .nodes()
+            .all(|p| members[p.index()] || graph.neighbors(p).any(|q| members[q.index()]))
 }
 
 /// Returns `true` when `edges` is a matching: every listed pair is an edge of
@@ -71,7 +73,9 @@ pub fn is_maximal_matching(graph: &Graph, edges: &[(NodeId, NodeId)]) -> bool {
         matched[p.index()] = true;
         matched[q.index()] = true;
     }
-    graph.edges().all(|(p, q)| matched[p.index()] || matched[q.index()])
+    graph
+        .edges()
+        .all(|(p, q)| matched[p.index()] || matched[q.index()])
 }
 
 /// The lower bound of Biedl et al. used by Theorem 8: any maximal matching
@@ -119,11 +123,20 @@ mod tests {
     fn maximal_independent_set_checks() {
         let g = generators::path(5);
         // Alternating set is maximal.
-        assert!(is_maximal_independent_set(&g, &[true, false, true, false, true]));
+        assert!(is_maximal_independent_set(
+            &g,
+            &[true, false, true, false, true]
+        ));
         // {p1, p4} dominates p0, p2, p3 — also maximal.
-        assert!(is_maximal_independent_set(&g, &[false, true, false, false, true]));
+        assert!(is_maximal_independent_set(
+            &g,
+            &[false, true, false, false, true]
+        ));
         // {p0} alone leaves p2..p4 undominated.
-        assert!(!is_maximal_independent_set(&g, &[true, false, false, false, false]));
+        assert!(!is_maximal_independent_set(
+            &g,
+            &[true, false, false, false, false]
+        ));
         // The empty set is independent but never maximal on a non-empty graph.
         assert!(!is_maximal_independent_set(&g, &[false; 5]));
     }
@@ -147,7 +160,10 @@ mod tests {
     fn maximal_matching_checks() {
         let g = generators::ring(6);
         let n = NodeId::new;
-        assert!(is_maximal_matching(&g, &[(n(0), n(1)), (n(2), n(3)), (n(4), n(5))]));
+        assert!(is_maximal_matching(
+            &g,
+            &[(n(0), n(1)), (n(2), n(3)), (n(4), n(5))]
+        ));
         // {0-1, 3-4} leaves no edge with two unmatched endpoints? Edge {2,3}
         // touches 3 (matched); edge {5,0} touches 0 (matched); edge {1,2}
         // touches 1; edge {4,5} touches 4. So it is maximal too.

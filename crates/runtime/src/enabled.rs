@@ -1,0 +1,130 @@
+//! The maintained enabled set of the incremental executor.
+//!
+//! The paper's daemons select among *enabled* processes, so the executor
+//! must know `is_enabled(p)` for every process at every step. Recomputing
+//! that from scratch costs `O(n·Δ)` guard evaluations per step; the
+//! executor instead maintains an [`EnabledSet`] incrementally (see
+//! [`Simulation`](crate::executor::Simulation)) and hands schedulers a
+//! reference to it through
+//! [`SchedulerContext`](crate::scheduler::SchedulerContext).
+//!
+//! **Invariant** (maintained by the executor, checked by sampled
+//! debug-asserts): after the executor refreshes the set at the start of a
+//! step, `set.is_enabled(p)` equals `protocol.is_enabled(graph, p, state_p,
+//! view_p)` evaluated against the current configuration, for every `p`.
+
+use selfstab_graph::NodeId;
+
+/// A dense set of enabled processes with a cached cardinality.
+///
+/// Indexable by [`NodeId`]; kept current by the executor between steps, so
+/// reads are `O(1)` and iterating the enabled processes is `O(n)` with no
+/// guard re-evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnabledSet {
+    flags: Vec<bool>,
+    count: usize,
+}
+
+impl EnabledSet {
+    /// Creates the set for `n` processes, all initially disabled.
+    pub fn new(n: usize) -> Self {
+        EnabledSet {
+            flags: vec![false; n],
+            count: 0,
+        }
+    }
+
+    /// Builds a set from per-process flags (mainly for scheduler tests).
+    pub fn from_flags(flags: Vec<bool>) -> Self {
+        let count = flags.iter().filter(|&&b| b).count();
+        EnabledSet { flags, count }
+    }
+
+    /// Number of processes in the system (enabled or not).
+    pub fn node_count(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Number of currently enabled processes.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` when at least one process is enabled.
+    pub fn any(&self) -> bool {
+        self.count > 0
+    }
+
+    /// Whether process `p` is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn is_enabled(&self, p: NodeId) -> bool {
+        self.flags[p.index()]
+    }
+
+    /// The per-process flags, indexed by [`NodeId`].
+    pub fn as_flags(&self) -> &[bool] {
+        &self.flags
+    }
+
+    /// Iterates over the enabled processes in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Collects the enabled processes in increasing id order.
+    pub fn to_nodes(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+
+    /// Updates one flag, keeping the cardinality in sync.
+    pub(crate) fn set(&mut self, p: NodeId, enabled: bool) {
+        let flag = &mut self.flags[p.index()];
+        if *flag != enabled {
+            *flag = enabled;
+            if enabled {
+                self.count += 1;
+            } else {
+                self.count -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_tracks_set_and_clear() {
+        let mut set = EnabledSet::new(4);
+        assert_eq!(set.node_count(), 4);
+        assert_eq!(set.count(), 0);
+        assert!(!set.any());
+        set.set(NodeId::new(1), true);
+        set.set(NodeId::new(3), true);
+        set.set(NodeId::new(1), true); // idempotent
+        assert_eq!(set.count(), 2);
+        assert!(set.any());
+        assert!(set.is_enabled(NodeId::new(1)));
+        assert!(!set.is_enabled(NodeId::new(0)));
+        assert_eq!(set.to_nodes(), vec![NodeId::new(1), NodeId::new(3)]);
+        set.set(NodeId::new(1), false);
+        assert_eq!(set.count(), 1);
+        assert_eq!(set.as_flags(), &[false, false, false, true]);
+    }
+
+    #[test]
+    fn from_flags_counts() {
+        let set = EnabledSet::from_flags(vec![true, false, true]);
+        assert_eq!(set.count(), 2);
+        assert_eq!(set.node_count(), 3);
+    }
+}

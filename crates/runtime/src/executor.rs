@@ -1,10 +1,38 @@
 //! The simulation engine: drives a protocol under a scheduler.
+//!
+//! # Incremental enabled-set maintenance
+//!
+//! The paper's communication measures are all about *not* looking at every
+//! neighbor at every step, and the executor practices what the paper
+//! preaches. Instead of recomputing the communication configuration and
+//! re-evaluating every guard on every step (`O(n·Δ)` work per step, the
+//! dominating cost for central daemons that activate one process at a
+//! time), [`Simulation`] maintains two caches across steps:
+//!
+//! * the **communication configuration** — `comm(p, state_p)` for every
+//!   `p` — updated only for processes whose activation changed their
+//!   communication state, and
+//! * the **enabled set** ([`EnabledSet`]) — re-evaluating `is_enabled` only
+//!   for *dirty* processes: a process is dirty iff its own state changed
+//!   since its guard was last evaluated, or a neighbor changed its
+//!   communication state (guards read exactly the own state plus neighbor
+//!   communication states, so nothing else can flip them).
+//!
+//! Fault injection ([`Simulation::set_state`]) refreshes the caches the
+//! same way, marking the victim and its whole neighborhood dirty. The
+//! invariant — the maintained set equals a from-scratch recomputation — is
+//! checked by sampled `debug_assert`s, and
+//! [`SimOptions::with_full_recompute`] forces the executor to dirty every
+//! process on every step, which restores the historical full-recompute
+//! behavior bit for bit (used by the equivalence property tests and as the
+//! benchmark baseline).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfstab_graph::{Graph, NodeId, Port};
 use serde::{Deserialize, Serialize};
 
+use crate::enabled::EnabledSet;
 use crate::protocol::Protocol;
 use crate::scheduler::{Scheduler, SchedulerContext};
 use crate::stats::RunStats;
@@ -24,11 +52,21 @@ pub struct SimOptions {
     /// listed ports. Used by the impossibility experiments to model
     /// protocols that have committed to never read some neighbors again.
     pub read_restriction: Option<Vec<Vec<Port>>>,
+    /// Disable the incremental enabled-set cache: re-evaluate every guard
+    /// on every step. The observable execution (selections, activations,
+    /// stats, trace, RNG stream) is identical either way; this exists as
+    /// the reference behavior for equivalence tests and benchmarks.
+    pub full_recompute: bool,
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { record_trace: false, check_interval: 1, read_restriction: None }
+        SimOptions {
+            record_trace: false,
+            check_interval: 1,
+            read_restriction: None,
+            full_recompute: false,
+        }
     }
 }
 
@@ -51,6 +89,14 @@ impl SimOptions {
     #[must_use]
     pub fn with_read_restriction(mut self, restriction: Vec<Vec<Port>>) -> Self {
         self.read_restriction = Some(restriction);
+        self
+    }
+
+    /// Forces a full guard recomputation on every step (the reference
+    /// executor used by equivalence tests and benchmark baselines).
+    #[must_use]
+    pub fn with_full_recompute(mut self) -> Self {
+        self.full_recompute = true;
         self
     }
 }
@@ -91,6 +137,11 @@ pub struct StepOutcome {
 /// all processes selected in a step evaluate their guards against the same
 /// pre-step configuration, then all resulting state updates are applied
 /// simultaneously (composite atomicity under a distributed daemon).
+///
+/// Internally the executor is *incremental*: it caches the communication
+/// configuration and the enabled set across steps and re-evaluates a
+/// process's guard only when the process or one of its neighbors changed
+/// (see the [module documentation](self)).
 pub struct Simulation<'g, P: Protocol, S: Scheduler> {
     graph: &'g Graph,
     protocol: P,
@@ -103,19 +154,77 @@ pub struct Simulation<'g, P: Protocol, S: Scheduler> {
     step: u64,
     rounds: u64,
     selected_this_round: Vec<bool>,
+    /// Cached `comm(p, config[p])` for every process, kept current across
+    /// steps (the seed executor recomputed this clone every step).
+    comm_cache: Vec<P::Comm>,
+    /// Maintained enabled set; valid for the current configuration once
+    /// `refresh_enabled` has drained `dirty`.
+    enabled: EnabledSet,
+    /// `dirty[p]`: `p`'s guard must be re-evaluated before the next
+    /// selection (its state changed, or a neighbor's comm state changed).
+    dirty: Vec<bool>,
+    /// The processes with `dirty[p] == true` (each listed once).
+    dirty_queue: Vec<NodeId>,
+    /// Total number of `is_enabled` evaluations performed — the cost the
+    /// incremental maintenance is designed to shrink.
+    guard_evaluations: u64,
 }
 
 impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     /// Creates a simulation from an **arbitrary random** initial
     /// configuration (the self-stabilization setting: transient faults may
     /// have left anything in the variables).
-    pub fn new(graph: &'g Graph, protocol: P, scheduler: S, seed: u64, options: SimOptions) -> Self {
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use selfstab_graph::generators;
+    /// use selfstab_runtime::guarded::{ActionContext, GuardedAction, GuardedProtocol};
+    /// use selfstab_runtime::scheduler::Synchronous;
+    /// use selfstab_runtime::{SimOptions, Simulation};
+    ///
+    /// // "Adopt the largest value in my neighborhood" as a guarded action.
+    /// let adopt = GuardedAction::new(
+    ///     "adopt-max",
+    ///     |ctx: &ActionContext<'_, '_, u32, u32>| ctx.neighbor_comms().any(|v| v > ctx.state),
+    ///     |ctx, _rng| ctx.neighbor_comms().copied().max().unwrap_or(*ctx.state),
+    /// );
+    /// let protocol = GuardedProtocol::new(
+    ///     "max-propagation",
+    ///     vec![adopt],
+    ///     |_, p, _| p.index() as u32,
+    ///     |_, state| *state,
+    ///     |_, _| 32,
+    ///     |_, _| 32,
+    ///     |_, config| config.iter().all(|&v| v == config.iter().copied().max().unwrap_or(0)),
+    /// );
+    ///
+    /// let graph = generators::ring(5);
+    /// let mut sim = Simulation::new(&graph, protocol, Synchronous, 7, SimOptions::default());
+    /// assert_eq!(sim.steps(), 0);
+    /// sim.run_steps(3);
+    /// assert!(sim.config().iter().all(|&v| v == 4), "the maximum spread everywhere");
+    /// ```
+    pub fn new(
+        graph: &'g Graph,
+        protocol: P,
+        scheduler: S,
+        seed: u64,
+        options: SimOptions,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let config: Vec<P::State> = graph
             .nodes()
             .map(|p| protocol.arbitrary_state(graph, p, &mut rng))
             .collect();
-        Self::with_config(graph, protocol, scheduler, config, seed.wrapping_add(1), options)
+        Self::with_config(
+            graph,
+            protocol,
+            scheduler,
+            config,
+            seed.wrapping_add(1),
+            options,
+        )
     }
 
     /// Creates a simulation from an explicit initial configuration.
@@ -138,6 +247,11 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         );
         let degrees: Vec<usize> = graph.nodes().map(|p| graph.degree(p)).collect();
         let trace = options.record_trace.then(Trace::new);
+        let n = graph.node_count();
+        let comm_cache: Vec<P::Comm> = graph
+            .nodes()
+            .map(|p| protocol.comm(p, &config[p.index()]))
+            .collect();
         Simulation {
             graph,
             protocol,
@@ -149,7 +263,13 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             options,
             step: 0,
             rounds: 0,
-            selected_this_round: vec![false; graph.node_count()],
+            selected_this_round: vec![false; n],
+            comm_cache,
+            enabled: EnabledSet::new(n),
+            // Nothing has been evaluated yet: every guard starts dirty.
+            dirty: vec![true; n],
+            dirty_queue: graph.nodes().collect(),
+            guard_evaluations: 0,
         }
     }
 
@@ -169,12 +289,29 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     }
 
     /// The current communication configuration (one communication state per
-    /// process).
+    /// process), served from the maintained cache.
     pub fn comm_config(&self) -> Vec<P::Comm> {
-        self.graph
-            .nodes()
-            .map(|p| self.protocol.comm(p, &self.config[p.index()]))
-            .collect()
+        self.comm_cache.clone()
+    }
+
+    /// The enabled set for the current configuration.
+    ///
+    /// Takes `&mut self` because pending guard re-evaluations (from the
+    /// last step or the last fault injection) are flushed first.
+    pub fn enabled_set(&mut self) -> &EnabledSet {
+        self.refresh_enabled();
+        &self.enabled
+    }
+
+    /// Total number of `is_enabled` evaluations performed so far.
+    ///
+    /// With the incremental executor this grows with the amount of actual
+    /// change per step (`O(Δ)` per activation) rather than with `n` per
+    /// step; under [`SimOptions::with_full_recompute`] it grows by `n`
+    /// every step. Deliberately kept out of [`RunStats`] so that the two
+    /// modes produce identical stats.
+    pub fn guard_evaluations(&self) -> u64 {
+        self.guard_evaluations
     }
 
     /// Aggregated execution statistics.
@@ -217,55 +354,135 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
 
     /// Replaces the state of process `p` (used by fault injection).
     ///
+    /// The communication cache is refreshed and `p` **and its whole
+    /// neighborhood** are marked dirty, so the next step re-evaluates every
+    /// guard the fault may have flipped.
+    ///
     /// # Panics
     ///
     /// Panics if `p` is out of range.
     pub fn set_state(&mut self, p: NodeId, state: P::State) {
         self.config[p.index()] = state;
+        self.comm_cache[p.index()] = self.protocol.comm(p, &self.config[p.index()]);
+        // Conservatively dirty the neighborhood even when the communication
+        // state happens to be unchanged: fault injection is rare and cold,
+        // and the unconditional form keeps the invariant obviously safe.
+        self.mark_dirty(p);
+        let graph = self.graph;
+        for q in graph.neighbors(p) {
+            self.mark_dirty(q);
+        }
+    }
+
+    fn mark_dirty(&mut self, p: NodeId) {
+        if !self.dirty[p.index()] {
+            self.dirty[p.index()] = true;
+            self.dirty_queue.push(p);
+        }
+    }
+
+    /// Re-evaluates the guards of every dirty process, bringing the
+    /// maintained enabled set in sync with the current configuration.
+    fn refresh_enabled(&mut self) {
+        if self.options.full_recompute {
+            let graph = self.graph;
+            for p in graph.nodes() {
+                self.mark_dirty(p);
+            }
+        }
+        if self.dirty_queue.is_empty() {
+            return;
+        }
+        let queue = std::mem::take(&mut self.dirty_queue);
+        for p in queue {
+            self.dirty[p.index()] = false;
+            let view = self.untracked_view(p, &self.comm_cache);
+            let now_enabled =
+                self.protocol
+                    .is_enabled(self.graph, p, &self.config[p.index()], &view);
+            self.guard_evaluations += 1;
+            self.enabled.set(p, now_enabled);
+        }
+    }
+
+    /// Recomputes the enabled flags of every process from scratch
+    /// (the reference the incremental maintenance must agree with).
+    /// Only called from the sampled debug-assert and from tests.
+    #[cfg_attr(not(any(debug_assertions, test)), allow(dead_code))]
+    fn recompute_enabled_reference(&self) -> Vec<bool> {
+        self.graph
+            .nodes()
+            .map(|p| {
+                let view = self.untracked_view(p, &self.comm_cache);
+                self.protocol
+                    .is_enabled(self.graph, p, &self.config[p.index()], &view)
+            })
+            .collect()
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_check_enabled_invariant(&self) {
+        // Sampled: every step on small systems, periodically on large ones,
+        // so debug test runs stay fast while still covering long executions.
+        let sampled = self.graph.node_count() <= 64 || self.step % 101 == 0;
+        if sampled {
+            debug_assert_eq!(
+                self.enabled.as_flags(),
+                &self.recompute_enabled_reference()[..],
+                "incremental enabled set diverged from full recomputation at step {}",
+                self.step
+            );
+        }
     }
 
     /// Executes one step: asks the scheduler for a selection, activates every
     /// selected process against the pre-step configuration, then applies all
     /// updates simultaneously.
     pub fn step(&mut self) -> StepOutcome {
-        let comm_before: Vec<P::Comm> = self.comm_config();
-        let enabled: Vec<bool> = self
-            .graph
-            .nodes()
-            .map(|p| {
-                let view = self.untracked_view(p, &comm_before);
-                self.protocol.is_enabled(self.graph, p, &self.config[p.index()], &view)
-            })
-            .collect();
+        self.refresh_enabled();
+        #[cfg(debug_assertions)]
+        self.debug_check_enabled_invariant();
 
-        let ctx = SchedulerContext { step: self.step, enabled: &enabled };
+        let ctx = SchedulerContext {
+            step: self.step,
+            enabled: &self.enabled,
+        };
         let mut selected = self.scheduler.select(&ctx, &mut self.rng);
         selected.sort();
         selected.dedup();
-        assert!(!selected.is_empty(), "schedulers must select a non-empty subset");
+        assert!(
+            !selected.is_empty(),
+            "schedulers must select a non-empty subset"
+        );
 
         let mut executed = Vec::new();
-        let mut updates: Vec<(NodeId, P::State)> = Vec::new();
+        // (process, new state, new comm state, comm changed?)
+        let mut updates: Vec<(NodeId, P::State, P::Comm, bool)> = Vec::new();
         let mut records: Vec<ActivationRecord> = Vec::new();
         for &p in &selected {
             self.stats.record_selection(p);
             self.selected_this_round[p.index()] = true;
-            let view = self.tracked_view(p, &comm_before);
-            let new_state =
-                self.protocol
-                    .activate(self.graph, p, &self.config[p.index()], &view, &mut self.rng);
+            let view = self.tracked_view(p, &self.comm_cache);
+            let new_state = self.protocol.activate(
+                self.graph,
+                p,
+                &self.config[p.index()],
+                &view,
+                &mut self.rng,
+            );
             let reads = view.reads();
             let read_operations = view.read_operations();
             let did_execute = new_state.is_some();
             let mut comm_changed = false;
             if let Some(new_state) = new_state {
-                comm_changed = self.protocol.comm(p, &new_state) != comm_before[p.index()];
+                let new_comm = self.protocol.comm(p, &new_state);
+                comm_changed = new_comm != self.comm_cache[p.index()];
                 executed.push(p);
                 self.stats.record_activation(p, &reads, read_operations);
                 if comm_changed {
                     self.stats.record_comm_change(p, self.step);
                 }
-                updates.push((p, new_state));
+                updates.push((p, new_state, new_comm, comm_changed));
             } else {
                 // A disabled selected process does nothing, but its guard
                 // evaluation is still an activation for accounting purposes
@@ -281,15 +498,28 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
                 });
             }
         }
-        // Apply all updates simultaneously.
-        let comm_changed_any = updates
-            .iter()
-            .any(|(p, s)| self.protocol.comm(*p, s) != comm_before[p.index()]);
-        for (p, state) in updates {
+        // Apply all updates simultaneously, maintaining the communication
+        // cache and dirtying exactly the guards the updates may flip: the
+        // updated process itself (guards read the own full state) and, when
+        // its communication state changed, its neighbors.
+        let graph = self.graph;
+        let mut comm_changed_any = false;
+        for (p, state, comm, comm_changed) in updates {
             self.config[p.index()] = state;
+            self.mark_dirty(p);
+            if comm_changed {
+                comm_changed_any = true;
+                self.comm_cache[p.index()] = comm;
+                for q in graph.neighbors(p) {
+                    self.mark_dirty(q);
+                }
+            }
         }
         if let Some(trace) = &mut self.trace {
-            trace.push(StepRecord { step: self.step, activations: records });
+            trace.push(StepRecord {
+                step: self.step,
+                activations: records,
+            });
         }
 
         self.step += 1;
@@ -302,7 +532,11 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             }
         }
 
-        StepOutcome { selected, executed, comm_changed: comm_changed_any }
+        StepOutcome {
+            selected,
+            executed,
+            comm_changed: comm_changed_any,
+        }
     }
 
     /// Runs exactly `steps` steps.
@@ -315,6 +549,43 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     /// Runs until the protocol's silence predicate holds (checked every
     /// `check_interval` steps) or `max_steps` further steps have been
     /// executed.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use selfstab_graph::generators;
+    /// use selfstab_runtime::guarded::{ActionContext, GuardedAction, GuardedProtocol};
+    /// use selfstab_runtime::scheduler::DistributedRandom;
+    /// use selfstab_runtime::{SimOptions, Simulation};
+    ///
+    /// let adopt_min = GuardedAction::new(
+    ///     "adopt-smaller-value",
+    ///     |ctx: &ActionContext<'_, '_, u32, u32>| ctx.neighbor_comms().any(|v| v < ctx.state),
+    ///     |ctx, _rng| ctx.neighbor_comms().copied().min().unwrap_or(*ctx.state),
+    /// );
+    /// let protocol = GuardedProtocol::new(
+    ///     "min-propagation",
+    ///     vec![adopt_min],
+    ///     |_, p, _| p.index() as u32 + 1,
+    ///     |_, state| *state,
+    ///     |_, _| 32,
+    ///     |_, _| 32,
+    ///     |_, config| config.iter().all(|&v| v == 1),
+    /// );
+    ///
+    /// let graph = generators::ring(8);
+    /// let mut sim = Simulation::new(
+    ///     &graph,
+    ///     protocol,
+    ///     DistributedRandom::new(0.5),
+    ///     3,
+    ///     SimOptions::default(),
+    /// );
+    /// let report = sim.run_until_silent(100_000);
+    /// assert!(report.silent, "min-propagation quiesces");
+    /// assert!(report.legitimate, "everyone holds the global minimum");
+    /// assert_eq!(report.total_steps, sim.steps());
+    /// ```
     pub fn run_until_silent(&mut self, max_steps: u64) -> RunReport {
         let start_steps = self.step;
         let start_rounds = self.rounds;
@@ -374,7 +645,10 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             .map(|restriction| restriction[p.index()].as_slice())
     }
 
-    fn tracked_view<'c>(&self, p: NodeId, comm: &'c [P::Comm]) -> NeighborView<'c, P::Comm> {
+    fn tracked_view<'c>(&self, p: NodeId, comm: &'c [P::Comm]) -> NeighborView<'c, P::Comm>
+    where
+        'g: 'c,
+    {
         let view = NeighborView::from_snapshot(self.graph, p, comm, true);
         match self.allowed_ports(p) {
             Some(allowed) => view.restricted_to(allowed),
@@ -382,7 +656,10 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         }
     }
 
-    fn untracked_view<'c>(&self, p: NodeId, comm: &'c [P::Comm]) -> NeighborView<'c, P::Comm> {
+    fn untracked_view<'c>(&self, p: NodeId, comm: &'c [P::Comm]) -> NeighborView<'c, P::Comm>
+    where
+        'g: 'c,
+    {
         let view = NeighborView::from_snapshot(self.graph, p, comm, false);
         match self.allowed_ports(p) {
             Some(allowed) => view.restricted_to(allowed),
@@ -473,8 +750,7 @@ mod tests {
     #[test]
     fn synchronous_run_reaches_the_minimum() {
         let graph = generators::path(6);
-        let mut sim =
-            Simulation::new(&graph, MinValue, Synchronous, 1, SimOptions::default());
+        let mut sim = Simulation::new(&graph, MinValue, Synchronous, 1, SimOptions::default());
         let report = sim.run_until_silent(100);
         assert!(report.silent);
         assert!(report.legitimate);
@@ -558,8 +834,14 @@ mod tests {
         // The middle process can only see process 0 (value 5): it converges
         // to 5, never to 1.
         assert_eq!(sim.config()[1], 5);
-        assert_eq!(sim.stats().process(NodeId::new(1)).max_reads_per_activation, 1);
-        assert_eq!(sim.stats().process(NodeId::new(0)).max_reads_per_activation, 0);
+        assert_eq!(
+            sim.stats().process(NodeId::new(1)).max_reads_per_activation,
+            1
+        );
+        assert_eq!(
+            sim.stats().process(NodeId::new(0)).max_reads_per_activation,
+            0
+        );
     }
 
     /// Variant of [`MinValue`] that tolerates read restrictions by using
@@ -627,13 +909,7 @@ mod tests {
     #[test]
     fn suffix_marker_supports_stability_measurement() {
         let graph = generators::ring(5);
-        let mut sim = Simulation::new(
-            &graph,
-            MinValue,
-            Synchronous,
-            11,
-            SimOptions::default(),
-        );
+        let mut sim = Simulation::new(&graph, MinValue, Synchronous, 11, SimOptions::default());
         sim.run_until_silent(100);
         sim.mark_suffix();
         sim.run_steps(5);
@@ -657,5 +933,141 @@ mod tests {
             0,
             SimOptions::default(),
         );
+    }
+
+    #[test]
+    fn enabled_set_matches_full_recomputation_throughout_a_run() {
+        let graph = generators::grid(4, 4);
+        let mut sim = Simulation::new(
+            &graph,
+            MinValue,
+            DistributedRandom::new(0.3),
+            19,
+            SimOptions::default(),
+        );
+        for _ in 0..200 {
+            let reference = sim.recompute_enabled_reference();
+            assert_eq!(sim.enabled_set().as_flags(), &reference[..]);
+            sim.step();
+        }
+        // Once silent, nothing is enabled and nothing is dirty.
+        sim.run_until_silent(10_000);
+        assert_eq!(sim.enabled_set().count(), 0);
+    }
+
+    #[test]
+    fn incremental_and_full_recompute_produce_identical_runs() {
+        let graph = generators::gnp_connected(24, 0.2, &mut StdRng::seed_from_u64(77))
+            .expect("valid parameters");
+        for seed in 0..5u64 {
+            let mut fast = Simulation::new(
+                &graph,
+                MinValue,
+                DistributedRandom::new(0.4),
+                seed,
+                SimOptions::default().with_trace(),
+            );
+            let mut reference = Simulation::new(
+                &graph,
+                MinValue,
+                DistributedRandom::new(0.4),
+                seed,
+                SimOptions::default().with_trace().with_full_recompute(),
+            );
+            let fast_report = fast.run_until_silent(50_000);
+            let reference_report = reference.run_until_silent(50_000);
+            assert_eq!(fast_report, reference_report);
+            assert_eq!(fast.config(), reference.config());
+            assert_eq!(fast.stats(), reference.stats());
+            assert_eq!(fast.trace(), reference.trace());
+            // The whole point: the incremental executor evaluates far fewer
+            // guards (the run must be long enough for the saving to show).
+            assert!(fast.guard_evaluations() <= reference.guard_evaluations());
+        }
+    }
+
+    #[test]
+    fn step_outcome_comm_changed_agrees_with_stats_accounting() {
+        // Regression test: `StepOutcome::comm_changed` and the per-process
+        // `record_comm_change` accounting must describe the same events
+        // (the seed executor derived them from two separate passes).
+        let graph = generators::ring(6);
+        let mut sim = Simulation::new(
+            &graph,
+            MinValue,
+            DistributedRandom::new(0.5),
+            13,
+            SimOptions::default().with_trace(),
+        );
+        let mut changes_before = sim.stats().total_comm_changes();
+        for _ in 0..300 {
+            let step_index = sim.steps();
+            let outcome = sim.step();
+            let changes_after = sim.stats().total_comm_changes();
+            assert_eq!(
+                outcome.comm_changed,
+                changes_after > changes_before,
+                "StepOutcome::comm_changed disagrees with RunStats at step {step_index}"
+            );
+            if outcome.comm_changed {
+                assert_eq!(sim.stats().last_comm_change_step(), Some(step_index));
+            }
+            // The trace's per-activation records must agree as well.
+            let record = sim.trace().expect("trace enabled").steps().last().unwrap();
+            assert_eq!(record.any_comm_changed(), outcome.comm_changed);
+            assert_eq!(
+                record.activations.iter().filter(|a| a.comm_changed).count() as u64,
+                changes_after - changes_before,
+            );
+            changes_before = changes_after;
+        }
+    }
+
+    #[test]
+    fn fault_injection_reenables_guards() {
+        let graph = generators::ring(8);
+        let mut sim = Simulation::new(&graph, MinValue, Synchronous, 23, SimOptions::default());
+        sim.run_until_silent(1_000);
+        assert_eq!(sim.enabled_set().count(), 0, "silent: nothing enabled");
+        // Drop a smaller value into process 4: its neighbors become enabled.
+        sim.set_state(NodeId::new(4), 0);
+        let reference = sim.recompute_enabled_reference();
+        assert_eq!(sim.enabled_set().as_flags(), &reference[..]);
+        assert!(
+            sim.enabled_set().count() > 0,
+            "the fault re-enabled the neighborhood"
+        );
+    }
+
+    #[test]
+    fn guard_evaluation_counter_reflects_incrementality() {
+        let graph = generators::ring(64);
+        let mut sim = Simulation::new(
+            &graph,
+            MinValue,
+            CentralRoundRobin::new(),
+            3,
+            SimOptions::default(),
+        );
+        sim.run_until_silent(10_000);
+        // Flush the guards left dirty by the final step, then count.
+        let _ = sim.enabled_set();
+        let after_convergence = sim.guard_evaluations();
+        // Post-silence stepping must not evaluate any guard at all.
+        sim.run_steps(1_000);
+        assert_eq!(sim.guard_evaluations(), after_convergence);
+
+        let mut reference = Simulation::new(
+            &graph,
+            MinValue,
+            CentralRoundRobin::new(),
+            3,
+            SimOptions::default().with_full_recompute(),
+        );
+        reference.run_until_silent(10_000);
+        let reference_after = reference.guard_evaluations();
+        reference.run_steps(1_000);
+        // The reference pays n guard evaluations for every silent step.
+        assert_eq!(reference.guard_evaluations(), reference_after + 1_000 * 64);
     }
 }

@@ -5,6 +5,12 @@
 //! values. The experiment E9 uses [`inject_random_faults`] to corrupt a
 //! stabilized execution and measure the re-stabilization cost of the
 //! 1-efficient protocols against their Δ-efficient baselines.
+//!
+//! Every injection goes through [`Simulation::set_state`], which refreshes
+//! the executor's cached communication configuration and marks the victim
+//! and its whole neighborhood dirty — so the incremental enabled set is
+//! correct again at the next step even though a fault changes state outside
+//! the normal activation path.
 
 use rand::seq::SliceRandom;
 use rand::RngCore;
@@ -45,11 +51,8 @@ where
 
 /// Overwrites the state of the given processes with freshly sampled
 /// arbitrary states.
-pub fn inject_faults_at<P, S, R>(
-    sim: &mut Simulation<'_, P, S>,
-    victims: &[NodeId],
-    rng: &mut R,
-) where
+pub fn inject_faults_at<P, S, R>(sim: &mut Simulation<'_, P, S>, victims: &[NodeId], rng: &mut R)
+where
     P: Protocol,
     S: Scheduler,
     R: RngCore,
@@ -164,8 +167,7 @@ mod tests {
     #[test]
     fn faults_corrupt_and_recovery_follows() {
         let graph = generators::ring(8);
-        let mut sim =
-            Simulation::new(&graph, MinValue, Synchronous, 5, SimOptions::default());
+        let mut sim = Simulation::new(&graph, MinValue, Synchronous, 5, SimOptions::default());
         sim.run_until_silent(1000);
         assert!(sim.is_legitimate());
 
@@ -183,8 +185,7 @@ mod tests {
     #[test]
     fn fault_count_is_clamped() {
         let graph = generators::path(4);
-        let mut sim =
-            Simulation::new(&graph, MinValue, Synchronous, 6, SimOptions::default());
+        let mut sim = Simulation::new(&graph, MinValue, Synchronous, 6, SimOptions::default());
         let mut rng = StdRng::seed_from_u64(1);
         let victims = inject_random_faults(&mut sim, 100, &mut rng);
         assert_eq!(victims.len(), 4);

@@ -3,7 +3,7 @@
 //! The paper presents every protocol as an ordered list of guarded actions
 //! `⟨guard⟩ → ⟨statement⟩` evaluated with priority (the first enabled action
 //! is executed, atomically). The concrete protocols in `selfstab-core`
-//! implement [`Protocol`](crate::protocol::Protocol) directly for clarity
+//! implement [`Protocol`] directly for clarity
 //! and performance, but it is often convenient — for prototyping a new
 //! protocol, for teaching, or for writing executable transcriptions of
 //! pseudo-code — to author the action list literally. This module provides
@@ -101,7 +101,11 @@ impl<S, C> GuardedAction<S, C> {
         G: Fn(&ActionContext<'_, '_, S, C>) -> bool + Send + Sync + 'static,
         A: Fn(&ActionContext<'_, '_, S, C>, &mut dyn RngCore) -> S + Send + Sync + 'static,
     {
-        GuardedAction { name, guard: Box::new(guard), statement: Box::new(statement) }
+        GuardedAction {
+            name,
+            guard: Box::new(guard),
+            statement: Box::new(statement),
+        }
     }
 
     /// The action's name (used in debugging output).
@@ -122,7 +126,9 @@ impl<S, C> GuardedAction<S, C> {
 
 impl<S, C> fmt::Debug for GuardedAction<S, C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("GuardedAction").field("name", &self.name).finish()
+        f.debug_struct("GuardedAction")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -186,8 +192,16 @@ impl<S, C> GuardedProtocol<S, C> {
         state: &S,
         view: &NeighborView<'_, C>,
     ) -> Option<&'static str> {
-        let ctx = ActionContext { graph, process: p, state, view };
-        self.actions.iter().find(|a| a.is_enabled(&ctx)).map(|a| a.name())
+        let ctx = ActionContext {
+            graph,
+            process: p,
+            state,
+            view,
+        };
+        self.actions
+            .iter()
+            .find(|a| a.is_enabled(&ctx))
+            .map(|a| a.name())
     }
 }
 
@@ -195,7 +209,10 @@ impl<S, C> fmt::Debug for GuardedProtocol<S, C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("GuardedProtocol")
             .field("name", &self.name)
-            .field("actions", &self.actions.iter().map(|a| a.name()).collect::<Vec<_>>())
+            .field(
+                "actions",
+                &self.actions.iter().map(|a| a.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -220,14 +237,13 @@ where
         (self.comm)(p, state)
     }
 
-    fn is_enabled(
-        &self,
-        graph: &Graph,
-        p: NodeId,
-        state: &S,
-        view: &NeighborView<'_, C>,
-    ) -> bool {
-        let ctx = ActionContext { graph, process: p, state, view };
+    fn is_enabled(&self, graph: &Graph, p: NodeId, state: &S, view: &NeighborView<'_, C>) -> bool {
+        let ctx = ActionContext {
+            graph,
+            process: p,
+            state,
+            view,
+        };
         self.actions.iter().any(|a| a.is_enabled(&ctx))
     }
 
@@ -239,7 +255,12 @@ where
         view: &NeighborView<'_, C>,
         rng: &mut dyn RngCore,
     ) -> Option<S> {
-        let ctx = ActionContext { graph, process: p, state, view };
+        let ctx = ActionContext {
+            graph,
+            process: p,
+            state,
+            view,
+        };
         // The paper's priority rule: the first action whose guard holds is
         // the one executed, atomically.
         self.actions
@@ -280,7 +301,10 @@ mod tests {
             },
             move |ctx, rng| {
                 let cur = ctx.state.1.clamp_to_degree(ctx.degree());
-                (rng.gen_range(0..palette), cur.next_round_robin(ctx.degree()))
+                (
+                    rng.gen_range(0..palette),
+                    cur.next_round_robin(ctx.degree()),
+                )
             },
         );
         let action2 = GuardedAction::new(
@@ -357,8 +381,7 @@ mod tests {
             |_: &Graph, config: &[u32]| config.iter().all(|&v| v == 1),
         );
         let graph = generators::path(2);
-        let mut sim =
-            Simulation::new(&graph, protocol, Synchronous, 1, SimOptions::default());
+        let mut sim = Simulation::new(&graph, protocol, Synchronous, 1, SimOptions::default());
         sim.step();
         assert_eq!(sim.config(), &[1, 1]);
         assert!(sim.is_legitimate());

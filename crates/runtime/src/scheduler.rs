@@ -13,42 +13,50 @@ use rand::Rng;
 use rand::RngCore;
 use selfstab_graph::NodeId;
 
+use crate::enabled::EnabledSet;
+
 /// Read-only information handed to a scheduler when it selects a step.
 #[derive(Debug, Clone, Copy)]
 pub struct SchedulerContext<'a> {
     /// 0-based index of the step being scheduled.
     pub step: u64,
-    /// `enabled[p]` tells whether process `p` has an enabled action in the
-    /// current configuration.
-    pub enabled: &'a [bool],
+    /// The enabled set maintained incrementally by the executor: which
+    /// processes have an enabled action in the current configuration, with
+    /// an `O(1)` cardinality. Schedulers consume this instead of a freshly
+    /// recomputed per-step vector.
+    pub enabled: &'a EnabledSet,
 }
 
 impl SchedulerContext<'_> {
     /// Number of processes in the system.
     pub fn node_count(&self) -> usize {
-        self.enabled.len()
+        self.enabled.node_count()
     }
 
     /// Identifiers of the currently enabled processes.
     pub fn enabled_nodes(&self) -> Vec<NodeId> {
-        self.enabled
-            .iter()
-            .enumerate()
-            .filter(|(_, &e)| e)
-            .map(|(i, _)| NodeId::new(i))
-            .collect()
+        self.enabled.to_nodes()
     }
 }
 
 /// A scheduler selects a non-empty subset of processes at every step.
+///
+/// # Contract
+///
+/// * The executor only invokes [`Scheduler::select`] on **non-empty**
+///   systems (`ctx.node_count() >= 1`); a scheduler given an empty system
+///   should panic rather than fabricate a selection.
+/// * Implementations must return a non-empty subset of `0..n`; the
+///   executor treats duplicate mentions as a single activation and
+///   asserts non-emptiness. Selecting a *disabled* process is allowed
+///   (it is a no-op activation in the model).
 pub trait Scheduler {
     /// Short human-readable name, used in reports.
     fn name(&self) -> &'static str;
 
     /// Selects the processes activated at this step.
     ///
-    /// Implementations must return a non-empty subset of `0..n`; the
-    /// executor treats duplicate mentions as a single activation.
+    /// See the [trait documentation](Scheduler) for the selection contract.
     fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId>;
 }
 
@@ -84,10 +92,19 @@ impl Scheduler for CentralRoundRobin {
         "central-round-robin"
     }
 
+    /// # Panics
+    ///
+    /// Panics on an empty system (`n = 0`): there is no process to select,
+    /// and silently clamping would fabricate a selection of a process that
+    /// does not exist (see the [`Scheduler`] contract).
     fn select(&mut self, ctx: &SchedulerContext<'_>, _rng: &mut dyn RngCore) -> Vec<NodeId> {
         let n = ctx.node_count();
-        let chosen = NodeId::new(self.next % n.max(1));
-        self.next = (self.next + 1) % n.max(1);
+        assert!(
+            n > 0,
+            "CentralRoundRobin cannot select from an empty system"
+        );
+        let chosen = NodeId::new(self.next % n);
+        self.next = (self.next + 1) % n;
         vec![chosen]
     }
 }
@@ -105,13 +122,17 @@ pub struct CentralRandom {
 impl CentralRandom {
     /// One uniformly random process per step.
     pub fn new() -> Self {
-        CentralRandom { prefer_enabled: false }
+        CentralRandom {
+            prefer_enabled: false,
+        }
     }
 
     /// One uniformly random *enabled* process per step (falls back to any
     /// process when none is enabled).
     pub fn enabled_only() -> Self {
-        CentralRandom { prefer_enabled: true }
+        CentralRandom {
+            prefer_enabled: true,
+        }
     }
 }
 
@@ -126,15 +147,21 @@ impl Scheduler for CentralRandom {
         "central-random"
     }
 
+    /// # Panics
+    ///
+    /// Panics on an empty system (`n = 0`), per the [`Scheduler`] contract.
     fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
-        if self.prefer_enabled {
-            let enabled = ctx.enabled_nodes();
-            if let Some(&p) = enabled.choose(rng) {
+        let n = ctx.node_count();
+        assert!(n > 0, "CentralRandom cannot select from an empty system");
+        if self.prefer_enabled && ctx.enabled.any() {
+            // The maintained enabled set makes this allocation-free: draw a
+            // rank among the enabled processes and walk to it.
+            let rank = rng.gen_range(0..ctx.enabled.count());
+            if let Some(p) = ctx.enabled.iter().nth(rank) {
                 return vec![p];
             }
         }
-        let n = ctx.node_count();
-        vec![NodeId::new(rng.gen_range(0..n.max(1)))]
+        vec![NodeId::new(rng.gen_range(0..n))]
     }
 }
 
@@ -152,8 +179,16 @@ pub struct DistributedRandom {
 impl DistributedRandom {
     /// Creates the daemon with a per-process activation probability clamped
     /// to `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `activation_prob` is NaN (clamping would silently
+    /// propagate it into every selection).
     pub fn new(activation_prob: f64) -> Self {
-        DistributedRandom { activation_prob: activation_prob.clamp(f64::MIN_POSITIVE, 1.0) }
+        assert!(!activation_prob.is_nan(), "activation probability is NaN");
+        DistributedRandom {
+            activation_prob: activation_prob.clamp(f64::MIN_POSITIVE, 1.0),
+        }
     }
 }
 
@@ -193,7 +228,9 @@ pub struct StarvingAdversary {
 impl StarvingAdversary {
     /// Creates the adversary.
     pub fn new() -> Self {
-        StarvingAdversary { last_activation: Vec::new() }
+        StarvingAdversary {
+            last_activation: Vec::new(),
+        }
     }
 }
 
@@ -202,17 +239,28 @@ impl Scheduler for StarvingAdversary {
         "starving-adversary"
     }
 
+    /// # Panics
+    ///
+    /// Panics on an empty system (`n = 0`), per the [`Scheduler`] contract.
     fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
         let n = ctx.node_count();
+        assert!(
+            n > 0,
+            "StarvingAdversary cannot select from an empty system"
+        );
         if self.last_activation.len() != n {
             self.last_activation = vec![0; n];
         }
-        let enabled = ctx.enabled_nodes();
-        let chosen = enabled
+        let chosen = ctx
+            .enabled
             .iter()
-            .copied()
-            .max_by_key(|p| (self.last_activation[p.index()], std::cmp::Reverse(p.index())))
-            .unwrap_or_else(|| NodeId::new(rng.gen_range(0..n.max(1))));
+            .max_by_key(|p| {
+                (
+                    self.last_activation[p.index()],
+                    std::cmp::Reverse(p.index()),
+                )
+            })
+            .unwrap_or_else(|| NodeId::new(rng.gen_range(0..n)));
         self.last_activation[chosen.index()] = ctx.step + 1;
         vec![chosen]
     }
@@ -237,6 +285,7 @@ impl LocallyCentral {
     /// Creates the daemon for `graph` with the given per-process activation
     /// probability (clamped to `(0, 1]`).
     pub fn new(graph: &selfstab_graph::Graph, activation_prob: f64) -> Self {
+        assert!(!activation_prob.is_nan(), "activation probability is NaN");
         let neighbors = graph
             .nodes()
             .map(|p| graph.neighbors(p).map(|q| q.index()).collect())
@@ -299,7 +348,11 @@ impl<S: Scheduler> Fair<S> {
     /// Wraps `inner`, forcing every process to be selected at least once
     /// every `window` steps (`window >= 1`).
     pub fn new(inner: S, window: u64) -> Self {
-        Fair { inner, window: window.max(1), last_selected: Vec::new() }
+        Fair {
+            inner,
+            window: window.max(1),
+            last_selected: Vec::new(),
+        }
     }
 
     /// Read access to the wrapped scheduler.
@@ -340,13 +393,17 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn ctx(enabled: &[bool], step: u64) -> SchedulerContext<'_> {
+    fn set(flags: &[bool]) -> EnabledSet {
+        EnabledSet::from_flags(flags.to_vec())
+    }
+
+    fn ctx<'a>(enabled: &'a EnabledSet, step: u64) -> SchedulerContext<'a> {
         SchedulerContext { step, enabled }
     }
 
     #[test]
     fn synchronous_selects_everyone() {
-        let enabled = vec![true, false, true];
+        let enabled = set(&[true, false, true]);
         let mut rng = StdRng::seed_from_u64(0);
         let mut s = Synchronous;
         assert_eq!(s.select(&ctx(&enabled, 0), &mut rng).len(), 3);
@@ -354,7 +411,7 @@ mod tests {
 
     #[test]
     fn round_robin_cycles_over_processes() {
-        let enabled = vec![true; 3];
+        let enabled = set(&[true; 3]);
         let mut rng = StdRng::seed_from_u64(0);
         let mut s = CentralRoundRobin::new();
         let picks: Vec<usize> = (0..6)
@@ -364,8 +421,17 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "empty system")]
+    fn round_robin_rejects_empty_systems() {
+        let enabled = set(&[]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = CentralRoundRobin::new();
+        let _ = s.select(&ctx(&enabled, 0), &mut rng);
+    }
+
+    #[test]
     fn central_random_prefers_enabled_when_asked() {
-        let enabled = vec![false, false, true, false];
+        let enabled = set(&[false, false, true, false]);
         let mut rng = StdRng::seed_from_u64(1);
         let mut s = CentralRandom::enabled_only();
         for step in 0..20 {
@@ -373,14 +439,14 @@ mod tests {
             assert_eq!(picked, vec![NodeId::new(2)]);
         }
         // Falls back to any process when nothing is enabled.
-        let none = vec![false; 4];
+        let none = set(&[false; 4]);
         let picked = s.select(&ctx(&none, 0), &mut rng);
         assert_eq!(picked.len(), 1);
     }
 
     #[test]
     fn distributed_random_never_returns_empty() {
-        let enabled = vec![true; 5];
+        let enabled = set(&[true; 5]);
         let mut rng = StdRng::seed_from_u64(2);
         let mut s = DistributedRandom::new(0.01);
         for step in 0..200 {
@@ -390,7 +456,7 @@ mod tests {
 
     #[test]
     fn distributed_random_eventually_selects_everyone() {
-        let enabled = vec![true; 6];
+        let enabled = set(&[true; 6]);
         let mut rng = StdRng::seed_from_u64(3);
         let mut s = DistributedRandom::new(0.3);
         let mut seen = vec![false; 6];
@@ -404,7 +470,7 @@ mod tests {
 
     #[test]
     fn starving_adversary_keeps_activating_the_same_process() {
-        let enabled = vec![true; 4];
+        let enabled = set(&[true; 4]);
         let mut rng = StdRng::seed_from_u64(4);
         let mut s = StarvingAdversary::new();
         let first = s.select(&ctx(&enabled, 0), &mut rng)[0];
@@ -416,7 +482,7 @@ mod tests {
     #[test]
     fn locally_central_never_activates_two_neighbors() {
         let graph = selfstab_graph::generators::ring(8);
-        let enabled = vec![true; 8];
+        let enabled = set(&[true; 8]);
         let mut rng = StdRng::seed_from_u64(6);
         let mut s = LocallyCentral::new(&graph, 0.8);
         for step in 0..200 {
@@ -425,7 +491,10 @@ mod tests {
             for &a in &chosen {
                 for &b in &chosen {
                     if a != b {
-                        assert!(!graph.has_edge(a, b), "neighbors {a} and {b} both activated");
+                        assert!(
+                            !graph.has_edge(a, b),
+                            "neighbors {a} and {b} both activated"
+                        );
                     }
                 }
             }
@@ -434,7 +503,7 @@ mod tests {
 
     #[test]
     fn fair_wrapper_bounds_starvation() {
-        let enabled = vec![true; 4];
+        let enabled = set(&[true; 4]);
         let mut rng = StdRng::seed_from_u64(5);
         let window = 6;
         let mut s = Fair::new(StarvingAdversary::new(), window);

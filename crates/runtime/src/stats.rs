@@ -11,9 +11,17 @@
 //! * **♦-(x, k)-stability** (Definition 9): the number of processes whose
 //!   *suffix* read set (`distinct_ports_since_marker`) has size ≤ k after the
 //!   suffix marker has been placed (typically at stabilization).
+//!
+//! These counters only record what the *protocol* observably does —
+//! selections, activations, tracked reads, communication changes. They are
+//! deliberately independent of how the executor computes enabledness, so an
+//! incremental run and a full-recompute run of the same seed produce
+//! byte-identical [`RunStats`] (the executor's own guard-evaluation cost is
+//! reported separately by
+//! [`Simulation::guard_evaluations`](crate::executor::Simulation::guard_evaluations)).
 
-use serde::{Deserialize, Serialize};
 use selfstab_graph::{NodeId, Port};
+use serde::{Deserialize, Serialize};
 
 /// Statistics of a single process across a (partial) execution.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -175,7 +183,10 @@ impl RunStats {
 
     /// Total number of read operations across all processes.
     pub fn total_read_operations(&self) -> u64 {
-        self.per_process.iter().map(|s| s.total_read_operations).sum()
+        self.per_process
+            .iter()
+            .map(|s| s.total_read_operations)
+            .sum()
     }
 
     /// Total number of communication-state changes across all processes.

@@ -8,8 +8,8 @@
 //! [`RunStats`](crate::stats::RunStats), which the executor always
 //! maintains.
 
-use serde::{Deserialize, Serialize};
 use selfstab_graph::{NodeId, Port};
+use serde::{Deserialize, Serialize};
 
 /// What one process did during one step.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,7 +48,11 @@ impl StepRecord {
     /// Largest number of distinct neighbors read by a single process in this
     /// step.
     pub fn max_reads(&self) -> usize {
-        self.activations.iter().map(|a| a.reads.len()).max().unwrap_or(0)
+        self.activations
+            .iter()
+            .map(|a| a.reads.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -88,7 +92,11 @@ impl Trace {
     /// neighbors in every recorded step — Definition 4 evaluated over the
     /// trace.
     pub fn measured_efficiency(&self) -> usize {
-        self.steps.iter().map(StepRecord::max_reads).max().unwrap_or(0)
+        self.steps
+            .iter()
+            .map(StepRecord::max_reads)
+            .max()
+            .unwrap_or(0)
     }
 
     /// `R_p` over the trace suffix starting at `from_step`: the set of

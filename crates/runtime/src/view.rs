@@ -18,12 +18,22 @@ use selfstab_graph::{Graph, NodeId, Port};
 /// that have committed to never read some neighbor again: a restricted port
 /// behaves as if the neighbor did not exist ([`NeighborView::try_read`]
 /// returns `None`).
+///
+/// Views are built on the executor's hot path — once per guard evaluation
+/// and once per activation — so constructing one performs **no allocation**
+/// in the common (unrestricted) case: the view borrows the graph's
+/// adjacency list and the communication snapshot instead of copying
+/// per-neighbor references.
 #[derive(Debug)]
 pub struct NeighborView<'a, C> {
-    /// Communication states of the neighbors, indexed by port.
-    neighbor_comms: Vec<&'a C>,
-    /// `allowed[i] == false` marks a restricted port.
-    allowed: Vec<bool>,
+    /// The observed process's neighbors, indexed by port (borrowed from the
+    /// graph's adjacency list).
+    neighbors: &'a [NodeId],
+    /// Communication snapshot of every process, indexed by [`NodeId`].
+    comm_snapshot: &'a [C],
+    /// `Some(allowed)` with `allowed[i] == false` marks a restricted port;
+    /// `None` means every port is readable (no allocation).
+    allowed: Option<Vec<bool>>,
     /// Ports read so far during the current activation.
     reads: RefCell<Vec<Port>>,
     /// Whether reads are recorded (enabledness checks are not charged).
@@ -38,15 +48,20 @@ impl<'a, C> NeighborView<'a, C> {
     ///
     /// Panics if `p` is out of range or `comm_snapshot` does not cover the
     /// graph.
-    pub fn from_snapshot(graph: &Graph, p: NodeId, comm_snapshot: &'a [C], tracking: bool) -> Self {
-        let neighbor_comms: Vec<&C> = graph
-            .neighbors(p)
-            .map(|q| &comm_snapshot[q.index()])
-            .collect();
-        let degree = neighbor_comms.len();
+    pub fn from_snapshot(
+        graph: &'a Graph,
+        p: NodeId,
+        comm_snapshot: &'a [C],
+        tracking: bool,
+    ) -> Self {
+        assert!(
+            comm_snapshot.len() >= graph.node_count(),
+            "communication snapshot must cover the graph"
+        );
         NeighborView {
-            neighbor_comms,
-            allowed: vec![true; degree],
+            neighbors: &graph.adjacency()[p.index()],
+            comm_snapshot,
+            allowed: None,
             reads: RefCell::new(Vec::new()),
             tracking,
         }
@@ -58,25 +73,28 @@ impl<'a, C> NeighborView<'a, C> {
     /// exist: [`NeighborView::try_read`] returns `None`.
     #[must_use]
     pub fn restricted_to(mut self, allowed_ports: &[Port]) -> Self {
-        for flag in &mut self.allowed {
-            *flag = false;
-        }
+        let mut allowed = vec![false; self.neighbors.len()];
         for port in allowed_ports {
-            if port.index() < self.allowed.len() {
-                self.allowed[port.index()] = true;
+            if port.index() < allowed.len() {
+                allowed[port.index()] = true;
             }
         }
+        self.allowed = Some(allowed);
         self
     }
 
     /// Degree of the observed process (number of ports).
     pub fn degree(&self) -> usize {
-        self.neighbor_comms.len()
+        self.neighbors.len()
     }
 
     /// Returns `true` when `port` may be read under the current restriction.
     pub fn is_readable(&self, port: Port) -> bool {
-        self.allowed.get(port.index()).copied().unwrap_or(false)
+        port.index() < self.neighbors.len()
+            && self
+                .allowed
+                .as_ref()
+                .map_or(true, |allowed| allowed[port.index()])
     }
 
     /// Reads the communication state of the neighbor behind `port`,
@@ -98,11 +116,11 @@ impl<'a, C> NeighborView<'a, C> {
         if !self.is_readable(port) {
             return None;
         }
-        let comm = self.neighbor_comms.get(port.index())?;
+        let q = self.neighbors[port.index()];
         if self.tracking {
             self.reads.borrow_mut().push(port);
         }
-        Some(comm)
+        Some(&self.comm_snapshot[q.index()])
     }
 
     /// The distinct ports read so far during this activation, in first-read
@@ -179,8 +197,8 @@ mod tests {
     fn read_panics_on_restricted_port() {
         let graph = generators::path(2);
         let comms: Vec<u32> = vec![0, 1];
-        let view = NeighborView::from_snapshot(&graph, NodeId::new(0), &comms, true)
-            .restricted_to(&[]);
+        let view =
+            NeighborView::from_snapshot(&graph, NodeId::new(0), &comms, true).restricted_to(&[]);
         let _ = view.read(Port::new(0));
     }
 

@@ -63,7 +63,10 @@ fn theorem1_demo() {
     let config: Vec<ColoringState> = ce
         .config
         .iter()
-        .map(|&color| ColoringState { color, cur: Port::new(0) })
+        .map(|&color| ColoringState {
+            color,
+            cur: Port::new(0),
+        })
         .collect();
     let mut sim = Simulation::with_config(
         &ce.graph,
@@ -81,7 +84,9 @@ fn theorem1_demo() {
 }
 
 fn theorem2_demo() {
-    println!("== Theorem 2: even rooted + dag-oriented networks do not allow k-stability with k < Δ ==");
+    println!(
+        "== Theorem 2: even rooted + dag-oriented networks do not allow k-stability with k < Δ =="
+    );
     let ce = theorem2::counterexample_delta2();
     let (a, b) = ce.conflicting_pair;
     println!(
@@ -92,7 +97,10 @@ fn theorem2_demo() {
     );
     println!("processes {a} and {b} are adjacent Dominators in the spliced configuration");
     println!("violates the MIS predicate: {}", ce.violates_predicate());
-    println!("silent for the frozen-read (1-stable) MIS protocol: {}", ce.is_silent());
+    println!(
+        "silent for the frozen-read (1-stable) MIS protocol: {}",
+        ce.is_silent()
+    );
 
     let mut sim = Simulation::with_config(
         ce.graph(),

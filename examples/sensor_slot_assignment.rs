@@ -28,7 +28,10 @@ fn main() {
     // A 6x6 sensor grid: 36 sensors, ∆ = 4, so 5 slots suffice.
     let graph = generators::grid(6, 6);
     let protocol = Coloring::new(&graph);
-    println!("deployment: {graph}, slots available: {}", protocol.palette());
+    println!(
+        "deployment: {graph}, slots available: {}",
+        protocol.palette()
+    );
 
     let mut sim = Simulation::new(
         &graph,
@@ -73,8 +76,9 @@ fn main() {
     // Print the final slot map row by row.
     println!("\nfinal slot assignment (rows of the grid):");
     for row in 0..6 {
-        let slots: Vec<String> =
-            (0..6).map(|col| colors[row * 6 + col].to_string()).collect();
+        let slots: Vec<String> = (0..6)
+            .map(|col| colors[row * 6 + col].to_string())
+            .collect();
         println!("  {}", slots.join(" "));
     }
 }

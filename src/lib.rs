@@ -195,6 +195,9 @@ mod tests {
         assert!(run_coloring(&graph, 4, 0).is_none() || run_coloring(&graph, 4, 0).is_some());
         // The call is deterministic given the seed, so just check it does
         // not panic and the Option is propagated consistently.
-        assert_eq!(run_coloring(&graph, 4, 0).is_some(), run_coloring(&graph, 4, 0).is_some());
+        assert_eq!(
+            run_coloring(&graph, 4, 0).is_some(),
+            run_coloring(&graph, 4, 0).is_some()
+        );
     }
 }

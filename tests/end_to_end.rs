@@ -23,8 +23,11 @@ fn facade_helpers_cover_the_three_problems() {
     let matching = selfstab::run_matching(&graph, 3, 2_000_000).unwrap();
     assert!(verify::is_maximal_matching(&graph, &matching.output));
 
-    for k in [coloring.measured_efficiency, mis.measured_efficiency, matching.measured_efficiency]
-    {
+    for k in [
+        coloring.measured_efficiency,
+        mis.measured_efficiency,
+        matching.measured_efficiency,
+    ] {
         assert!(k <= 1, "all three protocols are 1-efficient");
     }
 }
@@ -46,7 +49,10 @@ fn protocols_recover_from_repeated_fault_bursts() {
         faults::inject_random_faults(&mut sim, 6, &mut rng);
         let report = sim.run_until_silent(2_000_000);
         assert!(report.silent, "burst {burst}: no recovery");
-        assert!(report.legitimate, "burst {burst}: recovered to an illegitimate configuration");
+        assert!(
+            report.legitimate,
+            "burst {burst}: recovered to an illegitimate configuration"
+        );
     }
 }
 
@@ -90,7 +96,10 @@ fn protocols_converge_under_every_scheduler() {
         2,
         SimOptions::default(),
     );
-    assert!(sim.run_until_silent(2_000_000).silent, "central round-robin daemon");
+    assert!(
+        sim.run_until_silent(2_000_000).silent,
+        "central round-robin daemon"
+    );
 
     let mut sim = Simulation::new(
         &graph,
@@ -99,7 +108,10 @@ fn protocols_converge_under_every_scheduler() {
         3,
         SimOptions::default(),
     );
-    assert!(sim.run_until_silent(2_000_000).silent, "fair adversarial daemon");
+    assert!(
+        sim.run_until_silent(2_000_000).silent,
+        "fair adversarial daemon"
+    );
 
     let mut sim = Simulation::new(
         &graph,
@@ -108,7 +120,10 @@ fn protocols_converge_under_every_scheduler() {
         4,
         SimOptions::default(),
     );
-    assert!(sim.run_until_silent(2_000_000).silent, "MIS under fair adversarial daemon");
+    assert!(
+        sim.run_until_silent(2_000_000).silent,
+        "MIS under fair adversarial daemon"
+    );
 
     let mut sim = Simulation::new(
         &graph,
@@ -117,14 +132,21 @@ fn protocols_converge_under_every_scheduler() {
         5,
         SimOptions::default(),
     );
-    assert!(sim.run_until_silent(2_000_000).silent, "MATCHING under fair adversarial daemon");
+    assert!(
+        sim.run_until_silent(2_000_000).silent,
+        "MATCHING under fair adversarial daemon"
+    );
 }
 
 #[test]
 fn experiment_harness_smoke_test() {
     // A minimal configuration: every experiment must produce a non-empty
     // table and report that the paper's claim holds.
-    let config = ExperimentConfig { runs: 1, max_steps: 500_000, base_seed: 0xABCD };
+    let config = ExperimentConfig {
+        runs: 1,
+        max_steps: 500_000,
+        base_seed: 0xABCD,
+    };
     let tables = experiments::run_all(&config);
     assert_eq!(tables.len(), 10);
     for table in &tables {

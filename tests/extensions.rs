@@ -23,7 +23,10 @@ fn mis_under_the_locally_central_daemon() {
     );
     let report = sim.run_until_silent(2_000_000);
     assert!(report.silent);
-    assert!(verify::is_maximal_independent_set(&graph, &Mis::output(sim.config())));
+    assert!(verify::is_maximal_independent_set(
+        &graph,
+        &Mis::output(sim.config())
+    ));
     assert!(sim.trace().unwrap().measured_efficiency() <= 1);
 }
 
@@ -69,7 +72,10 @@ fn guarded_dsl_protocol_on_a_hypercube() {
         move |ctx, rng| {
             use rand::Rng;
             let cur = ctx.state.1.clamp_to_degree(ctx.degree());
-            (rng.gen_range(0..palette), cur.next_round_robin(ctx.degree()))
+            (
+                rng.gen_range(0..palette),
+                cur.next_round_robin(ctx.degree()),
+            )
         },
     );
     let advance = GuardedAction::new(
@@ -88,13 +94,18 @@ fn guarded_dsl_protocol_on_a_hypercube() {
         vec![conflict, advance],
         move |graph, p, rng: &mut dyn rand::RngCore| {
             use rand::Rng;
-            (rng.gen_range(0..palette), Port::new(rng.gen_range(0..graph.degree(p))))
+            (
+                rng.gen_range(0..palette),
+                Port::new(rng.gen_range(0..graph.degree(p))),
+            )
         },
         |_, state| state.0,
         move |_, _| 64,
         move |_, _| 64,
         |graph: &Graph, config: &[(usize, Port)]| {
-            graph.edges().all(|(a, b)| config[a.index()].0 != config[b.index()].0)
+            graph
+                .edges()
+                .all(|(a, b)| config[a.index()].0 != config[b.index()].0)
         },
     );
 

@@ -29,8 +29,14 @@ fn theorem_3_coloring_is_one_efficient_and_stabilizes() {
         );
         let report = sim.run_until_silent(2_000_000);
         assert!(report.silent, "no stabilization on {graph}");
-        assert!(verify::is_proper_coloring(&graph, &selfstab_core::coloring::Coloring::output(sim.config())));
-        assert!(sim.trace().unwrap().measured_efficiency() <= 1, "not 1-efficient on {graph}");
+        assert!(verify::is_proper_coloring(
+            &graph,
+            &selfstab_core::coloring::Coloring::output(sim.config())
+        ));
+        assert!(
+            sim.trace().unwrap().measured_efficiency() <= 1,
+            "not 1-efficient on {graph}"
+        );
     }
 }
 
@@ -55,7 +61,10 @@ fn theorem_5_mis_is_one_efficient_and_bounded() {
         let report = sim.run_until_silent(bound + 16);
         assert!(report.silent, "MIS exceeded its round bound on {graph}");
         assert!(report.total_rounds <= bound + 1);
-        assert!(verify::is_maximal_independent_set(&graph, &Mis::output(sim.config())));
+        assert!(verify::is_maximal_independent_set(
+            &graph,
+            &Mis::output(sim.config())
+        ));
         assert!(sim.trace().unwrap().measured_efficiency() <= 1);
     }
 }
@@ -113,7 +122,10 @@ fn theorem_7_matching_is_one_efficient_and_bounded() {
             SimOptions::default().with_trace(),
         );
         let report = sim.run_until_silent(bound + 16);
-        assert!(report.silent, "MATCHING exceeded its round bound on {graph}");
+        assert!(
+            report.silent,
+            "MATCHING exceeded its round bound on {graph}"
+        );
         assert!(report.total_rounds <= bound);
         let edges = sim.protocol().output(&graph, sim.config());
         assert!(verify::is_maximal_matching(&graph, &edges));
@@ -198,7 +210,10 @@ fn theorem_2_impossibility_construction() {
 fn section_3_2_complexity_examples() {
     let graph = generators::star(9); // ∆ = 8
     let protocol = Coloring::new(&graph);
-    assert_eq!(measures::communication_complexity_bits(&protocol, &graph, 1), 4);
+    assert_eq!(
+        measures::communication_complexity_bits(&protocol, &graph, 1),
+        4
+    );
     assert_eq!(
         measures::communication_complexity_bits(&protocol, &graph, graph.max_degree()),
         32

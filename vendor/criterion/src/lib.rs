@@ -1,0 +1,286 @@
+//! Offline mini benchmark harness exposing the subset of the `criterion`
+//! API this workspace uses.
+//!
+//! Supported surface: [`Criterion::benchmark_group`] with `sample_size`,
+//! `warm_up_time` and `measurement_time`, [`BenchmarkGroup::bench_function`]
+//! and [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Methodology (simplified from the real criterion): each benchmark is
+//! warmed up for `warm_up_time`, the per-iteration cost is estimated, and
+//! `sample_size` samples are then taken, each timing a batch of iterations
+//! sized so that the samples together fill `measurement_time`. The harness
+//! reports min / mean / max of the per-iteration sample means. There is no
+//! statistical outlier analysis and no HTML report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark inside a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark harness: hands out benchmark groups.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples taken per benchmark (at least 2).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.run(&label, |bencher| routine(bencher));
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.run(&label, |bencher| routine(bencher, input));
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                budget: self.warm_up_time,
+            },
+            per_iter_estimate: Duration::from_micros(1),
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        let estimate = bencher.per_iter_estimate;
+        bencher.mode = Mode::Measure {
+            budget: self.measurement_time,
+            sample_count: self.sample_size,
+        };
+        routine(&mut bencher);
+        report(label, estimate, &bencher.samples);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    WarmUp {
+        budget: Duration,
+    },
+    Measure {
+        budget: Duration,
+        sample_count: usize,
+    },
+}
+
+/// Times the routine handed to it by a benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    per_iter_estimate: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::WarmUp { budget } => {
+                let start = Instant::now();
+                let mut iters: u32 = 0;
+                while start.elapsed() < budget || iters == 0 {
+                    black_box(routine());
+                    iters += 1;
+                    // A single extremely slow iteration can overrun the
+                    // budget by itself; never spin past 2^20 iterations.
+                    if iters >= 1 << 20 {
+                        break;
+                    }
+                }
+                self.per_iter_estimate = (start.elapsed() / iters).max(Duration::from_nanos(1));
+            }
+            Mode::Measure {
+                budget,
+                sample_count,
+            } => {
+                let per_sample = budget / sample_count as u32;
+                let iters_per_sample = (per_sample.as_nanos()
+                    / self.per_iter_estimate.as_nanos().max(1))
+                .clamp(1, 1 << 24) as u32;
+                self.samples.clear();
+                for _ in 0..sample_count {
+                    let start = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples.push(start.elapsed() / iters_per_sample);
+                }
+            }
+        }
+    }
+}
+
+fn report(label: &str, estimate: Duration, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<60} no samples recorded");
+        return;
+    }
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{label:<60} time: [{} {} {}]  (warm-up estimate {})",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        fmt_duration(estimate),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a benchmark entry point running each listed target function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("conv", 64).to_string(), "conv/64");
+        assert_eq!(
+            BenchmarkId::from_parameter("ring-64").to_string(),
+            "ring-64"
+        );
+    }
+
+    #[test]
+    fn groups_measure_and_report() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(15));
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("sum"), &1_000u64, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert!(calls > 0, "the routine must actually run");
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header and
+//!   `name in strategy` argument bindings,
+//! * [`Strategy`] implemented for integer ranges and tuples, with
+//!   [`Strategy::prop_map`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Unlike the real `proptest` there is **no shrinking**: a failing case
+//! reports the case number and the panic message. Sampling is deterministic
+//! per test (seeded from the test's name), so failures reproduce across
+//! runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+pub use rand;
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// The RNG handed to strategies while sampling test cases.
+pub type TestRng = StdRng;
+
+/// Configuration accepted by the `proptest_config` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps every generated value through `map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.strategy.sample(rng))
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Deterministic per-test seed derived from the test's name (FNV-1a).
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    hash
+}
+
+/// Everything a property-test module normally imports.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...) { .. }`
+/// item becomes a libtest test running the body over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng: $crate::TestRng = <$crate::TestRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for case in 0..config.cases {
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                        $body
+                    }));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn even() -> impl Strategy<Value = u64> {
+        (0u64..1_000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_sample_in_bounds(n in 3usize..40, seed in 0u64..1_000) {
+            prop_assert!((3..40).contains(&n));
+            prop_assert!(seed < 1_000);
+        }
+
+        #[test]
+        fn mapped_strategies_apply_the_map(x in even()) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 1);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(super::seed_for("a"), super::seed_for("b"));
+        assert_eq!(super::seed_for("a"), super::seed_for("a"));
+    }
+}

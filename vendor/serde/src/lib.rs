@@ -1,0 +1,29 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that
+//! downstream users can plug in real serialization, but nothing in the
+//! workspace itself serializes at runtime — and the build environment has no
+//! network access to fetch the real `serde`. This stub keeps the derive
+//! annotations compiling: the traits are blanket-implemented markers and the
+//! derive macros (re-exported from the sibling `serde_derive` stub) expand to
+//! nothing.
+//!
+//! Swapping in the real `serde` is a one-line change in the workspace
+//! manifest; no source edits are required.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker standing in for `serde::Serialize`; blanket-implemented for every
+/// type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; blanket-implemented for
+/// every type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

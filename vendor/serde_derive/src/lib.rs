@@ -1,0 +1,23 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! The workspace's `serde` stub implements `Serialize`/`Deserialize` as
+//! blanket marker traits, so the derives have nothing to generate: they
+//! accept the item and emit no code. This keeps every
+//! `#[derive(Serialize, Deserialize)]` in the workspace compiling without
+//! network access to the real `serde`.
+
+use proc_macro::TokenStream;
+
+/// Accepts the annotated item and emits nothing; the blanket impl in the
+/// `serde` stub already covers every type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the annotated item and emits nothing; the blanket impl in the
+/// `serde` stub already covers every type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
