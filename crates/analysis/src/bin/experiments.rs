@@ -1,11 +1,16 @@
 //! Regenerates every evaluation table of the paper reproduction.
 //!
 //! ```text
-//! cargo run --release -p selfstab-analysis --bin experiments            # full run
-//! cargo run --release -p selfstab-analysis --bin experiments -- --quick # smaller run
+//! cargo run --release -p selfstab-analysis --bin experiments              # full run
+//! cargo run --release -p selfstab-analysis --bin experiments -- --quick  # smaller run
 //! cargo run --release -p selfstab-analysis --bin experiments -- --csv out/
-//! cargo run --release -p selfstab-analysis --bin experiments -- --only E3,E4
+//! cargo run --release -p selfstab-analysis --bin experiments -- --only E3,E12
+//! cargo run --release -p selfstab-analysis --bin experiments -- --seed 42
 //! ```
+//!
+//! `--only` runs (not merely prints) just the selected experiments;
+//! `--seed` replaces the default base seed so independent reproductions can
+//! check that the tables' shapes are seed-independent.
 
 use std::env;
 use std::fs;
@@ -18,13 +23,24 @@ struct Args {
     quick: bool,
     csv_dir: Option<PathBuf>,
     only: Option<Vec<String>>,
+    seed: Option<u64>,
 }
 
-fn parse_args() -> Result<Args, String> {
+const USAGE: &str = "usage: experiments [--quick] [--csv DIR] [--only E1,E2,...] [--seed N]";
+
+/// Outcome of argument parsing: run the experiments, or print usage and
+/// exit successfully (`--help` is not an error).
+enum Parsed {
+    Run(Args),
+    Help,
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut args = Args {
         quick: false,
         csv_dir: None,
         only: None,
+        seed: None,
     };
     let mut iter = env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -37,31 +53,57 @@ fn parse_args() -> Result<Args, String> {
             "--only" => {
                 let list = iter
                     .next()
-                    .ok_or("--only requires a comma-separated list (e.g. E3,E4)")?;
+                    .ok_or("--only requires a comma-separated list (e.g. E3,E12)")?;
                 args.only = Some(list.split(',').map(|s| s.trim().to_uppercase()).collect());
             }
-            "--help" | "-h" => {
-                return Err("usage: experiments [--quick] [--csv DIR] [--only E1,E2,...]".into())
+            "--seed" => {
+                let value = iter.next().ok_or("--seed requires an integer argument")?;
+                let seed = value
+                    .parse::<u64>()
+                    .map_err(|err| format!("--seed {value}: {err}"))?;
+                args.seed = Some(seed);
             }
-            other => return Err(format!("unknown argument: {other}")),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
     }
-    Ok(args)
+    if let Some(only) = &args.only {
+        let known: Vec<String> = experiments::registry()
+            .into_iter()
+            .flat_map(|(id, _)| id.split('/').map(String::from).collect::<Vec<_>>())
+            .collect();
+        for requested in only {
+            if !known.iter().any(|id| id.eq_ignore_ascii_case(requested)) {
+                return Err(format!(
+                    "unknown experiment {requested}; available: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(Parsed::Run(args))
 }
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(args) => args,
+        Ok(Parsed::Run(args)) => args,
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
         Err(message) => {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
     };
-    let config = if args.quick {
+    let mut config = if args.quick {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::default()
     };
+    if let Some(seed) = args.seed {
+        config.base_seed = seed;
+    }
     println!(
         "reproduction of: Devismes, Masuzawa, Tixeuil — Communication Efficiency in \
          Self-stabilizing Silent Protocols (ICDCS 2009)"
@@ -71,16 +113,9 @@ fn main() -> ExitCode {
         config.runs, config.max_steps, config.base_seed
     );
 
-    let tables = experiments::run_all(&config);
+    let tables = experiments::run_selected(&config, args.only.as_deref());
     let mut failures = 0;
     for table in &tables {
-        if let Some(only) = &args.only {
-            // `E7/E8` matches either id.
-            let ids: Vec<&str> = table.id.split('/').collect();
-            if !ids.iter().any(|id| only.iter().any(|o| o == id)) {
-                continue;
-            }
-        }
         println!("{}", table.to_text());
         if let Some(dir) = &args.csv_dir {
             if let Err(err) = fs::create_dir_all(dir) {

@@ -1,0 +1,202 @@
+//! E12 — silent BFS spanning-tree construction (rooted networks).
+//!
+//! For each workload of the spanning suite and each scheduler, the table
+//! reports convergence (rounds/steps until silence) together with the
+//! post-stabilization communication cost: the BFS tree protocol re-checks
+//! its whole neighborhood whenever a process is selected, so its suffix
+//! efficiency is Δ — the classical price the communication-efficient
+//! protocols (E13) avoid. Every stabilized run is verified against the
+//! oracle BFS layering of the rooted graph.
+
+use selfstab_core::measures::suffix_comm_report;
+use selfstab_core::spanning::{is_bfs_spanning_tree, BfsTree};
+use selfstab_graph::{properties, NodeId, RootedGraph};
+use selfstab_runtime::scheduler::{CentralRandom, DistributedRandom, Scheduler, Synchronous};
+use selfstab_runtime::{SimOptions, Simulation};
+
+use super::ExperimentConfig;
+use crate::stats::Summary;
+use crate::table::ExperimentTable;
+use crate::workloads::Workload;
+
+/// A scheduler factory: experiments build a fresh daemon per run.
+pub type SchedulerFactory = fn() -> Box<dyn Scheduler>;
+
+/// The daemons the spanning experiments sweep over.
+pub fn schedulers() -> Vec<(&'static str, SchedulerFactory)> {
+    vec![
+        ("synchronous", || Box::new(Synchronous)),
+        ("distributed-random", || {
+            Box::new(DistributedRandom::new(0.5))
+        }),
+        ("central-random", || Box::new(CentralRandom::enabled_only())),
+    ]
+}
+
+/// Raw measurements of one workload under one scheduler.
+#[derive(Debug, Clone)]
+pub struct BfsTreeConvergence {
+    /// Rounds to silence per run.
+    pub rounds: Vec<u64>,
+    /// Steps to silence per run.
+    pub steps: Vec<u64>,
+    /// Post-stabilization reads per selection, per run.
+    pub suffix_reads_per_selection: Vec<f64>,
+    /// Post-stabilization efficiency (distinct neighbors per activation),
+    /// per run.
+    pub suffix_efficiency: Vec<usize>,
+    /// Runs whose stabilized configuration matched the oracle BFS layers.
+    pub oracle_verified: u64,
+    /// Runs that failed to stabilize within the budget.
+    pub timeouts: u64,
+}
+
+/// Measures BFS-tree convergence on one workload under one scheduler.
+pub fn measure(
+    workload: &Workload,
+    make_scheduler: fn() -> Box<dyn Scheduler>,
+    config: &ExperimentConfig,
+) -> BfsTreeConvergence {
+    let mut result = BfsTreeConvergence {
+        rounds: Vec::new(),
+        steps: Vec::new(),
+        suffix_reads_per_selection: Vec::new(),
+        suffix_efficiency: Vec::new(),
+        oracle_verified: 0,
+        timeouts: 0,
+    };
+    // The topology is a function of the base seed alone; only the initial
+    // configuration varies per run.
+    let graph = workload.build(config.base_seed);
+    // A non-trivial root (not always process 0, which generators often
+    // make special), fixed per workload for comparability across seeds.
+    let root = NodeId::new(graph.node_count() / 2);
+    let network = RootedGraph::new(graph.clone(), root).expect("root in range");
+    for seed in config.seeds() {
+        let mut sim = Simulation::new(
+            &graph,
+            BfsTree::new(&network),
+            make_scheduler(),
+            seed,
+            SimOptions::default().with_check_interval(8),
+        );
+        let report = sim.run_until_silent(config.max_steps);
+        if !report.silent {
+            result.timeouts += 1;
+            continue;
+        }
+        result.rounds.push(report.total_rounds);
+        result.steps.push(report.total_steps);
+        let dist = BfsTree::distances(sim.config());
+        let parents = sim.protocol().parent_ports(sim.config());
+        if is_bfs_spanning_tree(&graph, root, &dist, &parents) {
+            result.oracle_verified += 1;
+        }
+        // Post-stabilization cost: drive the silent system for a while and
+        // measure what the protocol keeps reading.
+        sim.mark_suffix();
+        sim.run_steps(10 * graph.node_count() as u64);
+        let suffix = suffix_comm_report(sim.protocol(), &graph, sim.stats());
+        result
+            .suffix_reads_per_selection
+            .push(suffix.reads_per_selection);
+        result.suffix_efficiency.push(suffix.suffix_efficiency);
+    }
+    result
+}
+
+/// Runs E12 and renders its table.
+pub fn run(config: &ExperimentConfig) -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "E12",
+        "BFS spanning tree: convergence vs n and diameter, post-silence cost",
+        vec![
+            "workload",
+            "scheduler",
+            "n",
+            "D",
+            "height",
+            "runs",
+            "rounds to silence",
+            "steps to silence",
+            "suffix reads/sel",
+            "suffix k",
+            "oracle ok",
+            "timeouts",
+        ],
+    );
+    for workload in Workload::spanning_suite() {
+        let graph = workload.build(config.base_seed);
+        let root = NodeId::new(graph.node_count() / 2);
+        let diameter = properties::diameter(&graph).expect("workloads are connected");
+        let height = properties::eccentricity(&graph, root);
+        for (scheduler_name, make_scheduler) in schedulers() {
+            let m = measure(&workload, make_scheduler, config);
+            let rounds = Summary::from_counts(m.rounds.iter().copied());
+            let steps = Summary::from_counts(m.steps.iter().copied());
+            let reads = Summary::from_samples(m.suffix_reads_per_selection.iter().copied());
+            let k = m.suffix_efficiency.iter().copied().max().unwrap_or(0);
+            table.push_row(vec![
+                workload.label(),
+                scheduler_name.to_string(),
+                graph.node_count().to_string(),
+                diameter.to_string(),
+                height.to_string(),
+                config.runs.to_string(),
+                rounds.display_mean_max(),
+                steps.display_mean_max(),
+                format!("{:.2}", reads.mean),
+                k.to_string(),
+                format!("{}/{}", m.oracle_verified, m.rounds.len()),
+                m.timeouts.to_string(),
+            ]);
+        }
+    }
+    table.push_note(
+        "every stabilized run is checked against the oracle BFS layering (oracle ok = runs/runs)",
+    );
+    table.push_note(
+        "rounds to silence scale with the tree height (the root's eccentricity), not with n: \
+         compare ring (D = n/2) against hypercube/BA (D = O(log n)) at similar n",
+    );
+    table.push_note(
+        "suffix k = Δ-shaped: the classical structure keeps reading whole neighborhoods after \
+         stabilization — the cost E13's communication-efficient election avoids",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_tree_stabilizes_and_verifies_on_a_quick_run() {
+        let cfg = ExperimentConfig::quick();
+        let m = measure(&Workload::Ring(16), || Box::new(Synchronous), &cfg);
+        assert_eq!(m.timeouts, 0);
+        assert_eq!(m.oracle_verified, cfg.runs);
+        assert_eq!(m.rounds.len() as u64, cfg.runs);
+        // The ring's post-silence cost: both neighbors re-read per check.
+        assert!(m.suffix_efficiency.iter().all(|&k| k == 2));
+    }
+
+    #[test]
+    fn table_has_a_row_per_workload_and_scheduler() {
+        let cfg = ExperimentConfig {
+            runs: 2,
+            max_steps: 500_000,
+            base_seed: 7,
+        };
+        let table = run(&cfg);
+        assert_eq!(
+            table.rows.len(),
+            Workload::spanning_suite().len() * schedulers().len()
+        );
+        for row in &table.rows {
+            assert_eq!(row.last().unwrap(), "0", "timeouts in {}", row[0]);
+            let runs = &row[5];
+            assert_eq!(row[10], format!("{runs}/{runs}"), "oracle check failed");
+        }
+    }
+}

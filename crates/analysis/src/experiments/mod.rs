@@ -7,6 +7,8 @@
 
 pub mod e10_transformer;
 pub mod e11_ablation;
+pub mod e12_bfs_tree;
+pub mod e13_leader_election;
 pub mod e1_communication;
 pub mod e2_coloring;
 pub mod e3_mis_convergence;
@@ -58,20 +60,49 @@ impl ExperimentConfig {
     }
 }
 
+/// One experiment: the identifier its table carries (slash-separated when
+/// one table covers several experiments, e.g. `"E7/E8"`) and its runner.
+pub type Runner = fn(&ExperimentConfig) -> ExperimentTable;
+
+/// Every experiment in presentation order, keyed by identifier.
+pub fn registry() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("E1", e1_communication::run as Runner),
+        ("E2", e2_coloring::run),
+        ("E3", e3_mis_convergence::run),
+        ("E4", e4_mis_stability::run),
+        ("E5", e5_matching_convergence::run),
+        ("E6", e6_matching_stability::run),
+        ("E7/E8", e7_impossibility::run),
+        ("E9", e9_fault_recovery::run),
+        ("E10", e10_transformer::run),
+        ("E11", e11_ablation::run),
+        ("E12", e12_bfs_tree::run),
+        ("E13", e13_leader_election::run),
+    ]
+}
+
+/// Whether an experiment identifier (possibly compound, `"E7/E8"`) matches
+/// one of the requested identifiers (case-insensitive).
+pub fn id_matches(id: &str, only: &[String]) -> bool {
+    id.split('/')
+        .any(|part| only.iter().any(|o| o.eq_ignore_ascii_case(part)))
+}
+
 /// Runs every experiment and returns the tables in order.
 pub fn run_all(config: &ExperimentConfig) -> Vec<ExperimentTable> {
-    vec![
-        e1_communication::run(config),
-        e2_coloring::run(config),
-        e3_mis_convergence::run(config),
-        e4_mis_stability::run(config),
-        e5_matching_convergence::run(config),
-        e6_matching_stability::run(config),
-        e7_impossibility::run(config),
-        e9_fault_recovery::run(config),
-        e10_transformer::run(config),
-        e11_ablation::run(config),
-    ]
+    run_selected(config, None)
+}
+
+/// Runs the experiments whose identifier matches `only` (all of them when
+/// `only` is `None`) — unselected experiments are **not executed**, so
+/// `--only E12` costs only E12's runtime.
+pub fn run_selected(config: &ExperimentConfig, only: Option<&[String]>) -> Vec<ExperimentTable> {
+    registry()
+        .into_iter()
+        .filter(|(id, _)| only.is_none_or(|only| id_matches(id, only)))
+        .map(|(_, runner)| runner(config))
+        .collect()
 }
 
 #[cfg(test)]
@@ -95,5 +126,38 @@ mod tests {
         let full = ExperimentConfig::default();
         assert!(quick.runs < full.runs);
         assert!(quick.max_steps <= full.max_steps);
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_ordered() {
+        let ids: Vec<&str> = registry().into_iter().map(|(id, _)| id).collect();
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len());
+        assert_eq!(ids.first(), Some(&"E1"));
+        assert!(ids.contains(&"E12"));
+        assert!(ids.contains(&"E13"));
+    }
+
+    #[test]
+    fn id_matching_is_case_insensitive_and_splits_compounds() {
+        let only = vec!["e8".to_string(), "E12".to_string()];
+        assert!(id_matches("E7/E8", &only));
+        assert!(id_matches("E12", &only));
+        assert!(!id_matches("E9", &only));
+    }
+
+    #[test]
+    fn run_selected_skips_unselected_experiments() {
+        let cfg = ExperimentConfig {
+            runs: 1,
+            max_steps: 200_000,
+            base_seed: 1,
+        };
+        let only = vec!["E2".to_string()];
+        let tables = run_selected(&cfg, Some(&only));
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].id, "E2");
     }
 }

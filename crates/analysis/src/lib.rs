@@ -19,9 +19,12 @@
 //! | E9  | §1, §6               | stabilized-phase read overhead and fault recovery, efficient vs baseline |
 //! | E10 | §6 open question     | the round-robin transformer yields 1-efficient protocols |
 //! | E11 | design ablations     | identifier quality (#C) and daemon choice do not affect correctness |
+//! | E12 | spanning subsystem   | silent BFS tree: oracle-verified convergence scaling with the tree height |
+//! | E13 | spanning subsystem   | leader election: unique min-id leader, ♦-1-efficient vs the Δ-efficient baseline |
 //!
 //! The `experiments` binary (`cargo run --release -p selfstab-analysis --bin
-//! experiments`) prints every table; the criterion benches in
+//! experiments`) prints every table (`--only E12,E13` runs a subset,
+//! `--seed N` changes the base seed); the criterion benches in
 //! `selfstab-bench` time the same workloads.
 
 #![forbid(unsafe_code)]

@@ -32,6 +32,15 @@ pub enum Workload {
     Caterpillar(usize, usize),
     /// The exact ∆ = 4, m = 14 example of Figure 11.
     Figure11,
+    /// `rows × cols` torus (wrap-around grid).
+    Torus(usize, usize),
+    /// `d`-dimensional hypercube (`2^d` processes).
+    Hypercube(usize),
+    /// Balanced tree with the given arity and depth.
+    BalancedTree(usize, usize),
+    /// Barabási–Albert preferential-attachment graph with `n` processes,
+    /// each attaching to `attach` existing ones.
+    Barabasi(usize, usize),
 }
 
 impl Workload {
@@ -51,6 +60,11 @@ impl Workload {
             Workload::Tree(n) => generators::random_tree(n, &mut rng),
             Workload::Caterpillar(spine, legs) => generators::caterpillar(spine, legs),
             Workload::Figure11 => generators::figure11_example(),
+            Workload::Torus(r, c) => generators::torus(r, c),
+            Workload::Hypercube(d) => generators::hypercube(d),
+            Workload::BalancedTree(arity, depth) => generators::balanced_tree(arity, depth),
+            Workload::Barabasi(n, attach) => generators::barabasi_albert(n, attach, &mut rng)
+                .expect("valid Barabási–Albert parameters"),
         }
     }
 
@@ -68,6 +82,25 @@ impl Workload {
             Workload::Star(24),
             Workload::Gnp(48, 0.12),
             Workload::Tree(48),
+        ]
+    }
+
+    /// The suite used by the spanning-tree experiments (E12/E13): the four
+    /// families named by the subsystem's acceptance criteria plus
+    /// small-world and tree-shaped topologies spanning a wide diameter
+    /// range (diameter is the quantity BFS convergence scales with).
+    pub fn spanning_suite() -> Vec<Workload> {
+        vec![
+            Workload::Ring(24),
+            Workload::Ring(48),
+            Workload::Grid(4, 6),
+            Workload::Grid(7, 7),
+            Workload::Gnp(32, 0.15),
+            Workload::Tree(32),
+            Workload::BalancedTree(2, 4),
+            Workload::Torus(4, 6),
+            Workload::Hypercube(5),
+            Workload::Barabasi(40, 2),
         ]
     }
 
@@ -97,6 +130,10 @@ impl fmt::Display for Workload {
             Workload::Tree(n) => write!(f, "tree({n})"),
             Workload::Caterpillar(s, l) => write!(f, "caterpillar({s},{l})"),
             Workload::Figure11 => write!(f, "figure11"),
+            Workload::Torus(r, c) => write!(f, "torus({r}x{c})"),
+            Workload::Hypercube(d) => write!(f, "hypercube({d})"),
+            Workload::BalancedTree(a, d) => write!(f, "btree({a},{d})"),
+            Workload::Barabasi(n, m) => write!(f, "ba({n},{m})"),
         }
     }
 }
@@ -118,6 +155,10 @@ mod tests {
             Workload::Tree(15),
             Workload::Caterpillar(4, 2),
             Workload::Figure11,
+            Workload::Torus(3, 4),
+            Workload::Hypercube(3),
+            Workload::BalancedTree(2, 3),
+            Workload::Barabasi(16, 2),
         ];
         for w in all {
             let g = w.build(3);
@@ -145,5 +186,18 @@ mod tests {
     fn suites_are_non_empty() {
         assert!(!Workload::convergence_suite().is_empty());
         assert!(!Workload::degree_suite().is_empty());
+        assert!(!Workload::spanning_suite().is_empty());
+    }
+
+    #[test]
+    fn spanning_suite_spans_a_wide_diameter_range() {
+        let diameters: Vec<usize> = Workload::spanning_suite()
+            .iter()
+            .map(|w| properties::diameter(&w.build(1)).expect("connected"))
+            .collect();
+        let min = diameters.iter().copied().min().unwrap();
+        let max = diameters.iter().copied().max().unwrap();
+        assert!(min <= 6, "the suite needs small-diameter workloads");
+        assert!(max >= 20, "the suite needs large-diameter workloads");
     }
 }

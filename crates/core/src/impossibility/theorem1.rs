@@ -119,12 +119,8 @@ pub fn counterexample_general(delta: usize) -> Result<Theorem1Counterexample, Gr
     // middles take color 1; all leaves take color 2 (delta >= 2 guarantees a
     // palette of at least 3).
     let mut config = vec![0usize; n];
-    for middle in 2..=delta {
-        config[middle] = 1;
-    }
-    for leaf in (delta + 1)..n {
-        config[leaf] = 2;
-    }
+    config[2..=delta].fill(1);
+    config[(delta + 1)..n].fill(2);
     let protocol = FrozenReadColoring::new(graph.max_degree() + 1, frozen);
     Ok(Theorem1Counterexample {
         graph,

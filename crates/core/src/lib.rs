@@ -16,6 +16,9 @@
 //! * [`measures`] — the communication/space complexity accounting of
 //!   Definitions 4–6 and the ♦-(x,k)-stability measurements of Definitions
 //!   7–9,
+//! * [`spanning`] — the silent spanning-tree subsystem: a BFS spanning-tree
+//!   protocol for rooted networks and a communication-efficient leader
+//!   election (with tree construction) for identified networks,
 //! * [`impossibility`] — executable counterexample constructions mirroring
 //!   the proofs of Theorems 1 and 2 (Figures 1–6),
 //! * [`transformer`] — an extension answering (for edge-checkable
@@ -49,8 +52,10 @@ pub mod impossibility;
 pub mod matching;
 pub mod measures;
 pub mod mis;
+pub mod spanning;
 pub mod transformer;
 
 pub use coloring::Coloring;
 pub use matching::Matching;
 pub use mis::Mis;
+pub use spanning::{BfsTree, LeaderElection};

@@ -112,6 +112,77 @@ pub fn complexity_report<P: Protocol>(
     }
 }
 
+/// Post-stabilization communication efficiency of an execution suffix:
+/// what the protocol keeps paying *after* silence, measured from the
+/// suffix marker (typically placed at stabilization).
+///
+/// This is the paper's efficiency metric restricted to the suffix: a
+/// ♦-1-efficient protocol (one neighbor probed per activation, like the
+/// spanning subsystem's leader election) shows `suffix_efficiency = 1` and
+/// roughly one read per selection, while a Δ-efficient structure (like the
+/// classical BFS spanning tree) keeps reading whole neighborhoods forever.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuffixCommReport {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Number of processes.
+    pub nodes: usize,
+    /// Maximum degree ∆.
+    pub max_degree: usize,
+    /// Steps covered by the suffix.
+    pub suffix_steps: u64,
+    /// Measured suffix efficiency: the largest number of distinct
+    /// neighbors any process read in a single activation since the marker
+    /// (the `k` of "eventually k-efficient").
+    pub suffix_efficiency: usize,
+    /// Total read operations performed since the marker.
+    pub suffix_reads: u64,
+    /// Scheduler selections since the marker.
+    pub suffix_selections: u64,
+    /// Average read operations per selection since the marker — the
+    /// steady-state cost of one "am I still fine?" check.
+    pub reads_per_selection: f64,
+    /// Worst-case bits read from neighbors per selection since the marker:
+    /// `suffix_efficiency · max comm_bits` (Definition 5 on the suffix).
+    pub suffix_bits_per_selection: u64,
+    /// Processes whose whole suffix read set has at most 1 element
+    /// (the `x` of ♦-(x, 1)-stability).
+    pub one_stable_processes: usize,
+}
+
+/// Builds a [`SuffixCommReport`] from the statistics of an execution whose
+/// suffix marker has been placed (uses the whole execution otherwise).
+pub fn suffix_comm_report<P: Protocol>(
+    protocol: &P,
+    graph: &Graph,
+    stats: &RunStats,
+) -> SuffixCommReport {
+    let suffix_steps = stats.steps - stats.suffix_marker_step.unwrap_or(0);
+    let suffix_reads = stats.suffix_read_operations();
+    let suffix_selections = stats.suffix_selections();
+    let suffix_efficiency = stats.suffix_measured_efficiency();
+    SuffixCommReport {
+        protocol: protocol.name(),
+        nodes: graph.node_count(),
+        max_degree: graph.max_degree(),
+        suffix_steps,
+        suffix_efficiency,
+        suffix_reads,
+        suffix_selections,
+        reads_per_selection: if suffix_selections == 0 {
+            0.0
+        } else {
+            suffix_reads as f64 / suffix_selections as f64
+        },
+        suffix_bits_per_selection: communication_complexity_bits(
+            protocol,
+            graph,
+            suffix_efficiency,
+        ),
+        one_stable_processes: stats.stable_process_count(1),
+    }
+}
+
 /// The ♦-(x, k)-stability measurement of an execution suffix: how many
 /// processes read at most `k` distinct neighbors since the suffix marker was
 /// placed (Definition 9), together with the theoretical lower bound the
@@ -220,6 +291,51 @@ mod tests {
         assert!(measurement.satisfies_bound());
         assert_eq!(measurement.nodes, 9);
         assert_eq!(measurement.k, 1);
+    }
+
+    #[test]
+    fn suffix_report_contrasts_efficient_and_inefficient_protocols() {
+        use crate::spanning::{BfsTree, LeaderElection};
+        use selfstab_graph::{Identifiers, NodeId, RootedGraph};
+
+        let graph = generators::grid(3, 4);
+        // Δ-efficient structure: the BFS tree keeps scanning neighborhoods.
+        let network = RootedGraph::new(graph.clone(), NodeId::new(0)).unwrap();
+        let mut bfs = Simulation::new(
+            network.graph(),
+            BfsTree::new(&network),
+            DistributedRandom::new(0.5),
+            3,
+            SimOptions::default(),
+        );
+        assert!(bfs.run_until_silent(200_000).silent);
+        bfs.mark_suffix();
+        bfs.run_steps(1_000);
+        let bfs_report = suffix_comm_report(bfs.protocol(), &graph, bfs.stats());
+
+        // ♦-1-efficient protocol: leader election probes one neighbor.
+        let mut le = Simulation::new(
+            &graph,
+            LeaderElection::new(&graph, Identifiers::sequential(12)),
+            DistributedRandom::new(0.5),
+            3,
+            SimOptions::default(),
+        );
+        assert!(le.run_until_silent(500_000).silent);
+        le.mark_suffix();
+        le.run_steps(1_000);
+        let le_report = suffix_comm_report(le.protocol(), &graph, le.stats());
+
+        assert_eq!(le_report.suffix_efficiency, 1);
+        assert!(bfs_report.suffix_efficiency > 1);
+        assert!(le_report.reads_per_selection <= 1.0 + 1e-9);
+        assert!(bfs_report.reads_per_selection > 1.0);
+        // grid(3,4): LE reads 1 register of 12 bits, BFS reads Δ = 4
+        // registers of 4 bits.
+        assert!(le_report.suffix_bits_per_selection < bfs_report.suffix_bits_per_selection);
+        assert_eq!(le_report.nodes, 12);
+        assert!(le_report.suffix_steps >= 1_000);
+        assert!(le_report.suffix_selections > 0);
     }
 
     #[test]

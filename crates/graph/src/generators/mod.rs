@@ -363,6 +363,59 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
         .expect("random tree construction is always valid")
 }
 
+/// Barabási–Albert preferential-attachment graph: starting from a small
+/// clique of `attach + 1` processes, every further process attaches to
+/// `attach` distinct existing processes chosen with probability
+/// proportional to their current degree.
+///
+/// The result is connected by construction and has the heavy-tailed degree
+/// distribution typical of scale-free networks — a workload family whose
+/// diameter grows like `log n / log log n`, complementing the
+/// large-diameter rings/grids/trees in the spanning-tree experiments.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] when `attach == 0` or
+/// `n <= attach`.
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    attach: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if attach == 0 || n <= attach {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("need 0 < attach < n, got n = {n}, attach = {attach}"),
+        });
+    }
+    let mut builder = GraphBuilder::new(n);
+    // `endpoints` repeats every process once per incident edge, so sampling
+    // it uniformly is degree-proportional sampling.
+    let mut endpoints: Vec<usize> = Vec::new();
+    let seed_size = attach + 1;
+    for i in 0..seed_size {
+        for j in (i + 1)..seed_size {
+            builder = builder.edge(i, j);
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in seed_size..n {
+        let mut targets: Vec<usize> = Vec::with_capacity(attach);
+        while targets.len() < attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            builder = builder.edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
 /// Erdős–Rényi `G(n, p)` conditioned on connectivity: every possible edge is
 /// included independently with probability `prob`, then any disconnected
 /// result is patched by linking each extra component to the first one with a
@@ -488,12 +541,12 @@ pub fn random_regular<R: Rng + ?Sized>(
             reason: format!("need 0 < d < n, got n = {n}, d = {d}"),
         });
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidParameters {
             reason: format!("n * d must be even, got n = {n}, d = {d}"),
         });
     }
-    let mut stubs: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat(i).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|i| std::iter::repeat_n(i, d)).collect();
     stubs.shuffle(rng);
     let mut seen = std::collections::BTreeSet::new();
     let mut edges = Vec::new();
@@ -662,6 +715,28 @@ mod tests {
             assert_eq!(g.edge_count(), n - 1);
             assert!(properties::is_connected(&g));
         }
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_and_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = barabasi_albert(60, 2, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 60);
+        // Seed clique of 3 edges plus 2 edges per later process.
+        assert_eq!(g.edge_count(), 3 + 2 * (60 - 3));
+        assert!(properties::is_connected(&g));
+        // Preferential attachment concentrates degree on early processes.
+        assert!(g.max_degree() > 2 * 2);
+        assert!(g.nodes().all(|p| g.degree(p) >= 2));
+        assert!(barabasi_albert(5, 0, &mut rng).is_err());
+        assert!(barabasi_albert(3, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_is_reproducible_from_the_seed() {
+        let g1 = barabasi_albert(40, 3, &mut StdRng::seed_from_u64(8)).unwrap();
+        let g2 = barabasi_albert(40, 3, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_eq!(g1, g2);
     }
 
     #[test]

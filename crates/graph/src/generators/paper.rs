@@ -308,7 +308,7 @@ mod tests {
         assert!(verify::is_matching(&g, &matching));
         assert!(verify::is_maximal_matching(&g, &matching));
         // The bound 2 * ceil(m / (2Δ - 1)) = 4 matched processes is achieved.
-        let bound = 2 * ((14 + (2 * 4 - 1) - 1) / (2 * 4 - 1));
+        let bound = 2 * 14_usize.div_ceil(2 * 4 - 1);
         assert_eq!(2 * matching.len(), bound);
     }
 

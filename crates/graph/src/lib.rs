@@ -16,6 +16,9 @@
 //! * distance-1 [`coloring`] providing the "local identifiers" `C.p` required
 //!   by the MIS and MATCHING protocols, and the color-induced dag
 //!   [`orientation`] of Theorem 4,
+//! * the [`rooted`] network models: [`RootedGraph`] (a distinguished root,
+//!   for spanning-tree construction) and [`Identifiers`] (unique per-process
+//!   ids, for leader election), with oracle BFS layers for verification,
 //! * [`verify`] predicates for the three output specifications (proper
 //!   coloring, maximal independent set, maximal matching).
 //!
@@ -44,6 +47,7 @@ pub mod longest_path;
 pub mod node;
 pub mod orientation;
 pub mod properties;
+pub mod rooted;
 pub mod verify;
 
 pub use builder::GraphBuilder;
@@ -52,3 +56,4 @@ pub use error::GraphError;
 pub use graph::Graph;
 pub use node::{NodeId, Port};
 pub use orientation::DagOrientation;
+pub use rooted::{Identifiers, RootedGraph};

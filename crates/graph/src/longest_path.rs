@@ -119,7 +119,7 @@ pub fn longest_path(graph: &Graph, exact_budget: usize) -> LongestPath {
 
 /// The ♦-(x, 1)-stability lower bound of Theorem 6: `⌊(Lmax + 1) / 2⌋`.
 pub fn mis_stability_bound(lmax: usize) -> usize {
-    (lmax + 1) / 2
+    lmax.div_ceil(2)
 }
 
 #[cfg(test)]

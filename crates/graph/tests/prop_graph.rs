@@ -72,7 +72,7 @@ proptest! {
         let exact = longest_path::longest_path_exact(&g);
         let lower = longest_path::longest_path_lower_bound(&g);
         prop_assert!(lower <= exact);
-        prop_assert!(exact <= n - 1);
+        prop_assert!(exact < n);
     }
 
     #[test]

@@ -424,7 +424,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     fn debug_check_enabled_invariant(&self) {
         // Sampled: every step on small systems, periodically on large ones,
         // so debug test runs stay fast while still covering long executions.
-        let sampled = self.graph.node_count() <= 64 || self.step % 101 == 0;
+        let sampled = self.graph.node_count() <= 64 || self.step.is_multiple_of(101);
         if sampled {
             debug_assert_eq!(
                 self.enabled.as_flags(),
@@ -594,7 +594,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         while !silent && executed < max_steps {
             self.step();
             executed += 1;
-            if executed % self.options.check_interval == 0 {
+            if executed.is_multiple_of(self.options.check_interval) {
                 silent = self.is_silent();
             }
         }
@@ -621,7 +621,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         while !legitimate && executed < max_steps {
             self.step();
             executed += 1;
-            if executed % self.options.check_interval == 0 {
+            if executed.is_multiple_of(self.options.check_interval) {
                 legitimate = self.is_legitimate();
             }
         }

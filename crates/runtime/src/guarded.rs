@@ -86,11 +86,25 @@ impl<S, C> ActionContext<'_, '_, S, C> {
     }
 }
 
+/// Boxed guard predicate of a [`GuardedAction`].
+pub type GuardFn<S, C> = Box<dyn Fn(&ActionContext<'_, '_, S, C>) -> bool + Send + Sync>;
+/// Boxed statement (action body) of a [`GuardedAction`].
+pub type StatementFn<S, C> =
+    Box<dyn Fn(&ActionContext<'_, '_, S, C>, &mut dyn RngCore) -> S + Send + Sync>;
+/// Boxed arbitrary-state sampler of a [`GuardedProtocol`].
+pub type ArbitraryFn<S> = Box<dyn Fn(&Graph, NodeId, &mut dyn RngCore) -> S + Send + Sync>;
+/// Boxed communication projection of a [`GuardedProtocol`].
+pub type CommFn<S, C> = Box<dyn Fn(NodeId, &S) -> C + Send + Sync>;
+/// Boxed per-process bit-count function of a [`GuardedProtocol`].
+pub type BitsFn = Box<dyn Fn(&Graph, NodeId) -> u64 + Send + Sync>;
+/// Boxed legitimacy predicate of a [`GuardedProtocol`].
+pub type LegitimateFn<S> = Box<dyn Fn(&Graph, &[S]) -> bool + Send + Sync>;
+
 /// One `⟨guard⟩ → ⟨statement⟩` pair.
 pub struct GuardedAction<S, C> {
     name: &'static str,
-    guard: Box<dyn Fn(&ActionContext<'_, '_, S, C>) -> bool + Send + Sync>,
-    statement: Box<dyn Fn(&ActionContext<'_, '_, S, C>, &mut dyn RngCore) -> S + Send + Sync>,
+    guard: GuardFn<S, C>,
+    statement: StatementFn<S, C>,
 }
 
 impl<S, C> GuardedAction<S, C> {
@@ -138,11 +152,11 @@ impl<S, C> fmt::Debug for GuardedAction<S, C> {
 pub struct GuardedProtocol<S, C> {
     name: &'static str,
     actions: Vec<GuardedAction<S, C>>,
-    arbitrary: Box<dyn Fn(&Graph, NodeId, &mut dyn RngCore) -> S + Send + Sync>,
-    comm: Box<dyn Fn(NodeId, &S) -> C + Send + Sync>,
-    comm_bits: Box<dyn Fn(&Graph, NodeId) -> u64 + Send + Sync>,
-    state_bits: Box<dyn Fn(&Graph, NodeId) -> u64 + Send + Sync>,
-    legitimate: Box<dyn Fn(&Graph, &[S]) -> bool + Send + Sync>,
+    arbitrary: ArbitraryFn<S>,
+    comm: CommFn<S, C>,
+    comm_bits: BitsFn,
+    state_bits: BitsFn,
+    legitimate: LegitimateFn<S>,
 }
 
 impl<S, C> GuardedProtocol<S, C> {

@@ -60,6 +60,19 @@ pub trait Scheduler {
     fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId>;
 }
 
+/// Boxed schedulers forward to their contents, so heterogeneous scheduler
+/// collections (`Box<dyn Scheduler>`) can be driven — and wrapped in
+/// [`Fair`] — like any concrete scheduler.
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
+        (**self).select(ctx, rng)
+    }
+}
+
 /// Synchronous daemon: every process is activated at every step.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Synchronous;
@@ -459,7 +472,7 @@ mod tests {
         let enabled = set(&[true; 6]);
         let mut rng = StdRng::seed_from_u64(3);
         let mut s = DistributedRandom::new(0.3);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for step in 0..500 {
             for p in s.select(&ctx(&enabled, step), &mut rng) {
                 seen[p.index()] = true;
@@ -507,7 +520,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let window = 6;
         let mut s = Fair::new(StarvingAdversary::new(), window);
-        let mut last = vec![0u64; 4];
+        let mut last = [0u64; 4];
         for step in 0..100 {
             for p in s.select(&ctx(&enabled, step), &mut rng) {
                 last[p.index()] = step;

@@ -35,6 +35,16 @@ pub struct ProcessStats {
     pub max_reads_per_activation: usize,
     /// Total number of read operations (repeats included).
     pub total_read_operations: u64,
+    /// Read operations performed since the last suffix marker
+    /// ([`RunStats::mark_suffix`]) — the raw material of the
+    /// post-stabilization communication-efficiency measures.
+    pub read_operations_since_marker: u64,
+    /// Selections since the last suffix marker.
+    pub selections_since_marker: u64,
+    /// Largest number of distinct neighbors read during a single activation
+    /// since the last suffix marker — the per-process ♦-k-efficiency
+    /// (eventually reading at most `k` neighbors *per step*).
+    pub max_reads_per_activation_since_marker: usize,
     /// Ports read at least once since the beginning of the execution.
     pub ports_read_ever: Vec<bool>,
     /// Ports read at least once since the last suffix marker
@@ -54,6 +64,9 @@ impl ProcessStats {
             activations: 0,
             max_reads_per_activation: 0,
             total_read_operations: 0,
+            read_operations_since_marker: 0,
+            selections_since_marker: 0,
+            max_reads_per_activation_since_marker: 0,
             ports_read_ever: vec![false; degree],
             ports_read_since_marker: vec![false; degree],
             comm_changes: 0,
@@ -115,7 +128,9 @@ impl RunStats {
 
     /// Records that `p` was selected by the scheduler.
     pub(crate) fn record_selection(&mut self, p: NodeId) {
-        self.per_process[p.index()].selections += 1;
+        let stats = &mut self.per_process[p.index()];
+        stats.selections += 1;
+        stats.selections_since_marker += 1;
     }
 
     /// Records an activation of `p` that read the given distinct ports.
@@ -123,7 +138,10 @@ impl RunStats {
         let stats = &mut self.per_process[p.index()];
         stats.activations += 1;
         stats.total_read_operations += read_operations as u64;
+        stats.read_operations_since_marker += read_operations as u64;
         stats.max_reads_per_activation = stats.max_reads_per_activation.max(reads.len());
+        stats.max_reads_per_activation_since_marker =
+            stats.max_reads_per_activation_since_marker.max(reads.len());
         for &port in reads {
             if port.index() < stats.ports_read_ever.len() {
                 stats.ports_read_ever[port.index()] = true;
@@ -149,7 +167,40 @@ impl RunStats {
             for flag in &mut stats.ports_read_since_marker {
                 *flag = false;
             }
+            stats.read_operations_since_marker = 0;
+            stats.selections_since_marker = 0;
+            stats.max_reads_per_activation_since_marker = 0;
         }
+    }
+
+    /// The measured ♦-efficiency of the suffix: the smallest `k` such that
+    /// every process read at most `k` distinct neighbors in every activation
+    /// since the last suffix marker (Definition 4 restricted to the suffix —
+    /// "eventually `k`-efficient").
+    pub fn suffix_measured_efficiency(&self) -> usize {
+        self.per_process
+            .iter()
+            .map(|s| s.max_reads_per_activation_since_marker)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total read operations across all processes since the last suffix
+    /// marker (the whole execution if no marker was placed).
+    pub fn suffix_read_operations(&self) -> u64 {
+        self.per_process
+            .iter()
+            .map(|s| s.read_operations_since_marker)
+            .sum()
+    }
+
+    /// Total selections across all processes since the last suffix marker
+    /// (the whole execution if no marker was placed).
+    pub fn suffix_selections(&self) -> u64 {
+        self.per_process
+            .iter()
+            .map(|s| s.selections_since_marker)
+            .sum()
     }
 
     /// The measured efficiency of the execution: the smallest `k` such that
@@ -245,6 +296,42 @@ mod tests {
         assert_eq!(stats.process(p).distinct_neighbors_since_marker(), 1);
         assert_eq!(stats.stable_process_count(1), 1);
         assert_eq!(stats.stable_process_count(0), 0);
+    }
+
+    #[test]
+    fn suffix_marker_resets_read_and_selection_counters() {
+        let mut stats = RunStats::new(&[2, 2]);
+        let p0 = NodeId::new(0);
+        stats.record_selection(p0);
+        stats.record_activation(p0, &[Port::new(0)], 3);
+        assert_eq!(stats.suffix_read_operations(), 3);
+        assert_eq!(stats.suffix_selections(), 1);
+        stats.mark_suffix(5);
+        assert_eq!(stats.suffix_read_operations(), 0);
+        assert_eq!(stats.suffix_selections(), 0);
+        assert_eq!(stats.process(p0).total_read_operations, 3);
+        stats.record_selection(p0);
+        stats.record_activation(p0, &[Port::new(1)], 2);
+        assert_eq!(stats.suffix_read_operations(), 2);
+        assert_eq!(stats.suffix_selections(), 1);
+        assert_eq!(stats.process(p0).read_operations_since_marker, 2);
+        assert_eq!(stats.process(p0).selections_since_marker, 1);
+    }
+
+    #[test]
+    fn suffix_efficiency_only_sees_post_marker_activations() {
+        let mut stats = RunStats::new(&[3]);
+        let p = NodeId::new(0);
+        stats.record_activation(p, &[Port::new(0), Port::new(1), Port::new(2)], 3);
+        assert_eq!(stats.measured_efficiency(), 3);
+        assert_eq!(stats.suffix_measured_efficiency(), 3);
+        stats.mark_suffix(1);
+        assert_eq!(stats.suffix_measured_efficiency(), 0);
+        stats.record_activation(p, &[Port::new(1)], 1);
+        // Whole-run efficiency remembers the repair; the suffix shows the
+        // protocol is eventually 1-efficient.
+        assert_eq!(stats.measured_efficiency(), 3);
+        assert_eq!(stats.suffix_measured_efficiency(), 1);
     }
 
     #[test]

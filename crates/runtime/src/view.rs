@@ -94,7 +94,7 @@ impl<'a, C> NeighborView<'a, C> {
             && self
                 .allowed
                 .as_ref()
-                .map_or(true, |allowed| allowed[port.index()])
+                .is_none_or(|allowed| allowed[port.index()])
     }
 
     /// Reads the communication state of the neighbor behind `port`,

@@ -148,7 +148,7 @@ fn experiment_harness_smoke_test() {
         base_seed: 0xABCD,
     };
     let tables = experiments::run_all(&config);
-    assert_eq!(tables.len(), 10);
+    assert_eq!(tables.len(), experiments::registry().len());
     for table in &tables {
         assert!(!table.rows.is_empty(), "{} has no rows", table.id);
         assert!(!table.headers.is_empty());
