@@ -1,37 +1,68 @@
 //! Regenerates every evaluation table of the paper reproduction.
 //!
 //! ```text
-//! cargo run --release -p selfstab-analysis --bin experiments              # full run
-//! cargo run --release -p selfstab-analysis --bin experiments -- --quick  # smaller run
+//! cargo run --release -p selfstab-analysis --bin experiments                 # full run
+//! cargo run --release -p selfstab-analysis --bin experiments -- --quick     # smaller run
 //! cargo run --release -p selfstab-analysis --bin experiments -- --csv out/
 //! cargo run --release -p selfstab-analysis --bin experiments -- --only E3,E12
 //! cargo run --release -p selfstab-analysis --bin experiments -- --seed 42
+//! cargo run --release -p selfstab-analysis --bin experiments -- --threads 4
+//! cargo run --release -p selfstab-analysis --bin experiments -- --format json
+//! cargo run --release -p selfstab-analysis --bin experiments -- --list
 //! ```
 //!
 //! `--only` runs (not merely prints) just the selected experiments;
 //! `--seed` replaces the default base seed so independent reproductions can
-//! check that the tables' shapes are seed-independent.
+//! check that the tables' shapes are seed-independent; `--threads` sets the
+//! campaign engine's worker count (the tables are byte-identical for every
+//! value); `--format json` emits one machine-readable JSON document instead
+//! of the aligned text tables; `--list` prints the experiment identifiers
+//! and exits.
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use selfstab_analysis::experiments::{self, ExperimentConfig};
+use selfstab_analysis::table::ExperimentTable;
+
+/// Output format of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Table,
+    Json,
+}
 
 struct Args {
     quick: bool,
     csv_dir: Option<PathBuf>,
     only: Option<Vec<String>>,
     seed: Option<u64>,
+    threads: Option<usize>,
+    format: Format,
 }
 
-const USAGE: &str = "usage: experiments [--quick] [--csv DIR] [--only E1,E2,...] [--seed N]";
+const USAGE: &str = "usage: experiments [OPTIONS]
 
-/// Outcome of argument parsing: run the experiments, or print usage and
-/// exit successfully (`--help` is not an error).
+options:
+  --quick              smaller configuration (3 runs, 500k-step budget)
+  --csv DIR            additionally write each table as CSV into DIR
+  --only E1,E2,...     run only the listed experiments (others are skipped)
+  --seed N             replace the default base RNG seed
+  --threads N          campaign worker threads, N >= 1
+                       (default: the machine's available parallelism;
+                       tables are byte-identical for every thread count)
+  --format table|json  output format (default: table)
+  --list               list the experiment identifiers and exit
+  -h, --help           print this help";
+
+/// Outcome of argument parsing: run the experiments, print the experiment
+/// list, or print usage and exit successfully (`--help` is not an error).
 enum Parsed {
     Run(Args),
+    List,
     Help,
 }
 
@@ -41,6 +72,8 @@ fn parse_args() -> Result<Parsed, String> {
         csv_dir: None,
         only: None,
         seed: None,
+        threads: None,
+        format: Format::Table,
     };
     let mut iter = env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -63,6 +96,33 @@ fn parse_args() -> Result<Parsed, String> {
                     .map_err(|err| format!("--seed {value}: {err}"))?;
                 args.seed = Some(seed);
             }
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .ok_or("--threads requires an integer argument")?;
+                let threads = value
+                    .parse::<usize>()
+                    .map_err(|err| format!("--threads {value}: {err}"))?;
+                if threads == 0 {
+                    return Err(
+                        "--threads 0 is invalid: the campaign engine needs at least one \
+                         worker thread (omit the flag to use every available core)"
+                            .to_string(),
+                    );
+                }
+                args.threads = Some(threads);
+            }
+            "--format" => {
+                let value = iter
+                    .next()
+                    .ok_or("--format requires an argument (table or json)")?;
+                args.format = match value.as_str() {
+                    "table" => Format::Table,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other}; expected table or json")),
+                };
+            }
+            "--list" => return Ok(Parsed::List),
             "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
@@ -70,7 +130,7 @@ fn parse_args() -> Result<Parsed, String> {
     if let Some(only) = &args.only {
         let known: Vec<String> = experiments::registry()
             .into_iter()
-            .flat_map(|(id, _)| id.split('/').map(String::from).collect::<Vec<_>>())
+            .flat_map(|e| e.id.split('/').map(String::from).collect::<Vec<_>>())
             .collect();
         for requested in only {
             if !known.iter().any(|id| id.eq_ignore_ascii_case(requested)) {
@@ -84,9 +144,34 @@ fn parse_args() -> Result<Parsed, String> {
     Ok(Parsed::Run(args))
 }
 
+/// Renders the whole run as one JSON document (configuration + tables).
+fn render_json(config: &ExperimentConfig, tables: &[ExperimentTable]) -> String {
+    let mut out = String::from("{\n  \"config\": {");
+    out.push_str(&format!(
+        "\"runs\": {}, \"max_steps\": {}, \"base_seed\": {}, \"threads\": {}",
+        config.runs, config.max_steps, config.base_seed, config.threads
+    ));
+    out.push_str("},\n  \"tables\": [\n");
+    for (i, table) in tables.iter().enumerate() {
+        out.push_str(&table.to_json());
+        if i + 1 < tables.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(Parsed::Run(args)) => args,
+        Ok(Parsed::List) => {
+            for experiment in experiments::registry() {
+                println!("{:<6} {}", experiment.id, experiment.title);
+            }
+            return ExitCode::SUCCESS;
+        }
         Ok(Parsed::Help) => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -104,20 +189,36 @@ fn main() -> ExitCode {
     if let Some(seed) = args.seed {
         config.base_seed = seed;
     }
-    println!(
-        "reproduction of: Devismes, Masuzawa, Tixeuil — Communication Efficiency in \
-         Self-stabilizing Silent Protocols (ICDCS 2009)"
-    );
-    println!(
-        "configuration: {} runs per point, {} max steps, base seed {:#x}\n",
-        config.runs, config.max_steps, config.base_seed
-    );
+    if let Some(threads) = args.threads {
+        config.threads = threads;
+    }
+    if args.format == Format::Table {
+        println!(
+            "reproduction of: Devismes, Masuzawa, Tixeuil — Communication Efficiency in \
+             Self-stabilizing Silent Protocols (ICDCS 2009)"
+        );
+        println!(
+            "configuration: {} runs per point, {} max steps, base seed {:#x}, {} campaign \
+             threads\n",
+            config.runs, config.max_steps, config.base_seed, config.threads
+        );
+    }
 
+    let started = Instant::now();
     let tables = experiments::run_selected(&config, args.only.as_deref());
+    let elapsed = started.elapsed();
+
     let mut failures = 0;
-    for table in &tables {
-        println!("{}", table.to_text());
-        if let Some(dir) = &args.csv_dir {
+    match args.format {
+        Format::Table => {
+            for table in &tables {
+                println!("{}", table.to_text());
+            }
+        }
+        Format::Json => println!("{}", render_json(&config, &tables)),
+    }
+    if let Some(dir) = &args.csv_dir {
+        for table in &tables {
             if let Err(err) = fs::create_dir_all(dir) {
                 eprintln!("cannot create {}: {err}", dir.display());
                 failures += 1;
@@ -127,11 +228,19 @@ fn main() -> ExitCode {
             if let Err(err) = fs::write(&path, table.to_csv()) {
                 eprintln!("cannot write {}: {err}", path.display());
                 failures += 1;
-            } else {
-                println!("wrote {}\n", path.display());
+            } else if args.format == Format::Table {
+                println!("wrote {}", path.display());
             }
         }
     }
+    // The timing line goes to stderr so it never disturbs the table/JSON
+    // stream; CI reads it to confirm the multi-threaded speedup.
+    eprintln!(
+        "completed {} experiment table(s) in {:.2}s with {} thread(s)",
+        tables.len(),
+        elapsed.as_secs_f64(),
+        config.threads
+    );
     if failures == 0 {
         ExitCode::SUCCESS
     } else {

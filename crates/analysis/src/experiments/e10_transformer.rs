@@ -10,15 +10,58 @@
 use selfstab_core::baselines::BaselineColoring;
 use selfstab_core::coloring::Coloring;
 use selfstab_core::transformer::{ColoringSpec, RoundRobinChecker};
+use selfstab_graph::Graph;
 use selfstab_runtime::scheduler::DistributedRandom;
-use selfstab_runtime::{Protocol, SimOptions, Simulation};
+use selfstab_runtime::{run_cell, Protocol, SimOptions};
 
 use super::ExperimentConfig;
+use crate::campaign::{grid2, CampaignSpec, CellOutcome, PointResult};
 use crate::stats::Summary;
 use crate::table::ExperimentTable;
 use crate::workloads::Workload;
 
-/// Raw measurements for one (workload, protocol) pair.
+/// The protocol axis of the E10 grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Hand-written COLORING (Figure 7).
+    HandWritten,
+    /// The round-robin transformer over the edge-checkable coloring spec.
+    Transformed,
+    /// The Δ-efficient local-checking baseline.
+    Baseline,
+}
+
+impl Variant {
+    /// The axis in presentation order.
+    pub fn all() -> Vec<Variant> {
+        vec![
+            Variant::HandWritten,
+            Variant::Transformed,
+            Variant::Baseline,
+        ]
+    }
+
+    /// The [`Protocol::name`] of the variant (asserted against the built
+    /// protocols in the tests below).
+    fn protocol_name(&self) -> &'static str {
+        match self {
+            Variant::HandWritten => "coloring-1-efficient",
+            Variant::Transformed => "transformed-coloring",
+            Variant::Baseline => "coloring-baseline-delta-efficient",
+        }
+    }
+}
+
+/// Metrics of one stabilized run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerRun {
+    /// Steps to silence.
+    pub steps: u64,
+    /// Largest measured per-activation read count.
+    pub efficiency: usize,
+}
+
+/// Aggregated measurements for one (workload, protocol) pair.
 #[derive(Debug, Clone)]
 pub struct TransformerMeasurement {
     /// Protocol name.
@@ -31,55 +74,76 @@ pub struct TransformerMeasurement {
     pub timeouts: u64,
 }
 
-fn measure_with<P, F>(
+/// The campaign cell: one (workload, variant, seed) run.
+pub fn cell(
     workload: &Workload,
+    variant: Variant,
     config: &ExperimentConfig,
-    make: F,
-) -> TransformerMeasurement
-where
-    P: Protocol,
-    F: Fn(&selfstab_graph::Graph) -> P,
-{
-    let graph = workload.build(config.base_seed);
-    let mut steps = Vec::new();
-    let mut max_efficiency = 0;
-    let mut timeouts = 0;
-    let mut name = "";
-    for seed in config.seeds() {
-        let protocol = make(&graph);
-        name = protocol.name();
-        let mut sim = Simulation::new(
-            &graph,
+    seed: u64,
+) -> CellOutcome<TransformerRun> {
+    fn drive<P: Protocol>(
+        graph: &Graph,
+        protocol: P,
+        seed: u64,
+        max_steps: u64,
+    ) -> CellOutcome<TransformerRun> {
+        run_cell(
+            graph,
             protocol,
             DistributedRandom::new(0.5),
             seed,
             SimOptions::default(),
-        );
-        let report = sim.run_until_silent(config.max_steps);
-        if report.silent {
-            steps.push(report.total_steps);
-            max_efficiency = max_efficiency.max(sim.stats().measured_efficiency());
-        } else {
-            timeouts += 1;
-        }
+            max_steps,
+            |report, sim| {
+                if !report.silent {
+                    return CellOutcome::Timeout;
+                }
+                CellOutcome::Stabilized(TransformerRun {
+                    steps: report.total_steps,
+                    efficiency: sim.stats().measured_efficiency(),
+                })
+            },
+        )
     }
+    let graph = workload.build(config.base_seed);
+    match variant {
+        Variant::HandWritten => drive(&graph, Coloring::new(&graph), seed, config.max_steps),
+        Variant::Transformed => drive(
+            &graph,
+            RoundRobinChecker::new(ColoringSpec::new(&graph)),
+            seed,
+            config.max_steps,
+        ),
+        Variant::Baseline => drive(
+            &graph,
+            BaselineColoring::new(&graph),
+            seed,
+            config.max_steps,
+        ),
+    }
+}
+
+fn aggregate(
+    point: &PointResult<'_, (Workload, Variant), CellOutcome<TransformerRun>>,
+) -> TransformerMeasurement {
+    let (_, variant) = point.point;
     TransformerMeasurement {
-        protocol: name,
-        steps,
-        max_efficiency,
-        timeouts,
+        protocol: variant.protocol_name(),
+        steps: point.stabilized().map(|r| r.steps).collect(),
+        max_efficiency: point.stabilized().map(|r| r.efficiency).max().unwrap_or(0),
+        timeouts: point.timeouts(),
     }
 }
 
 /// Measures the three coloring variants on one workload.
 pub fn measure(workload: &Workload, config: &ExperimentConfig) -> Vec<TransformerMeasurement> {
-    vec![
-        measure_with(workload, config, Coloring::new),
-        measure_with(workload, config, |g| {
-            RoundRobinChecker::new(ColoringSpec::new(g))
-        }),
-        measure_with(workload, config, BaselineColoring::new),
-    ]
+    let spec = CampaignSpec::with_config(grid2(&[*workload], &Variant::all()), config);
+    spec.run(config.threads, |c| {
+        cell(&c.point.0, c.point.1, config, c.seed)
+    })
+    .iter()
+    .map(aggregate)
+    .collect()
 }
 
 /// Runs E10 and renders its table.
@@ -95,20 +159,24 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
             "timeouts",
         ],
     );
-    for workload in [
+    let workloads = [
         Workload::Ring(24),
         Workload::Grid(5, 5),
         Workload::Gnp(32, 0.15),
-    ] {
-        for m in measure(&workload, config) {
-            table.push_row(vec![
-                workload.label(),
-                m.protocol.to_string(),
-                Summary::from_counts(m.steps.iter().copied()).display_mean_max(),
-                m.max_efficiency.to_string(),
-                m.timeouts.to_string(),
-            ]);
-        }
+    ];
+    let spec = CampaignSpec::with_config(grid2(&workloads, &Variant::all()), config);
+    for point in spec.run(config.threads, |c| {
+        cell(&c.point.0, c.point.1, config, c.seed)
+    }) {
+        let (workload, _) = point.point;
+        let m = aggregate(&point);
+        table.push_row(vec![
+            workload.label(),
+            m.protocol.to_string(),
+            Summary::from_counts(m.steps.iter().copied()).display_mean_max(),
+            m.max_efficiency.to_string(),
+            m.timeouts.to_string(),
+        ]);
     }
     table.push_note("extension of §6: the transformed protocol is 1-efficient (max k = 1) and converges like the hand-written COLORING; the baseline reads Δ registers per step");
     table
@@ -117,6 +185,23 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn variant_labels_match_the_built_protocols() {
+        let graph = Workload::Ring(6).build(1);
+        assert_eq!(
+            Variant::HandWritten.protocol_name(),
+            Coloring::new(&graph).name()
+        );
+        assert_eq!(
+            Variant::Transformed.protocol_name(),
+            RoundRobinChecker::new(ColoringSpec::new(&graph)).name()
+        );
+        assert_eq!(
+            Variant::Baseline.protocol_name(),
+            BaselineColoring::new(&graph).name()
+        );
+    }
 
     #[test]
     fn transformer_is_one_efficient_and_converges() {

@@ -16,15 +16,39 @@
 use selfstab_core::coloring::Coloring;
 use selfstab_core::mis::Mis;
 use selfstab_graph::coloring as graph_coloring;
-use selfstab_runtime::scheduler::{
-    CentralRoundRobin, DistributedRandom, LocallyCentral, Scheduler, Synchronous,
-};
-use selfstab_runtime::{SimOptions, Simulation};
+use selfstab_runtime::scheduler::Synchronous;
+use selfstab_runtime::{run_cell, SimOptions};
 
 use super::ExperimentConfig;
+use crate::campaign::{grid2, CampaignSpec, DaemonSpec};
 use crate::stats::Summary;
 use crate::table::ExperimentTable;
 use crate::workloads::Workload;
+
+/// The identifier-assignment axis of the ablation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdentifierKind {
+    /// First-fit greedy coloring.
+    Greedy,
+    /// DSATUR (usually fewer colors).
+    Dsatur,
+}
+
+impl IdentifierKind {
+    fn label(&self) -> &'static str {
+        match self {
+            IdentifierKind::Greedy => "greedy",
+            IdentifierKind::Dsatur => "dsatur",
+        }
+    }
+
+    fn coloring(&self, graph: &selfstab_graph::Graph) -> graph_coloring::LocalColoring {
+        match self {
+            IdentifierKind::Greedy => graph_coloring::greedy(graph),
+            IdentifierKind::Dsatur => graph_coloring::dsatur(graph),
+        }
+    }
+}
 
 /// Result of the identifier ablation on one workload.
 #[derive(Debug, Clone)]
@@ -43,68 +67,90 @@ pub struct IdentifierAblation {
     pub dsatur_rounds: f64,
 }
 
+/// The identifier-ablation cell: one MIS run with the given identifier
+/// assignment, under the synchronous daemon, within the Lemma 4 bound.
+pub fn identifier_cell(
+    workload: &Workload,
+    kind: IdentifierKind,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> u64 {
+    let graph = workload.build(config.base_seed);
+    let protocol = Mis::new(kind.coloring(&graph));
+    let bound = protocol.round_bound(&graph);
+    run_cell(
+        &graph,
+        protocol,
+        Synchronous,
+        seed,
+        SimOptions::default(),
+        bound + 16,
+        |report, _sim| {
+            assert!(report.silent, "MIS must stabilize within its bound");
+            report.total_rounds
+        },
+    )
+}
+
+/// The daemon-ablation cell: one COLORING run under the given daemon.
+pub fn daemon_cell(
+    workload: &Workload,
+    daemon: DaemonSpec,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> u64 {
+    let graph = workload.build(config.base_seed);
+    run_cell(
+        &graph,
+        Coloring::new(&graph),
+        daemon.build(&graph),
+        seed,
+        SimOptions::default(),
+        config.max_steps,
+        |report, _sim| {
+            assert!(report.silent, "COLORING must stabilize under a fair daemon");
+            report.total_steps
+        },
+    )
+}
+
 /// Runs the identifier ablation for MIS on one workload.
 pub fn identifier_ablation(workload: &Workload, config: &ExperimentConfig) -> IdentifierAblation {
     let graph = workload.build(config.base_seed);
     let greedy = graph_coloring::greedy(&graph);
     let dsatur = graph_coloring::dsatur(&graph);
-
-    let rounds = |coloring: &graph_coloring::LocalColoring| -> (u64, f64) {
-        let protocol = Mis::new(coloring.clone());
-        let bound = protocol.round_bound(&graph);
-        let samples: Vec<u64> = config
-            .seeds()
-            .map(|seed| {
-                let protocol = Mis::new(coloring.clone());
-                let mut sim =
-                    Simulation::new(&graph, protocol, Synchronous, seed, SimOptions::default());
-                let report = sim.run_until_silent(bound + 16);
-                assert!(report.silent, "MIS must stabilize within its bound");
-                report.total_rounds
-            })
-            .collect();
-        (bound, Summary::from_counts(samples).mean)
-    };
-    let (greedy_bound, greedy_rounds) = rounds(&greedy);
-    let (dsatur_bound, dsatur_rounds) = rounds(&dsatur);
+    let spec = CampaignSpec::with_config(
+        grid2(
+            &[*workload],
+            &[IdentifierKind::Greedy, IdentifierKind::Dsatur],
+        ),
+        config,
+    );
+    let results = spec.run(config.threads, |c| {
+        identifier_cell(&c.point.0, c.point.1, config, c.seed)
+    });
+    let mean = |runs: &[u64]| Summary::from_counts(runs.iter().copied()).mean;
     IdentifierAblation {
         greedy_colors: greedy.color_count(),
         dsatur_colors: dsatur.color_count(),
-        greedy_bound,
-        dsatur_bound,
-        greedy_rounds,
-        dsatur_rounds,
+        greedy_bound: Mis::new(greedy).round_bound(&graph),
+        dsatur_bound: Mis::new(dsatur).round_bound(&graph),
+        greedy_rounds: mean(&results[0].runs),
+        dsatur_rounds: mean(&results[1].runs),
     }
 }
 
-/// Mean steps-to-silence of COLORING on one workload under one daemon.
-pub fn daemon_ablation<S, F>(
+/// Steps-to-silence summary of COLORING on one workload under one daemon.
+pub fn daemon_ablation(
     workload: &Workload,
     config: &ExperimentConfig,
-    make_scheduler: F,
-) -> Summary
-where
-    S: Scheduler,
-    F: Fn(&selfstab_graph::Graph) -> S,
-{
-    let graph = workload.build(config.base_seed);
-    let samples: Vec<u64> = config
-        .seeds()
-        .map(|seed| {
-            let protocol = Coloring::new(&graph);
-            let mut sim = Simulation::new(
-                &graph,
-                protocol,
-                make_scheduler(&graph),
-                seed,
-                SimOptions::default(),
-            );
-            let report = sim.run_until_silent(config.max_steps);
-            assert!(report.silent, "COLORING must stabilize under a fair daemon");
-            report.total_steps
-        })
-        .collect();
-    Summary::from_counts(samples)
+    daemon: DaemonSpec,
+) -> Summary {
+    let spec = CampaignSpec::with_config(grid2(&[*workload], &[daemon]), config);
+    let results = spec.run(config.threads, |c| {
+        daemon_cell(&c.point.0, c.point.1, config, c.seed)
+    });
+    Summary::from_counts(results[0].runs.iter().copied())
 }
 
 /// Runs E11 and renders its table.
@@ -121,51 +167,55 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
             "measured",
         ],
     );
-    // Identifier ablation.
-    for workload in [
+    // Identifier ablation: (workload × identifier kind) grid.
+    let id_workloads = [
         Workload::Gnp(48, 0.12),
         Workload::Grid(6, 6),
         Workload::Star(24),
-    ] {
-        let a = identifier_ablation(&workload, config);
+    ];
+    let id_spec = CampaignSpec::with_config(
+        grid2(
+            &id_workloads,
+            &[IdentifierKind::Greedy, IdentifierKind::Dsatur],
+        ),
+        config,
+    );
+    for point in id_spec.run(config.threads, |c| {
+        identifier_cell(&c.point.0, c.point.1, config, c.seed)
+    }) {
+        let (workload, kind) = *point.point;
+        let graph = workload.build(config.base_seed);
+        let coloring = kind.coloring(&graph);
+        let bound = Mis::new(coloring.clone()).round_bound(&graph);
+        let rounds = Summary::from_counts(point.runs.iter().copied()).mean;
         table.push_row(vec![
             workload.label(),
             "identifiers".into(),
-            "greedy".into(),
-            format!("#C = {}", a.greedy_colors),
-            a.greedy_bound.to_string(),
-            format!("{:.1} rounds", a.greedy_rounds),
-        ]);
-        table.push_row(vec![
-            workload.label(),
-            "identifiers".into(),
-            "dsatur".into(),
-            format!("#C = {}", a.dsatur_colors),
-            a.dsatur_bound.to_string(),
-            format!("{:.1} rounds", a.dsatur_rounds),
+            kind.label().into(),
+            format!("#C = {}", coloring.color_count()),
+            bound.to_string(),
+            format!("{rounds:.1} rounds"),
         ]);
     }
-    // Daemon ablation.
-    for workload in [Workload::Ring(32), Workload::Gnp(48, 0.12)] {
-        let sync = daemon_ablation(&workload, config, |_| Synchronous);
-        let distributed = daemon_ablation(&workload, config, |_| DistributedRandom::new(0.5));
-        let locally_central = daemon_ablation(&workload, config, |g| LocallyCentral::new(g, 0.5));
-        let central = daemon_ablation(&workload, config, |_| CentralRoundRobin::new());
-        for (name, summary) in [
-            ("synchronous", sync),
-            ("distributed-random", distributed),
-            ("locally-central", locally_central),
-            ("central-round-robin", central),
-        ] {
-            table.push_row(vec![
-                workload.label(),
-                "daemon".into(),
-                name.into(),
-                "steps to silence".into(),
-                "-".into(),
-                summary.display_mean_max(),
-            ]);
-        }
+    // Daemon ablation: (workload × daemon) grid.
+    let daemon_workloads = [Workload::Ring(32), Workload::Gnp(48, 0.12)];
+    let daemon_spec = CampaignSpec::with_config(
+        grid2(&daemon_workloads, &DaemonSpec::ablation_set()),
+        config,
+    );
+    for point in daemon_spec.run(config.threads, |c| {
+        daemon_cell(&c.point.0, c.point.1, config, c.seed)
+    }) {
+        let (workload, daemon) = *point.point;
+        let summary = Summary::from_counts(point.runs.iter().copied());
+        table.push_row(vec![
+            workload.label(),
+            "daemon".into(),
+            daemon.name().into(),
+            "steps to silence".into(),
+            "-".into(),
+            summary.display_mean_max(),
+        ]);
     }
     table.push_note(
         "identifier ablation: fewer colors (#C) tighten the Lemma 4 bound Δ·#C; measured rounds move much less than the bound",
@@ -193,13 +243,9 @@ mod tests {
     fn coloring_converges_under_all_daemons() {
         let cfg = ExperimentConfig::quick();
         let workload = Workload::Ring(12);
-        for summary in [
-            daemon_ablation(&workload, &cfg, |_| Synchronous),
-            daemon_ablation(&workload, &cfg, |_| DistributedRandom::new(0.5)),
-            daemon_ablation(&workload, &cfg, |g| LocallyCentral::new(g, 0.5)),
-            daemon_ablation(&workload, &cfg, |_| CentralRoundRobin::new()),
-        ] {
-            assert_eq!(summary.count as u64, cfg.runs);
+        for daemon in DaemonSpec::ablation_set() {
+            let summary = daemon_ablation(&workload, &cfg, daemon);
+            assert_eq!(summary.count as u64, cfg.runs, "{}", daemon.name());
         }
     }
 

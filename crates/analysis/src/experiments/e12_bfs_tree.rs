@@ -1,6 +1,6 @@
 //! E12 — silent BFS spanning-tree construction (rooted networks).
 //!
-//! For each workload of the spanning suite and each scheduler, the table
+//! For each workload of the spanning suite and each daemon, the table
 //! reports convergence (rounds/steps until silence) together with the
 //! post-stabilization communication cost: the BFS tree protocol re-checks
 //! its whole neighborhood whenever a process is selected, so its suffix
@@ -11,29 +11,30 @@
 use selfstab_core::measures::suffix_comm_report;
 use selfstab_core::spanning::{is_bfs_spanning_tree, BfsTree};
 use selfstab_graph::{properties, NodeId, RootedGraph};
-use selfstab_runtime::scheduler::{CentralRandom, DistributedRandom, Scheduler, Synchronous};
-use selfstab_runtime::{SimOptions, Simulation};
+use selfstab_runtime::{run_cell, SimOptions};
 
 use super::ExperimentConfig;
+use crate::campaign::{grid2, CampaignSpec, CellOutcome, DaemonSpec, PointResult};
 use crate::stats::Summary;
 use crate::table::ExperimentTable;
 use crate::workloads::Workload;
 
-/// A scheduler factory: experiments build a fresh daemon per run.
-pub type SchedulerFactory = fn() -> Box<dyn Scheduler>;
-
-/// The daemons the spanning experiments sweep over.
-pub fn schedulers() -> Vec<(&'static str, SchedulerFactory)> {
-    vec![
-        ("synchronous", || Box::new(Synchronous)),
-        ("distributed-random", || {
-            Box::new(DistributedRandom::new(0.5))
-        }),
-        ("central-random", || Box::new(CentralRandom::enabled_only())),
-    ]
+/// Metrics of one stabilized run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BfsTreeRun {
+    /// Rounds to silence.
+    pub rounds: u64,
+    /// Steps to silence.
+    pub steps: u64,
+    /// Post-stabilization reads per selection.
+    pub suffix_reads_per_selection: f64,
+    /// Post-stabilization efficiency (distinct neighbors per activation).
+    pub suffix_efficiency: usize,
+    /// Whether the stabilized configuration matched the oracle BFS layers.
+    pub oracle_ok: bool,
 }
 
-/// Raw measurements of one workload under one scheduler.
+/// Aggregated measurements of one workload under one daemon.
 #[derive(Debug, Clone)]
 pub struct BfsTreeConvergence {
     /// Rounds to silence per run.
@@ -51,58 +52,82 @@ pub struct BfsTreeConvergence {
     pub timeouts: u64,
 }
 
-/// Measures BFS-tree convergence on one workload under one scheduler.
+/// The root used for every workload: a non-trivial process (not always
+/// process 0, which generators often make special), fixed per workload for
+/// comparability across seeds.
+fn root_of(graph: &selfstab_graph::Graph) -> NodeId {
+    NodeId::new(graph.node_count() / 2)
+}
+
+/// The campaign cell: one (workload, daemon, seed) BFS-tree run. The
+/// topology is a function of the base seed alone; only the initial
+/// configuration varies per run.
+pub fn cell(
+    workload: &Workload,
+    daemon: DaemonSpec,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> CellOutcome<BfsTreeRun> {
+    let graph = workload.build(config.base_seed);
+    let root = root_of(&graph);
+    let network = RootedGraph::new(graph.clone(), root).expect("root in range");
+    run_cell(
+        &graph,
+        BfsTree::new(&network),
+        daemon.build(&graph),
+        seed,
+        SimOptions::default().with_check_interval(8),
+        config.max_steps,
+        |report, sim| {
+            if !report.silent {
+                return CellOutcome::Timeout;
+            }
+            let dist = BfsTree::distances(sim.config());
+            let parents = sim.protocol().parent_ports(sim.config());
+            let oracle_ok = is_bfs_spanning_tree(sim.graph(), root, &dist, &parents);
+            // Post-stabilization cost: drive the silent system for a while
+            // and measure what the protocol keeps reading.
+            sim.mark_suffix();
+            sim.run_steps(10 * sim.graph().node_count() as u64);
+            let suffix = suffix_comm_report(sim.protocol(), sim.graph(), sim.stats());
+            CellOutcome::Stabilized(BfsTreeRun {
+                rounds: report.total_rounds,
+                steps: report.total_steps,
+                suffix_reads_per_selection: suffix.reads_per_selection,
+                suffix_efficiency: suffix.suffix_efficiency,
+                oracle_ok,
+            })
+        },
+    )
+}
+
+/// Folds a point's per-seed outcomes into the aggregated measurement
+/// (shared with E13, which runs E12 cells as its baseline).
+pub fn aggregate<P>(point: &PointResult<'_, P, CellOutcome<BfsTreeRun>>) -> BfsTreeConvergence {
+    BfsTreeConvergence {
+        rounds: point.stabilized().map(|r| r.rounds).collect(),
+        steps: point.stabilized().map(|r| r.steps).collect(),
+        suffix_reads_per_selection: point
+            .stabilized()
+            .map(|r| r.suffix_reads_per_selection)
+            .collect(),
+        suffix_efficiency: point.stabilized().map(|r| r.suffix_efficiency).collect(),
+        oracle_verified: point.stabilized().filter(|r| r.oracle_ok).count() as u64,
+        timeouts: point.timeouts(),
+    }
+}
+
+/// Measures BFS-tree convergence on one workload under one daemon.
 pub fn measure(
     workload: &Workload,
-    make_scheduler: fn() -> Box<dyn Scheduler>,
+    daemon: DaemonSpec,
     config: &ExperimentConfig,
 ) -> BfsTreeConvergence {
-    let mut result = BfsTreeConvergence {
-        rounds: Vec::new(),
-        steps: Vec::new(),
-        suffix_reads_per_selection: Vec::new(),
-        suffix_efficiency: Vec::new(),
-        oracle_verified: 0,
-        timeouts: 0,
-    };
-    // The topology is a function of the base seed alone; only the initial
-    // configuration varies per run.
-    let graph = workload.build(config.base_seed);
-    // A non-trivial root (not always process 0, which generators often
-    // make special), fixed per workload for comparability across seeds.
-    let root = NodeId::new(graph.node_count() / 2);
-    let network = RootedGraph::new(graph.clone(), root).expect("root in range");
-    for seed in config.seeds() {
-        let mut sim = Simulation::new(
-            &graph,
-            BfsTree::new(&network),
-            make_scheduler(),
-            seed,
-            SimOptions::default().with_check_interval(8),
-        );
-        let report = sim.run_until_silent(config.max_steps);
-        if !report.silent {
-            result.timeouts += 1;
-            continue;
-        }
-        result.rounds.push(report.total_rounds);
-        result.steps.push(report.total_steps);
-        let dist = BfsTree::distances(sim.config());
-        let parents = sim.protocol().parent_ports(sim.config());
-        if is_bfs_spanning_tree(&graph, root, &dist, &parents) {
-            result.oracle_verified += 1;
-        }
-        // Post-stabilization cost: drive the silent system for a while and
-        // measure what the protocol keeps reading.
-        sim.mark_suffix();
-        sim.run_steps(10 * graph.node_count() as u64);
-        let suffix = suffix_comm_report(sim.protocol(), &graph, sim.stats());
-        result
-            .suffix_reads_per_selection
-            .push(suffix.reads_per_selection);
-        result.suffix_efficiency.push(suffix.suffix_efficiency);
-    }
-    result
+    let spec = CampaignSpec::with_config(grid2(&[*workload], &[daemon]), config);
+    let results = spec.run(config.threads, |c| {
+        cell(&c.point.0, c.point.1, config, c.seed)
+    });
+    aggregate(&results[0])
 }
 
 /// Runs E12 and renders its table.
@@ -125,32 +150,37 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
             "timeouts",
         ],
     );
-    for workload in Workload::spanning_suite() {
+    let spec = CampaignSpec::with_config(
+        grid2(&Workload::spanning_suite(), &DaemonSpec::spanning_set()),
+        config,
+    );
+    for point in spec.run(config.threads, |c| {
+        cell(&c.point.0, c.point.1, config, c.seed)
+    }) {
+        let (workload, daemon) = *point.point;
         let graph = workload.build(config.base_seed);
-        let root = NodeId::new(graph.node_count() / 2);
+        let root = root_of(&graph);
         let diameter = properties::diameter(&graph).expect("workloads are connected");
         let height = properties::eccentricity(&graph, root);
-        for (scheduler_name, make_scheduler) in schedulers() {
-            let m = measure(&workload, make_scheduler, config);
-            let rounds = Summary::from_counts(m.rounds.iter().copied());
-            let steps = Summary::from_counts(m.steps.iter().copied());
-            let reads = Summary::from_samples(m.suffix_reads_per_selection.iter().copied());
-            let k = m.suffix_efficiency.iter().copied().max().unwrap_or(0);
-            table.push_row(vec![
-                workload.label(),
-                scheduler_name.to_string(),
-                graph.node_count().to_string(),
-                diameter.to_string(),
-                height.to_string(),
-                config.runs.to_string(),
-                rounds.display_mean_max(),
-                steps.display_mean_max(),
-                format!("{:.2}", reads.mean),
-                k.to_string(),
-                format!("{}/{}", m.oracle_verified, m.rounds.len()),
-                m.timeouts.to_string(),
-            ]);
-        }
+        let m = aggregate(&point);
+        let rounds = Summary::from_counts(m.rounds.iter().copied());
+        let steps = Summary::from_counts(m.steps.iter().copied());
+        let reads = Summary::from_samples(m.suffix_reads_per_selection.iter().copied());
+        let k = m.suffix_efficiency.iter().copied().max().unwrap_or(0);
+        table.push_row(vec![
+            workload.label(),
+            daemon.name().to_string(),
+            graph.node_count().to_string(),
+            diameter.to_string(),
+            height.to_string(),
+            config.runs.to_string(),
+            rounds.display_mean_max(),
+            steps.display_mean_max(),
+            format!("{:.2}", reads.mean),
+            k.to_string(),
+            format!("{}/{}", m.oracle_verified, m.rounds.len()),
+            m.timeouts.to_string(),
+        ]);
     }
     table.push_note(
         "every stabilized run is checked against the oracle BFS layering (oracle ok = runs/runs)",
@@ -173,7 +203,7 @@ mod tests {
     #[test]
     fn bfs_tree_stabilizes_and_verifies_on_a_quick_run() {
         let cfg = ExperimentConfig::quick();
-        let m = measure(&Workload::Ring(16), || Box::new(Synchronous), &cfg);
+        let m = measure(&Workload::Ring(16), DaemonSpec::Synchronous, &cfg);
         assert_eq!(m.timeouts, 0);
         assert_eq!(m.oracle_verified, cfg.runs);
         assert_eq!(m.rounds.len() as u64, cfg.runs);
@@ -187,11 +217,12 @@ mod tests {
             runs: 2,
             max_steps: 500_000,
             base_seed: 7,
+            ..ExperimentConfig::default()
         };
         let table = run(&cfg);
         assert_eq!(
             table.rows.len(),
-            Workload::spanning_suite().len() * schedulers().len()
+            Workload::spanning_suite().len() * DaemonSpec::spanning_set().len()
         );
         for row in &table.rows {
             assert_eq!(row.last().unwrap(), "0", "timeouts in {}", row[0]);

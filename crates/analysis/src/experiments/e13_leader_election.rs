@@ -13,16 +13,33 @@ use rand::SeedableRng;
 use selfstab_core::measures::suffix_comm_report;
 use selfstab_core::spanning::{is_bfs_spanning_tree, LeaderElection};
 use selfstab_graph::Identifiers;
-use selfstab_runtime::scheduler::Scheduler;
-use selfstab_runtime::{SimOptions, Simulation};
+use selfstab_runtime::{run_cell, SimOptions};
 
 use super::e12_bfs_tree;
 use super::ExperimentConfig;
+use crate::campaign::{grid2, CampaignSpec, CellOutcome, DaemonSpec, PointResult};
 use crate::stats::Summary;
 use crate::table::ExperimentTable;
 use crate::workloads::Workload;
 
-/// Raw measurements of one workload under one scheduler.
+/// Metrics of one stabilized run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeaderElectionRun {
+    /// Rounds to silence.
+    pub rounds: u64,
+    /// Steps to silence.
+    pub steps: u64,
+    /// Post-stabilization reads per selection.
+    pub suffix_reads_per_selection: f64,
+    /// Post-stabilization efficiency (1 when stabilized probing works as
+    /// designed).
+    pub suffix_efficiency: usize,
+    /// Whether the run elected exactly the minimum-identifier process with
+    /// an oracle-verified BFS tree around it.
+    pub verified: bool,
+}
+
+/// Aggregated measurements of one workload under one daemon.
 #[derive(Debug, Clone)]
 pub struct LeaderElectionConvergence {
     /// Rounds to silence per run.
@@ -41,58 +58,78 @@ pub struct LeaderElectionConvergence {
     pub timeouts: u64,
 }
 
-/// Measures leader election on one workload under one scheduler.
+/// The campaign cell: one (workload, daemon, seed) election run. The
+/// topology is a function of the base seed alone; identifier placement and
+/// the initial configuration vary per run (the elected process — and the
+/// tree around it — must not depend on process indices).
+pub fn cell(
+    workload: &Workload,
+    daemon: DaemonSpec,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> CellOutcome<LeaderElectionRun> {
+    let graph = workload.build(config.base_seed);
+    let ids = Identifiers::shuffled(graph.node_count(), &mut StdRng::seed_from_u64(seed));
+    let protocol = LeaderElection::new(&graph, ids);
+    let expected = protocol.expected_leader().expect("non-empty workloads");
+    run_cell(
+        &graph,
+        protocol,
+        daemon.build(&graph),
+        seed,
+        SimOptions::default().with_check_interval(8),
+        config.max_steps,
+        |report, sim| {
+            if !report.silent {
+                return CellOutcome::Timeout;
+            }
+            let unique_leader =
+                sim.protocol().self_declared_leaders(sim.config()) == vec![expected];
+            let dist = LeaderElection::distances(sim.config());
+            let parents = sim.protocol().parent_ports(sim.config());
+            let verified =
+                unique_leader && is_bfs_spanning_tree(sim.graph(), expected, &dist, &parents);
+            sim.mark_suffix();
+            sim.run_steps(10 * sim.graph().node_count() as u64);
+            let suffix = suffix_comm_report(sim.protocol(), sim.graph(), sim.stats());
+            CellOutcome::Stabilized(LeaderElectionRun {
+                rounds: report.total_rounds,
+                steps: report.total_steps,
+                suffix_reads_per_selection: suffix.reads_per_selection,
+                suffix_efficiency: suffix.suffix_efficiency,
+                verified,
+            })
+        },
+    )
+}
+
+fn aggregate<P>(
+    point: &PointResult<'_, P, CellOutcome<LeaderElectionRun>>,
+) -> LeaderElectionConvergence {
+    LeaderElectionConvergence {
+        rounds: point.stabilized().map(|r| r.rounds).collect(),
+        steps: point.stabilized().map(|r| r.steps).collect(),
+        suffix_reads_per_selection: point
+            .stabilized()
+            .map(|r| r.suffix_reads_per_selection)
+            .collect(),
+        suffix_efficiency: point.stabilized().map(|r| r.suffix_efficiency).collect(),
+        verified: point.stabilized().filter(|r| r.verified).count() as u64,
+        timeouts: point.timeouts(),
+    }
+}
+
+/// Measures leader election on one workload under one daemon.
 pub fn measure(
     workload: &Workload,
-    make_scheduler: fn() -> Box<dyn Scheduler>,
+    daemon: DaemonSpec,
     config: &ExperimentConfig,
 ) -> LeaderElectionConvergence {
-    let mut result = LeaderElectionConvergence {
-        rounds: Vec::new(),
-        steps: Vec::new(),
-        suffix_reads_per_selection: Vec::new(),
-        suffix_efficiency: Vec::new(),
-        verified: 0,
-        timeouts: 0,
-    };
-    // The topology is a function of the base seed alone; identifiers and
-    // the initial configuration vary per run.
-    let graph = workload.build(config.base_seed);
-    for seed in config.seeds() {
-        // Identifier placement varies per run: the elected process (and the
-        // tree around it) must not depend on process indices.
-        let ids = Identifiers::shuffled(graph.node_count(), &mut StdRng::seed_from_u64(seed));
-        let protocol = LeaderElection::new(&graph, ids);
-        let expected = protocol.expected_leader().expect("non-empty workloads");
-        let mut sim = Simulation::new(
-            &graph,
-            protocol,
-            make_scheduler(),
-            seed,
-            SimOptions::default().with_check_interval(8),
-        );
-        let report = sim.run_until_silent(config.max_steps);
-        if !report.silent {
-            result.timeouts += 1;
-            continue;
-        }
-        result.rounds.push(report.total_rounds);
-        result.steps.push(report.total_steps);
-        let unique_leader = sim.protocol().self_declared_leaders(sim.config()) == vec![expected];
-        let dist = LeaderElection::distances(sim.config());
-        let parents = sim.protocol().parent_ports(sim.config());
-        if unique_leader && is_bfs_spanning_tree(&graph, expected, &dist, &parents) {
-            result.verified += 1;
-        }
-        sim.mark_suffix();
-        sim.run_steps(10 * graph.node_count() as u64);
-        let suffix = suffix_comm_report(sim.protocol(), &graph, sim.stats());
-        result
-            .suffix_reads_per_selection
-            .push(suffix.reads_per_selection);
-        result.suffix_efficiency.push(suffix.suffix_efficiency);
-    }
-    result
+    let spec = CampaignSpec::with_config(grid2(&[*workload], &[daemon]), config);
+    let results = spec.run(config.threads, |c| {
+        cell(&c.point.0, c.point.1, config, c.seed)
+    });
+    aggregate(&results[0])
 }
 
 /// Runs E13 and renders its table.
@@ -115,43 +152,44 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
             "timeouts",
         ],
     );
-    for workload in Workload::spanning_suite() {
+    let points = grid2(&Workload::spanning_suite(), &DaemonSpec::spanning_set());
+    let election_spec = CampaignSpec::with_config(points.clone(), config);
+    let election = election_spec.run(config.threads, |c| {
+        cell(&c.point.0, c.point.1, config, c.seed)
+    });
+    // The Δ-efficient structure on the same topology and scheduler, for a
+    // direct post-silence cost comparison. One run per point suffices: the
+    // suffix cost of the stabilized structure is a property of the
+    // topology, not of the seed (E12 tables the full spread), so E13 does
+    // not pay the whole baseline suite again.
+    let baseline_spec = CampaignSpec::new(points, vec![config.base_seed]);
+    let baseline = baseline_spec.run(config.threads, |c| {
+        e12_bfs_tree::cell(&c.point.0, c.point.1, config, c.seed)
+    });
+    for (election_point, baseline_point) in election.iter().zip(&baseline) {
+        let (workload, daemon) = *election_point.point;
         let graph = workload.build(config.base_seed);
-        for (scheduler_name, make_scheduler) in e12_bfs_tree::schedulers() {
-            let m = measure(&workload, make_scheduler, config);
-            // The Δ-efficient structure on the same topology and scheduler,
-            // for a direct post-silence cost comparison. One run suffices:
-            // the suffix cost of the stabilized structure is a property of
-            // the topology, not of the seed (E12 tables the full spread),
-            // so E13 does not pay the whole baseline suite again.
-            let baseline_config = ExperimentConfig { runs: 1, ..*config };
-            let baseline = e12_bfs_tree::measure(&workload, make_scheduler, &baseline_config);
-            let rounds = Summary::from_counts(m.rounds.iter().copied());
-            let reads = Summary::from_samples(m.suffix_reads_per_selection.iter().copied());
-            let baseline_reads =
-                Summary::from_samples(baseline.suffix_reads_per_selection.iter().copied());
-            let k = m.suffix_efficiency.iter().copied().max().unwrap_or(0);
-            let baseline_k = baseline
-                .suffix_efficiency
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(0);
-            table.push_row(vec![
-                workload.label(),
-                scheduler_name.to_string(),
-                graph.node_count().to_string(),
-                graph.max_degree().to_string(),
-                config.runs.to_string(),
-                rounds.display_mean_max(),
-                format!("{:.2}", reads.mean),
-                k.to_string(),
-                format!("{:.2}", baseline_reads.mean),
-                baseline_k.to_string(),
-                format!("{}/{}", m.verified, m.rounds.len()),
-                m.timeouts.to_string(),
-            ]);
-        }
+        let m = aggregate(election_point);
+        let b = e12_bfs_tree::aggregate(baseline_point);
+        let rounds = Summary::from_counts(m.rounds.iter().copied());
+        let reads = Summary::from_samples(m.suffix_reads_per_selection.iter().copied());
+        let baseline_reads = Summary::from_samples(b.suffix_reads_per_selection.iter().copied());
+        let k = m.suffix_efficiency.iter().copied().max().unwrap_or(0);
+        let baseline_k = b.suffix_efficiency.iter().copied().max().unwrap_or(0);
+        table.push_row(vec![
+            workload.label(),
+            daemon.name().to_string(),
+            graph.node_count().to_string(),
+            graph.max_degree().to_string(),
+            config.runs.to_string(),
+            rounds.display_mean_max(),
+            format!("{:.2}", reads.mean),
+            k.to_string(),
+            format!("{:.2}", baseline_reads.mean),
+            baseline_k.to_string(),
+            format!("{}/{}", m.verified, m.rounds.len()),
+            m.timeouts.to_string(),
+        ]);
     }
     table.push_note(
         "leader+tree ok: stabilized runs electing exactly the minimum-identifier process, \
@@ -168,12 +206,11 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selfstab_runtime::scheduler::Synchronous;
 
     #[test]
     fn leader_election_verifies_and_is_suffix_one_efficient() {
         let cfg = ExperimentConfig::quick();
-        let m = measure(&Workload::Grid(3, 4), || Box::new(Synchronous), &cfg);
+        let m = measure(&Workload::Grid(3, 4), DaemonSpec::Synchronous, &cfg);
         assert_eq!(m.timeouts, 0);
         assert_eq!(m.verified, cfg.runs);
         assert!(m.suffix_efficiency.iter().all(|&k| k <= 1));
@@ -186,9 +223,9 @@ mod tests {
     #[test]
     fn election_beats_the_baseline_post_silence_on_a_dense_workload() {
         let cfg = ExperimentConfig::quick();
-        let make: fn() -> Box<dyn Scheduler> = || Box::new(Synchronous);
-        let election = measure(&Workload::Hypercube(4), make, &cfg);
-        let baseline = e12_bfs_tree::measure(&Workload::Hypercube(4), make, &cfg);
+        let election = measure(&Workload::Hypercube(4), DaemonSpec::Synchronous, &cfg);
+        let baseline =
+            e12_bfs_tree::measure(&Workload::Hypercube(4), DaemonSpec::Synchronous, &cfg);
         assert_eq!(election.timeouts, 0);
         assert_eq!(baseline.timeouts, 0);
         let e: f64 = election.suffix_reads_per_selection.iter().sum::<f64>()

@@ -11,12 +11,94 @@ use selfstab_core::baselines::{BaselineColoring, BaselineMis};
 use selfstab_core::coloring::Coloring;
 use selfstab_core::measures;
 use selfstab_core::mis::Mis;
+use selfstab_graph::Graph;
 use selfstab_runtime::scheduler::DistributedRandom;
-use selfstab_runtime::{Protocol, SimOptions, Simulation};
+use selfstab_runtime::{run_cell, Protocol, SimOptions};
 
 use super::ExperimentConfig;
+use crate::campaign::{grid2, CampaignSpec};
 use crate::table::ExperimentTable;
 use crate::workloads::Workload;
+
+/// The protocol axis of the E1 grid: each 1-efficient protocol of the paper
+/// next to its Δ-efficient local-checking baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// 1-efficient COLORING (Figure 7).
+    Coloring,
+    /// Δ-efficient baseline coloring.
+    BaselineColoring,
+    /// 1-efficient MIS (Figure 8).
+    Mis,
+    /// Δ-efficient baseline MIS.
+    BaselineMis,
+}
+
+impl ProtocolKind {
+    /// The axis in presentation order (1-efficient before its baseline).
+    pub fn all() -> Vec<ProtocolKind> {
+        vec![
+            ProtocolKind::Coloring,
+            ProtocolKind::BaselineColoring,
+            ProtocolKind::Mis,
+            ProtocolKind::BaselineMis,
+        ]
+    }
+}
+
+/// The campaign cell: runs one protocol on one workload to silence, then
+/// keeps it running for a fixed window so that the *stabilized-phase* read
+/// behavior is measured even when the random initial configuration happened
+/// to be legitimate already.
+pub fn cell(
+    workload: &Workload,
+    kind: ProtocolKind,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> measures::ComplexityReport {
+    fn complexity<P: Protocol>(
+        graph: &Graph,
+        protocol: P,
+        seed: u64,
+        max_steps: u64,
+    ) -> measures::ComplexityReport {
+        let extra_steps = 50 * graph.node_count() as u64;
+        run_cell(
+            graph,
+            protocol,
+            DistributedRandom::new(0.5),
+            seed,
+            SimOptions::default(),
+            max_steps,
+            |_report, sim| {
+                sim.run_steps(extra_steps);
+                measures::complexity_report(sim.protocol(), sim.graph(), sim.stats())
+            },
+        )
+    }
+    let graph = workload.build(config.base_seed);
+    match kind {
+        ProtocolKind::Coloring => complexity(&graph, Coloring::new(&graph), seed, config.max_steps),
+        ProtocolKind::BaselineColoring => complexity(
+            &graph,
+            BaselineColoring::new(&graph),
+            seed,
+            config.max_steps,
+        ),
+        ProtocolKind::Mis => complexity(
+            &graph,
+            Mis::with_greedy_coloring(&graph),
+            seed,
+            config.max_steps,
+        ),
+        ProtocolKind::BaselineMis => complexity(
+            &graph,
+            BaselineMis::with_greedy_coloring(&graph),
+            seed,
+            config.max_steps,
+        ),
+    }
+}
 
 /// Runs E1 and renders its table.
 pub fn run(config: &ExperimentConfig) -> ExperimentTable {
@@ -34,38 +116,18 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
             "ratio",
         ],
     );
-    for workload in Workload::degree_suite() {
-        let graph = workload.build(config.base_seed);
-        let seed = config.base_seed;
-        // Run each protocol to silence, then keep it running for a fixed
-        // window so that the *stabilized-phase* read behavior is measured
-        // even when the random initial configuration happened to be
-        // legitimate already.
-        let extra_steps = 50 * graph.node_count() as u64;
-
-        macro_rules! measure {
-            ($protocol:expr) => {{
-                let mut sim = Simulation::new(
-                    &graph,
-                    $protocol,
-                    DistributedRandom::new(0.5),
-                    seed,
-                    SimOptions::default(),
-                );
-                sim.run_until_silent(config.max_steps);
-                sim.run_steps(extra_steps);
-                push_report(
-                    &mut table,
-                    &workload,
-                    measures::complexity_report(sim.protocol(), &graph, sim.stats()),
-                );
-            }};
-        }
-
-        measure!(Coloring::new(&graph)); // 1-efficient COLORING
-        measure!(BaselineColoring::new(&graph)); // Δ-efficient baseline coloring
-        measure!(Mis::with_greedy_coloring(&graph)); // 1-efficient MIS
-        measure!(BaselineMis::with_greedy_coloring(&graph)); // Δ-efficient baseline MIS
+    // One run per (workload, protocol) point: the measured efficiency is a
+    // worst-case maximum over a long window, not a seed-sensitive average.
+    let spec = CampaignSpec::new(
+        grid2(&Workload::degree_suite(), &ProtocolKind::all()),
+        vec![config.base_seed],
+    );
+    for point in spec.run(config.threads, |c| {
+        cell(&c.point.0, c.point.1, config, c.seed)
+    }) {
+        let (workload, _) = *point.point;
+        let report = point.runs.into_iter().next().expect("one run per point");
+        push_report(&mut table, &workload, report);
     }
     table.push_note(
         "paper claim (§3.2): 1-efficient protocols read log(Δ+1)-order bits per step; \
@@ -108,15 +170,15 @@ where
 {
     let graph = workload.build(seed);
     let protocol = make(&graph);
-    let mut sim = Simulation::new(
+    run_cell(
         &graph,
         protocol,
         DistributedRandom::new(0.5),
         seed,
         SimOptions::default(),
-    );
-    sim.run_until_silent(max_steps);
-    sim.stats().measured_efficiency()
+        max_steps,
+        |_report, sim| sim.stats().measured_efficiency(),
+    )
 }
 
 #[cfg(test)]

@@ -8,14 +8,26 @@
 
 use selfstab_core::coloring::Coloring;
 use selfstab_runtime::scheduler::DistributedRandom;
-use selfstab_runtime::{SimOptions, Simulation};
+use selfstab_runtime::{run_cell, SimOptions};
 
 use super::ExperimentConfig;
+use crate::campaign::{CampaignSpec, CellOutcome, PointResult};
 use crate::stats::Summary;
 use crate::table::ExperimentTable;
 use crate::workloads::Workload;
 
-/// Raw measurements of one workload.
+/// Metrics of one stabilized run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColoringRun {
+    /// Steps to silence.
+    pub steps: u64,
+    /// Rounds to silence.
+    pub rounds: u64,
+    /// Largest read-set size observed in any single activation.
+    pub efficiency: usize,
+}
+
+/// Aggregated measurements of one workload.
 #[derive(Debug, Clone)]
 pub struct ColoringConvergence {
     /// Steps to silence per run.
@@ -28,34 +40,53 @@ pub struct ColoringConvergence {
     pub timeouts: u64,
 }
 
+/// The campaign cell: one (workload, seed) COLORING run. Pure — every
+/// input is rebuilt locally from the grid coordinates, so cells run on any
+/// worker thread.
+pub fn cell(workload: &Workload, config: &ExperimentConfig, seed: u64) -> CellOutcome<ColoringRun> {
+    let graph = workload.build(config.base_seed);
+    run_cell(
+        &graph,
+        Coloring::new(&graph),
+        DistributedRandom::new(0.5),
+        seed,
+        SimOptions::default(),
+        config.max_steps,
+        |report, sim| {
+            if !report.silent {
+                return CellOutcome::Timeout;
+            }
+            CellOutcome::Stabilized(ColoringRun {
+                steps: report.total_steps,
+                rounds: report.total_rounds,
+                efficiency: sim.stats().measured_efficiency(),
+            })
+        },
+    )
+}
+
+fn aggregate(point: &PointResult<'_, Workload, CellOutcome<ColoringRun>>) -> ColoringConvergence {
+    ColoringConvergence {
+        steps: point.stabilized().map(|r| r.steps).collect(),
+        rounds: point.stabilized().map(|r| r.rounds).collect(),
+        efficiency: point.stabilized().map(|r| r.efficiency).collect(),
+        timeouts: point.timeouts(),
+    }
+}
+
 /// Measures the convergence of COLORING on one workload.
 pub fn measure(workload: &Workload, config: &ExperimentConfig) -> ColoringConvergence {
-    let mut result = ColoringConvergence {
-        steps: Vec::new(),
-        rounds: Vec::new(),
-        efficiency: Vec::new(),
-        timeouts: 0,
-    };
-    for seed in config.seeds() {
-        let graph = workload.build(config.base_seed);
-        let protocol = Coloring::new(&graph);
-        let mut sim = Simulation::new(
-            &graph,
-            protocol,
-            DistributedRandom::new(0.5),
-            seed,
-            SimOptions::default(),
-        );
-        let report = sim.run_until_silent(config.max_steps);
-        if report.silent {
-            result.steps.push(report.total_steps);
-            result.rounds.push(report.total_rounds);
-            result.efficiency.push(sim.stats().measured_efficiency());
-        } else {
-            result.timeouts += 1;
-        }
-    }
-    result
+    let spec = CampaignSpec::with_config(vec![*workload], config);
+    let results = spec.run(config.threads, |c| cell(c.point, config, c.seed));
+    aggregate(&results[0])
+}
+
+/// The E2 workload axis.
+pub fn workloads() -> Vec<Workload> {
+    Workload::convergence_suite()
+        .into_iter()
+        .chain([Workload::Complete(12), Workload::Star(33)])
+        .collect()
 }
 
 /// Runs E2 and renders its table.
@@ -74,17 +105,15 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
             "timeouts",
         ],
     );
-    for workload in Workload::convergence_suite()
-        .into_iter()
-        .chain([Workload::Complete(12), Workload::Star(33)])
-    {
-        let graph = workload.build(config.base_seed);
-        let measurement = measure(&workload, config);
+    let spec = CampaignSpec::with_config(workloads(), config);
+    for point in spec.run(config.threads, |c| cell(c.point, config, c.seed)) {
+        let graph = point.point.build(config.base_seed);
+        let measurement = aggregate(&point);
         let steps = Summary::from_counts(measurement.steps.iter().copied());
         let rounds = Summary::from_counts(measurement.rounds.iter().copied());
         let max_k = measurement.efficiency.iter().copied().max().unwrap_or(0);
         table.push_row(vec![
-            workload.label(),
+            point.point.label(),
             graph.node_count().to_string(),
             graph.max_degree().to_string(),
             config.runs.to_string(),
@@ -123,5 +152,15 @@ mod tests {
                 row[0]
             );
         }
+    }
+
+    #[test]
+    fn measure_is_thread_count_independent() {
+        let cfg = ExperimentConfig::quick();
+        let single = measure(&Workload::Ring(16), &cfg.with_threads(1));
+        let parallel = measure(&Workload::Ring(16), &cfg.with_threads(4));
+        assert_eq!(single.steps, parallel.steps);
+        assert_eq!(single.rounds, parallel.rounds);
+        assert_eq!(single.efficiency, parallel.efficiency);
     }
 }

@@ -7,14 +7,24 @@
 use selfstab_core::mis::Mis;
 use selfstab_graph::verify;
 use selfstab_runtime::scheduler::Synchronous;
-use selfstab_runtime::{SimOptions, Simulation};
+use selfstab_runtime::{run_cell, SimOptions};
 
 use super::ExperimentConfig;
+use crate::campaign::{CampaignSpec, CellOutcome, PointResult};
 use crate::stats::Summary;
 use crate::table::ExperimentTable;
 use crate::workloads::Workload;
 
-/// Raw measurements of one workload.
+/// Metrics of one stabilized run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MisRun {
+    /// Rounds to silence.
+    pub rounds: u64,
+    /// Whether the silent configuration is a maximal independent set.
+    pub legitimate: bool,
+}
+
+/// Aggregated measurements of one workload.
 #[derive(Debug, Clone)]
 pub struct MisConvergence {
     /// Rounds to silence per run.
@@ -27,33 +37,57 @@ pub struct MisConvergence {
     pub timeouts: u64,
 }
 
-/// Measures MIS convergence on one workload under the synchronous daemon
-/// (each step is a round, making the bound directly comparable).
-pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MisConvergence {
+/// The Lemma 4 bound of one workload.
+fn round_bound(workload: &Workload, config: &ExperimentConfig) -> u64 {
+    let graph = workload.build(config.base_seed);
+    Mis::with_greedy_coloring(&graph).round_bound(&graph)
+}
+
+/// The campaign cell: one (workload, seed) MIS run under the synchronous
+/// daemon (each step is a round, making the bound directly comparable).
+pub fn cell(workload: &Workload, config: &ExperimentConfig, seed: u64) -> CellOutcome<MisRun> {
     let graph = workload.build(config.base_seed);
     let protocol = Mis::with_greedy_coloring(&graph);
     let bound = protocol.round_bound(&graph);
-    let mut rounds = Vec::new();
-    let mut all_legitimate = true;
-    let mut timeouts = 0;
-    for seed in config.seeds() {
-        let protocol = Mis::with_greedy_coloring(&graph);
-        let mut sim = Simulation::new(&graph, protocol, Synchronous, seed, SimOptions::default());
-        let report = sim.run_until_silent(config.max_steps.min(bound + 16));
-        if report.silent {
-            rounds.push(report.total_rounds);
-            all_legitimate &=
-                verify::is_maximal_independent_set(&graph, &Mis::output(sim.config()));
-        } else {
-            timeouts += 1;
-        }
-    }
+    run_cell(
+        &graph,
+        protocol,
+        Synchronous,
+        seed,
+        SimOptions::default(),
+        config.max_steps.min(bound + 16),
+        |report, sim| {
+            if !report.silent {
+                return CellOutcome::Timeout;
+            }
+            CellOutcome::Stabilized(MisRun {
+                rounds: report.total_rounds,
+                legitimate: verify::is_maximal_independent_set(
+                    sim.graph(),
+                    &Mis::output(sim.config()),
+                ),
+            })
+        },
+    )
+}
+
+fn aggregate(
+    point: &PointResult<'_, Workload, CellOutcome<MisRun>>,
+    config: &ExperimentConfig,
+) -> MisConvergence {
     MisConvergence {
-        rounds,
-        bound,
-        all_legitimate,
-        timeouts,
+        rounds: point.stabilized().map(|r| r.rounds).collect(),
+        bound: round_bound(point.point, config),
+        all_legitimate: point.stabilized().all(|r| r.legitimate),
+        timeouts: point.timeouts(),
     }
+}
+
+/// Measures MIS convergence on one workload.
+pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MisConvergence {
+    let spec = CampaignSpec::with_config(vec![*workload], config);
+    let results = spec.run(config.threads, |c| cell(c.point, config, c.seed));
+    aggregate(&results[0], config)
 }
 
 /// Runs E3 and renders its table.
@@ -72,15 +106,15 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
             "MIS in every silent config",
         ],
     );
-    for workload in Workload::convergence_suite() {
-        let graph = workload.build(config.base_seed);
-        let protocol = Mis::with_greedy_coloring(&graph);
-        let color_count = protocol.coloring().color_count();
-        let m = measure(&workload, config);
+    let spec = CampaignSpec::with_config(Workload::convergence_suite(), config);
+    for point in spec.run(config.threads, |c| cell(c.point, config, c.seed)) {
+        let graph = point.point.build(config.base_seed);
+        let color_count = Mis::with_greedy_coloring(&graph).coloring().color_count();
+        let m = aggregate(&point, config);
         let rounds = Summary::from_counts(m.rounds.iter().copied());
         let within = m.timeouts == 0 && m.rounds.iter().all(|&r| r <= m.bound + 1);
         table.push_row(vec![
-            workload.label(),
+            point.point.label(),
             graph.node_count().to_string(),
             graph.max_degree().to_string(),
             color_count.to_string(),

@@ -5,17 +5,26 @@
 //! keep reading a single fixed neighbor (`x` measured through the suffix
 //! read sets) against the theoretical lower bound `⌊(Lmax+1)/2⌋`.
 
-use selfstab_core::measures::StabilityMeasurement;
 use selfstab_core::mis::{Membership, Mis};
 use selfstab_graph::longest_path;
 use selfstab_runtime::scheduler::DistributedRandom;
-use selfstab_runtime::{SimOptions, Simulation};
+use selfstab_runtime::{run_cell, SimOptions};
 
 use super::ExperimentConfig;
+use crate::campaign::{CampaignSpec, CellOutcome, PointResult};
 use crate::table::ExperimentTable;
 use crate::workloads::Workload;
 
-/// Raw measurements of one workload.
+/// Metrics of one stabilized run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MisStabilityRun {
+    /// Processes whose suffix read set has at most one element.
+    pub stable: usize,
+    /// Dominated processes in the silent configuration.
+    pub dominated: usize,
+}
+
+/// Aggregated measurements of one workload.
 #[derive(Debug, Clone)]
 pub struct MisStability {
     /// Lmax (exact when the graph is small enough).
@@ -32,54 +41,74 @@ pub struct MisStability {
     pub nodes: usize,
 }
 
-/// Measures ♦-(x, 1)-stability of MIS on one workload.
-pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MisStability {
+/// The campaign cell: one (workload, seed) stability run — stabilize, mark
+/// the suffix, drive the silent system, and measure the suffix read sets.
+pub fn cell(
+    workload: &Workload,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> CellOutcome<MisStabilityRun> {
     let graph = workload.build(config.base_seed);
+    run_cell(
+        &graph,
+        Mis::with_greedy_coloring(&graph),
+        DistributedRandom::new(0.5),
+        seed,
+        SimOptions::default(),
+        config.max_steps,
+        |report, sim| {
+            if !report.silent {
+                return CellOutcome::Timeout;
+            }
+            let dominated = sim
+                .config()
+                .iter()
+                .filter(|s| s.status == Membership::Dominated)
+                .count();
+            // Measure the suffix read sets over a stabilized window.
+            sim.mark_suffix();
+            sim.run_steps((sim.graph().node_count() as u64) * 20);
+            CellOutcome::Stabilized(MisStabilityRun {
+                stable: sim.stats().stable_process_count(1),
+                dominated,
+            })
+        },
+    )
+}
+
+fn aggregate(
+    point: &PointResult<'_, Workload, CellOutcome<MisStabilityRun>>,
+    config: &ExperimentConfig,
+) -> MisStability {
+    let graph = point.point.build(config.base_seed);
     let lp = longest_path::longest_path(&graph, longest_path::DEFAULT_EXACT_BUDGET);
-    let bound = Mis::stability_bound(lp.length);
-    let mut min_stable = usize::MAX;
-    let mut min_dominated = usize::MAX;
-    for seed in config.seeds() {
-        let protocol = Mis::with_greedy_coloring(&graph);
-        let mut sim = Simulation::new(
-            &graph,
-            protocol,
-            DistributedRandom::new(0.5),
-            seed,
-            SimOptions::default(),
-        );
-        let report = sim.run_until_silent(config.max_steps);
-        if !report.silent {
-            continue;
-        }
-        let dominated = sim
-            .config()
-            .iter()
-            .filter(|s| s.status == Membership::Dominated)
-            .count();
-        // Measure the suffix read sets over a stabilized window.
-        sim.mark_suffix();
-        sim.run_steps((graph.node_count() as u64) * 20);
-        let measurement = StabilityMeasurement::from_stats(sim.stats(), 1, bound);
-        min_stable = min_stable.min(measurement.stable_processes);
-        min_dominated = min_dominated.min(dominated);
-    }
     MisStability {
         lmax: lp.length,
         lmax_exact: lp.exact,
-        bound,
-        min_stable: if min_stable == usize::MAX {
-            0
-        } else {
-            min_stable
-        },
-        min_dominated: if min_dominated == usize::MAX {
-            0
-        } else {
-            min_dominated
-        },
+        bound: Mis::stability_bound(lp.length),
+        min_stable: point.stabilized().map(|r| r.stable).min().unwrap_or(0),
+        min_dominated: point.stabilized().map(|r| r.dominated).min().unwrap_or(0),
         nodes: graph.node_count(),
     }
+}
+
+/// Measures ♦-(x, 1)-stability of MIS on one workload.
+pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MisStability {
+    let spec = CampaignSpec::with_config(vec![*workload], config);
+    let results = spec.run(config.threads, |c| cell(c.point, config, c.seed));
+    aggregate(&results[0], config)
+}
+
+/// The E4 workload axis.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::Path(9),
+        Workload::Path(17),
+        Workload::Path(33),
+        Workload::Ring(16),
+        Workload::Caterpillar(8, 2),
+        Workload::Grid(4, 4),
+    ]
 }
 
 /// Runs E4 and renders its table.
@@ -97,23 +126,16 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
             "bound satisfied",
         ],
     );
-    let workloads = vec![
-        Workload::Path(9),
-        Workload::Path(17),
-        Workload::Path(33),
-        Workload::Ring(16),
-        Workload::Caterpillar(8, 2),
-        Workload::Grid(4, 4),
-    ];
-    for workload in workloads {
-        let m = measure(&workload, config);
+    let spec = CampaignSpec::with_config(workloads(), config);
+    for point in spec.run(config.threads, |c| cell(c.point, config, c.seed)) {
+        let m = aggregate(&point, config);
         let lmax = if m.lmax_exact {
             m.lmax.to_string()
         } else {
             format!(">={}", m.lmax)
         };
         table.push_row(vec![
-            workload.label(),
+            point.point.label(),
             m.nodes.to_string(),
             lmax,
             m.bound.to_string(),

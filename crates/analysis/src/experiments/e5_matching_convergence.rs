@@ -7,14 +7,24 @@
 use selfstab_core::matching::Matching;
 use selfstab_graph::verify;
 use selfstab_runtime::scheduler::Synchronous;
-use selfstab_runtime::{SimOptions, Simulation};
+use selfstab_runtime::{run_cell, SimOptions};
 
 use super::ExperimentConfig;
+use crate::campaign::{CampaignSpec, CellOutcome, PointResult};
 use crate::stats::Summary;
 use crate::table::ExperimentTable;
 use crate::workloads::Workload;
 
-/// Raw measurements of one workload.
+/// Metrics of one stabilized run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchingRun {
+    /// Rounds to silence.
+    pub rounds: u64,
+    /// Whether the silent configuration induces a maximal matching.
+    pub legitimate: bool,
+}
+
+/// Aggregated measurements of one workload.
 #[derive(Debug, Clone)]
 pub struct MatchingConvergence {
     /// Rounds to silence per run.
@@ -27,32 +37,57 @@ pub struct MatchingConvergence {
     pub timeouts: u64,
 }
 
-/// Measures MATCHING convergence on one workload under the synchronous
-/// daemon.
-pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MatchingConvergence {
+/// The campaign cell: one (workload, seed) MATCHING run under the
+/// synchronous daemon.
+pub fn cell(workload: &Workload, config: &ExperimentConfig, seed: u64) -> CellOutcome<MatchingRun> {
     let graph = workload.build(config.base_seed);
     let bound = Matching::round_bound(&graph);
-    let mut rounds = Vec::new();
-    let mut all_legitimate = true;
-    let mut timeouts = 0;
-    for seed in config.seeds() {
-        let protocol = Matching::with_greedy_coloring(&graph);
-        let mut sim = Simulation::new(&graph, protocol, Synchronous, seed, SimOptions::default());
-        let report = sim.run_until_silent(config.max_steps.min(bound + 16));
-        if report.silent {
-            rounds.push(report.total_rounds);
-            let edges = sim.protocol().output(&graph, sim.config());
-            all_legitimate &= verify::is_maximal_matching(&graph, &edges);
-        } else {
-            timeouts += 1;
-        }
-    }
+    run_cell(
+        &graph,
+        Matching::with_greedy_coloring(&graph),
+        Synchronous,
+        seed,
+        SimOptions::default(),
+        config.max_steps.min(bound + 16),
+        |report, sim| {
+            if !report.silent {
+                return CellOutcome::Timeout;
+            }
+            let edges = sim.protocol().output(sim.graph(), sim.config());
+            CellOutcome::Stabilized(MatchingRun {
+                rounds: report.total_rounds,
+                legitimate: verify::is_maximal_matching(sim.graph(), &edges),
+            })
+        },
+    )
+}
+
+fn aggregate(
+    point: &PointResult<'_, Workload, CellOutcome<MatchingRun>>,
+    config: &ExperimentConfig,
+) -> MatchingConvergence {
+    let graph = point.point.build(config.base_seed);
     MatchingConvergence {
-        rounds,
-        bound,
-        all_legitimate,
-        timeouts,
+        rounds: point.stabilized().map(|r| r.rounds).collect(),
+        bound: Matching::round_bound(&graph),
+        all_legitimate: point.stabilized().all(|r| r.legitimate),
+        timeouts: point.timeouts(),
     }
+}
+
+/// Measures MATCHING convergence on one workload.
+pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MatchingConvergence {
+    let spec = CampaignSpec::with_config(vec![*workload], config);
+    let results = spec.run(config.threads, |c| cell(c.point, config, c.seed));
+    aggregate(&results[0], config)
+}
+
+/// The E5 workload axis.
+pub fn workloads() -> Vec<Workload> {
+    Workload::convergence_suite()
+        .into_iter()
+        .chain([Workload::Figure11])
+        .collect()
 }
 
 /// Runs E5 and renders its table.
@@ -70,16 +105,14 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
             "maximal matching in every silent config",
         ],
     );
-    for workload in Workload::convergence_suite()
-        .into_iter()
-        .chain([Workload::Figure11])
-    {
-        let graph = workload.build(config.base_seed);
-        let m = measure(&workload, config);
+    let spec = CampaignSpec::with_config(workloads(), config);
+    for point in spec.run(config.threads, |c| cell(c.point, config, c.seed)) {
+        let graph = point.point.build(config.base_seed);
+        let m = aggregate(&point, config);
         let rounds = Summary::from_counts(m.rounds.iter().copied());
         let within = m.timeouts == 0 && m.rounds.iter().all(|&r| r <= m.bound);
         table.push_row(vec![
-            workload.label(),
+            point.point.label(),
             graph.node_count().to_string(),
             graph.max_degree().to_string(),
             rounds.display_mean_max(),

@@ -5,15 +5,24 @@
 //! processes against the theoretical lower bound `2⌈m/(2∆−1)⌉`.
 
 use selfstab_core::matching::Matching;
-use selfstab_core::measures::StabilityMeasurement;
 use selfstab_runtime::scheduler::DistributedRandom;
-use selfstab_runtime::{SimOptions, Simulation};
+use selfstab_runtime::{run_cell, SimOptions};
 
 use super::ExperimentConfig;
+use crate::campaign::{CampaignSpec, CellOutcome, PointResult};
 use crate::table::ExperimentTable;
 use crate::workloads::Workload;
 
-/// Raw measurements of one workload.
+/// Metrics of one stabilized run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchingStabilityRun {
+    /// Matched processes in the silent configuration.
+    pub matched: usize,
+    /// Processes whose suffix read set has at most one element.
+    pub stable: usize,
+}
+
+/// Aggregated measurements of one workload.
 #[derive(Debug, Clone)]
 pub struct MatchingStability {
     /// Edge count m.
@@ -31,48 +40,67 @@ pub struct MatchingStability {
     pub nodes: usize,
 }
 
-/// Measures ♦-(x, 1)-stability of MATCHING on one workload.
-pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MatchingStability {
+/// The campaign cell: one (workload, seed) MATCHING stability run.
+pub fn cell(
+    workload: &Workload,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> CellOutcome<MatchingStabilityRun> {
     let graph = workload.build(config.base_seed);
-    let bound = Matching::stability_bound(&graph);
-    let mut min_matched = usize::MAX;
-    let mut min_stable = usize::MAX;
-    for seed in config.seeds() {
-        let protocol = Matching::with_greedy_coloring(&graph);
-        let mut sim = Simulation::new(
-            &graph,
-            protocol,
-            DistributedRandom::new(0.5),
-            seed,
-            SimOptions::default(),
-        );
-        let report = sim.run_until_silent(config.max_steps);
-        if !report.silent {
-            continue;
-        }
-        let matched = 2 * sim.protocol().output(&graph, sim.config()).len();
-        sim.mark_suffix();
-        sim.run_steps((graph.node_count() as u64) * 20);
-        let measurement = StabilityMeasurement::from_stats(sim.stats(), 1, bound);
-        min_matched = min_matched.min(matched);
-        min_stable = min_stable.min(measurement.stable_processes);
-    }
+    run_cell(
+        &graph,
+        Matching::with_greedy_coloring(&graph),
+        DistributedRandom::new(0.5),
+        seed,
+        SimOptions::default(),
+        config.max_steps,
+        |report, sim| {
+            if !report.silent {
+                return CellOutcome::Timeout;
+            }
+            let matched = 2 * sim.protocol().output(sim.graph(), sim.config()).len();
+            sim.mark_suffix();
+            sim.run_steps((sim.graph().node_count() as u64) * 20);
+            CellOutcome::Stabilized(MatchingStabilityRun {
+                matched,
+                stable: sim.stats().stable_process_count(1),
+            })
+        },
+    )
+}
+
+fn aggregate(
+    point: &PointResult<'_, Workload, CellOutcome<MatchingStabilityRun>>,
+    config: &ExperimentConfig,
+) -> MatchingStability {
+    let graph = point.point.build(config.base_seed);
     MatchingStability {
         edges: graph.edge_count(),
         max_degree: graph.max_degree(),
-        bound,
-        min_matched: if min_matched == usize::MAX {
-            0
-        } else {
-            min_matched
-        },
-        min_stable: if min_stable == usize::MAX {
-            0
-        } else {
-            min_stable
-        },
+        bound: Matching::stability_bound(&graph),
+        min_matched: point.stabilized().map(|r| r.matched).min().unwrap_or(0),
+        min_stable: point.stabilized().map(|r| r.stable).min().unwrap_or(0),
         nodes: graph.node_count(),
     }
+}
+
+/// Measures ♦-(x, 1)-stability of MATCHING on one workload.
+pub fn measure(workload: &Workload, config: &ExperimentConfig) -> MatchingStability {
+    let spec = CampaignSpec::with_config(vec![*workload], config);
+    let results = spec.run(config.threads, |c| cell(c.point, config, c.seed));
+    aggregate(&results[0], config)
+}
+
+/// The E6 workload axis.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::Figure11,
+        Workload::Ring(16),
+        Workload::Path(17),
+        Workload::Grid(4, 4),
+        Workload::Star(17),
+        Workload::Gnp(32, 0.15),
+    ]
 }
 
 /// Runs E6 and renders its table.
@@ -91,18 +119,11 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
             "bound satisfied",
         ],
     );
-    let workloads = vec![
-        Workload::Figure11,
-        Workload::Ring(16),
-        Workload::Path(17),
-        Workload::Grid(4, 4),
-        Workload::Star(17),
-        Workload::Gnp(32, 0.15),
-    ];
-    for workload in workloads {
-        let m = measure(&workload, config);
+    let spec = CampaignSpec::with_config(workloads(), config);
+    for point in spec.run(config.threads, |c| cell(c.point, config, c.seed)) {
+        let m = aggregate(&point, config);
         table.push_row(vec![
-            workload.label(),
+            point.point.label(),
             m.nodes.to_string(),
             m.edges.to_string(),
             m.max_degree.to_string(),

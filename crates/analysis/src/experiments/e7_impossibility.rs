@@ -13,7 +13,39 @@ use selfstab_runtime::scheduler::DistributedRandom;
 use selfstab_runtime::{SimOptions, Simulation};
 
 use super::ExperimentConfig;
+use crate::campaign::{grid2, CampaignSpec};
 use crate::table::ExperimentTable;
+
+/// The theorem axis of the E7/E8 grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Theorem {
+    /// Theorem 1: anonymous networks.
+    One,
+    /// Theorem 2: rooted networks with a dag orientation.
+    Two,
+}
+
+impl Theorem {
+    fn label(&self) -> &'static str {
+        match self {
+            Theorem::One => "Thm 1 (anonymous)",
+            Theorem::Two => "Thm 2 (rooted+dag)",
+        }
+    }
+
+    fn topology_size(&self, delta: usize) -> usize {
+        match self {
+            Theorem::One => {
+                if delta == 2 {
+                    7
+                } else {
+                    delta * delta + 1
+                }
+            }
+            Theorem::Two => 6 + 6 * (delta - 2),
+        }
+    }
+}
 
 /// Outcome of checking one counterexample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +109,20 @@ pub fn check_theorem2(delta: usize, steps: u64, seed: u64) -> CounterexampleChec
     }
 }
 
+/// The campaign cell: builds and simulates one counterexample.
+pub fn cell(
+    theorem: Theorem,
+    delta: usize,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> CounterexampleCheck {
+    let steps = (config.max_steps / 100).clamp(1_000, 50_000);
+    match theorem {
+        Theorem::One => check_theorem1(delta, steps, seed),
+        Theorem::Two => check_theorem2(delta, steps, seed),
+    }
+}
+
 /// Runs E7 (Theorem 1) and E8 (Theorem 2) and renders them as one table.
 pub fn run(config: &ExperimentConfig) -> ExperimentTable {
     let mut table = ExperimentTable::new(
@@ -92,27 +138,19 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
             "ever escaped",
         ],
     );
-    let steps = (config.max_steps / 100).clamp(1_000, 50_000);
-    for delta in 2..=4 {
-        let check = check_theorem1(delta, steps, config.base_seed);
-        let size = if delta == 2 { 7 } else { delta * delta + 1 };
+    let spec = CampaignSpec::new(
+        grid2(&[Theorem::One, Theorem::Two], &[2usize, 3, 4]),
+        vec![config.base_seed],
+    );
+    for point in spec.run(config.threads, |c| {
+        cell(c.point.0, c.point.1, config, c.seed)
+    }) {
+        let (theorem, delta) = *point.point;
+        let check = point.runs[0];
         table.push_row(vec![
-            "Thm 1 (anonymous)".into(),
+            theorem.label().into(),
             delta.to_string(),
-            size.to_string(),
-            check.violates_predicate.to_string(),
-            check.silent.to_string(),
-            check.steps_without_change.to_string(),
-            check.escaped.to_string(),
-        ]);
-    }
-    for delta in 2..=4 {
-        let check = check_theorem2(delta, steps, config.base_seed);
-        let size = 6 + 6 * (delta - 2);
-        table.push_row(vec![
-            "Thm 2 (rooted+dag)".into(),
-            delta.to_string(),
-            size.to_string(),
+            theorem.topology_size(delta).to_string(),
             check.violates_predicate.to_string(),
             check.silent.to_string(),
             check.steps_without_change.to_string(),

@@ -10,18 +10,49 @@
 //! * the rounds needed to re-stabilize after `f` processes suffer a
 //!   transient fault.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use selfstab_core::baselines::BaselineMis;
 use selfstab_core::mis::Mis;
 use selfstab_runtime::faults::{inject_random_faults, FaultLoad};
 use selfstab_runtime::scheduler::Synchronous;
-use selfstab_runtime::{Protocol, Scheduler, SimOptions, Simulation};
+use selfstab_runtime::{run_cell, SimOptions};
 
 use super::ExperimentConfig;
+use crate::campaign::{grid3, CampaignSpec, CellOutcome, PointResult};
 use crate::stats::Summary;
 use crate::table::ExperimentTable;
 use crate::workloads::Workload;
 
-/// Raw measurements for one (workload, protocol, fault-load) point.
+/// The protocol axis of the E9 grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisKind {
+    /// The paper's 1-efficient MIS.
+    Efficient,
+    /// The Δ-efficient local-checking baseline.
+    Baseline,
+}
+
+impl MisKind {
+    fn label(&self) -> &'static str {
+        match self {
+            MisKind::Efficient => "mis-1-efficient",
+            MisKind::Baseline => "mis-baseline",
+        }
+    }
+}
+
+/// Metrics of one run whose initial stabilization succeeded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRecoveryRun {
+    /// Reads per process per round over the stabilized window.
+    pub steady_reads_per_round: f64,
+    /// Rounds to re-stabilize after the faults (`None`: the recovery run
+    /// did not re-stabilize within the budget).
+    pub recovery_rounds: Option<u64>,
+}
+
+/// Aggregated measurements for one (workload, protocol, fault-load) point.
 #[derive(Debug, Clone)]
 pub struct FaultRecovery {
     /// Reads per process per round in the stabilized phase (averaged over a
@@ -29,70 +60,110 @@ pub struct FaultRecovery {
     pub steady_reads_per_round: f64,
     /// Rounds to re-stabilize after the faults, per run.
     pub recovery_rounds: Vec<u64>,
-    /// Runs that failed to re-stabilize within the budget.
+    /// Runs that failed to (re-)stabilize within the budget.
     pub timeouts: u64,
 }
 
-fn measure_protocol<P, S, F>(
+/// The campaign cell: stabilize, measure the steady-state read overhead
+/// over a fixed window of rounds, inject transient faults, and measure the
+/// re-stabilization cost.
+pub fn cell(
+    workload: &Workload,
+    kind: MisKind,
+    faults: FaultLoad,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> CellOutcome<FaultRecoveryRun> {
+    fn drive<P: selfstab_runtime::Protocol>(
+        graph: &selfstab_graph::Graph,
+        protocol: P,
+        fault_count: usize,
+        config: &ExperimentConfig,
+        seed: u64,
+    ) -> CellOutcome<FaultRecoveryRun> {
+        run_cell(
+            graph,
+            protocol,
+            Synchronous,
+            seed,
+            SimOptions::default(),
+            config.max_steps,
+            |report, sim| {
+                if !report.silent {
+                    return CellOutcome::Timeout;
+                }
+                // Steady-state read overhead over a fixed window of rounds.
+                let window_rounds = 20u64;
+                let reads_before = sim.stats().total_read_operations();
+                let rounds_before = sim.rounds();
+                while sim.rounds() < rounds_before + window_rounds {
+                    sim.step();
+                }
+                let reads_in_window = sim.stats().total_read_operations() - reads_before;
+                let steady_reads_per_round = reads_in_window as f64
+                    / (window_rounds as f64 * sim.graph().node_count() as f64);
+
+                // Transient faults, then re-stabilization.
+                let mut fault_rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
+                inject_random_faults(sim, fault_count, &mut fault_rng);
+                let rounds_at_fault = sim.rounds();
+                let report = sim.run_until_silent(config.max_steps);
+                CellOutcome::Stabilized(FaultRecoveryRun {
+                    steady_reads_per_round,
+                    recovery_rounds: report.silent.then(|| sim.rounds() - rounds_at_fault),
+                })
+            },
+        )
+    }
+    let graph = workload.build(config.base_seed);
+    let fault_count = faults.resolve(&graph);
+    match kind {
+        MisKind::Efficient => drive(
+            &graph,
+            Mis::with_greedy_coloring(&graph),
+            fault_count,
+            config,
+            seed,
+        ),
+        MisKind::Baseline => drive(
+            &graph,
+            BaselineMis::with_greedy_coloring(&graph),
+            fault_count,
+            config,
+            seed,
+        ),
+    }
+}
+
+fn aggregate<P>(point: &PointResult<'_, P, CellOutcome<FaultRecoveryRun>>) -> FaultRecovery {
+    let recovery_rounds: Vec<u64> = point
+        .stabilized()
+        .filter_map(|r| r.recovery_rounds)
+        .collect();
+    // A run times out when it never stabilizes, or when it stabilizes but
+    // fails to recover from the injected faults.
+    let recovery_timeouts = point.stabilized_count() as u64 - recovery_rounds.len() as u64;
+    FaultRecovery {
+        steady_reads_per_round: Summary::from_samples(
+            point.stabilized().map(|r| r.steady_reads_per_round),
+        )
+        .mean,
+        recovery_rounds,
+        timeouts: point.timeouts() + recovery_timeouts,
+    }
+}
+
+fn measure(
     workload: &Workload,
     config: &ExperimentConfig,
     faults: FaultLoad,
-    make_protocol: F,
-    make_scheduler: fn() -> S,
-) -> FaultRecovery
-where
-    P: Protocol,
-    S: Scheduler,
-    F: Fn(&selfstab_graph::Graph) -> P,
-{
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    let graph = workload.build(config.base_seed);
-    let fault_count = faults.resolve(&graph);
-    let mut recovery_rounds = Vec::new();
-    let mut timeouts = 0;
-    let mut steady_reads = Vec::new();
-    for seed in config.seeds() {
-        let protocol = make_protocol(&graph);
-        let mut sim = Simulation::new(
-            &graph,
-            protocol,
-            make_scheduler(),
-            seed,
-            SimOptions::default(),
-        );
-        let report = sim.run_until_silent(config.max_steps);
-        if !report.silent {
-            timeouts += 1;
-            continue;
-        }
-        // Steady-state read overhead over a fixed window of rounds.
-        let window_rounds = 20u64;
-        let reads_before = sim.stats().total_read_operations();
-        let rounds_before = sim.rounds();
-        while sim.rounds() < rounds_before + window_rounds {
-            sim.step();
-        }
-        let reads_in_window = sim.stats().total_read_operations() - reads_before;
-        steady_reads
-            .push(reads_in_window as f64 / (window_rounds as f64 * graph.node_count() as f64));
-
-        // Transient faults, then re-stabilization.
-        let mut fault_rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
-        inject_random_faults(&mut sim, fault_count, &mut fault_rng);
-        let rounds_at_fault = sim.rounds();
-        let report = sim.run_until_silent(config.max_steps);
-        if report.silent {
-            recovery_rounds.push(sim.rounds() - rounds_at_fault);
-        } else {
-            timeouts += 1;
-        }
-    }
-    FaultRecovery {
-        steady_reads_per_round: Summary::from_samples(steady_reads).mean,
-        recovery_rounds,
-        timeouts,
-    }
+    kind: MisKind,
+) -> FaultRecovery {
+    let spec = CampaignSpec::with_config(vec![(*workload, faults, kind)], config);
+    let results = spec.run(config.threads, |c| {
+        cell(&c.point.0, c.point.2, c.point.1, config, c.seed)
+    });
+    aggregate(&results[0])
 }
 
 /// Measures the 1-efficient MIS protocol on one workload.
@@ -101,9 +172,7 @@ pub fn measure_efficient(
     config: &ExperimentConfig,
     faults: FaultLoad,
 ) -> FaultRecovery {
-    measure_protocol(workload, config, faults, Mis::with_greedy_coloring, || {
-        Synchronous
-    })
+    measure(workload, config, faults, MisKind::Efficient)
 }
 
 /// Measures the Δ-efficient baseline MIS on one workload.
@@ -112,13 +181,7 @@ pub fn measure_baseline(
     config: &ExperimentConfig,
     faults: FaultLoad,
 ) -> FaultRecovery {
-    measure_protocol(
-        workload,
-        config,
-        faults,
-        BaselineMis::with_greedy_coloring,
-        || Synchronous,
-    )
+    measure(workload, config, faults, MisKind::Baseline)
 }
 
 /// Runs E9 and renders its table.
@@ -128,7 +191,7 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
         "stabilized-phase reads per process per round and recovery after transient faults (MIS vs baseline)",
         vec!["workload", "faults f", "protocol", "steady reads/process/round", "recovery rounds", "timeouts"],
     );
-    let workloads = vec![
+    let workloads = [
         Workload::Grid(5, 5),
         Workload::Gnp(40, 0.15),
         Workload::Star(25),
@@ -138,23 +201,22 @@ pub fn run(config: &ExperimentConfig) -> ExperimentTable {
         FaultLoad::Fraction(0.1),
         FaultLoad::Fraction(0.25),
     ];
-    for workload in &workloads {
-        for &faults in &fault_loads {
-            let graph = workload.build(config.base_seed);
-            let f = faults.resolve(&graph);
-            let efficient = measure_efficient(workload, config, faults);
-            let baseline = measure_baseline(workload, config, faults);
-            for (name, m) in [("mis-1-efficient", &efficient), ("mis-baseline", &baseline)] {
-                table.push_row(vec![
-                    workload.label(),
-                    f.to_string(),
-                    name.to_string(),
-                    format!("{:.2}", m.steady_reads_per_round),
-                    Summary::from_counts(m.recovery_rounds.iter().copied()).display_mean_max(),
-                    m.timeouts.to_string(),
-                ]);
-            }
-        }
+    let kinds = [MisKind::Efficient, MisKind::Baseline];
+    let spec = CampaignSpec::with_config(grid3(&workloads, &fault_loads, &kinds), config);
+    for point in spec.run(config.threads, |c| {
+        cell(&c.point.0, c.point.2, c.point.1, config, c.seed)
+    }) {
+        let (workload, faults, kind) = *point.point;
+        let graph = workload.build(config.base_seed);
+        let m = aggregate(&point);
+        table.push_row(vec![
+            workload.label(),
+            faults.resolve(&graph).to_string(),
+            kind.label().to_string(),
+            format!("{:.2}", m.steady_reads_per_round),
+            Summary::from_counts(m.recovery_rounds.iter().copied()).display_mean_max(),
+            m.timeouts.to_string(),
+        ]);
     }
     table.push_note("paper claim (§1): after stabilization the 1-efficient protocol reads at most 1 register per process per activation, the local-checking baseline reads up to Δ; both recover from any transient fault");
     table

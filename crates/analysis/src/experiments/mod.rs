@@ -1,9 +1,13 @@
-//! The experiments E1–E10 (see the crate-level table).
+//! The experiments E1–E13 (see the crate-level table).
 //!
 //! Every experiment is a pure function from an [`ExperimentConfig`] to an
-//! [`ExperimentTable`]; the `experiments`
-//! binary prints them, the integration tests check their invariants, and the
-//! criterion benches time their workloads.
+//! [`ExperimentTable`], and declares its run grid as a
+//! [`CampaignSpec`](crate::campaign::CampaignSpec) — workloads × daemons ×
+//! protocol parameters × seeds — whose cells the campaign engine executes
+//! on `config.threads` worker threads. The `experiments` binary prints the
+//! tables, the integration tests check their invariants (including
+//! byte-identical output across thread counts), and the criterion benches
+//! time their workloads.
 
 pub mod e10_transformer;
 pub mod e11_ablation;
@@ -32,6 +36,11 @@ pub struct ExperimentConfig {
     pub max_steps: u64,
     /// Base RNG seed; run `i` of a data point uses `base_seed + i`.
     pub base_seed: u64,
+    /// Worker threads used by the campaign engine (at least 1). Every cell
+    /// of a campaign is a pure function of its grid point and seed, so the
+    /// thread count affects wall-clock time only — tables are byte-identical
+    /// for every value (see `tests/determinism.rs`).
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -40,6 +49,7 @@ impl Default for ExperimentConfig {
             runs: 10,
             max_steps: 2_000_000,
             base_seed: 0xC0FFEE,
+            threads: crate::campaign::default_threads(),
         }
     }
 }
@@ -50,7 +60,7 @@ impl ExperimentConfig {
         ExperimentConfig {
             runs: 3,
             max_steps: 500_000,
-            base_seed: 0xC0FFEE,
+            ..ExperimentConfig::default()
         }
     }
 
@@ -58,27 +68,98 @@ impl ExperimentConfig {
     pub fn seeds(&self) -> impl Iterator<Item = u64> + '_ {
         (0..self.runs).map(move |i| self.base_seed.wrapping_add(i))
     }
+
+    /// Replaces the campaign worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
 }
 
-/// One experiment: the identifier its table carries (slash-separated when
-/// one table covers several experiments, e.g. `"E7/E8"`) and its runner.
+/// An experiment runner: a pure function from the shared configuration to a
+/// rendered table.
 pub type Runner = fn(&ExperimentConfig) -> ExperimentTable;
 
+/// One experiment registration: the identifier its table carries
+/// (slash-separated when one table covers several experiments, e.g.
+/// `"E7/E8"`), a one-line description, and its runner.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Identifier, e.g. `"E3"`.
+    pub id: &'static str,
+    /// One-line description (shown by `experiments --list`).
+    pub title: &'static str,
+    /// Generates the experiment's table.
+    pub runner: Runner,
+}
+
 /// Every experiment in presentation order, keyed by identifier.
-pub fn registry() -> Vec<(&'static str, Runner)> {
+pub fn registry() -> Vec<Experiment> {
+    fn entry(id: &'static str, title: &'static str, runner: Runner) -> Experiment {
+        Experiment { id, title, runner }
+    }
     vec![
-        ("E1", e1_communication::run as Runner),
-        ("E2", e2_coloring::run),
-        ("E3", e3_mis_convergence::run),
-        ("E4", e4_mis_stability::run),
-        ("E5", e5_matching_convergence::run),
-        ("E6", e6_matching_stability::run),
-        ("E7/E8", e7_impossibility::run),
-        ("E9", e9_fault_recovery::run),
-        ("E10", e10_transformer::run),
-        ("E11", e11_ablation::run),
-        ("E12", e12_bfs_tree::run),
-        ("E13", e13_leader_election::run),
+        entry(
+            "E1",
+            "communication complexity per step: 1-efficient vs Δ-efficient",
+            e1_communication::run,
+        ),
+        entry(
+            "E2",
+            "COLORING convergence and 1-efficiency (Fig. 7, Thm 3)",
+            e2_coloring::run,
+        ),
+        entry(
+            "E3",
+            "MIS convergence vs the Lemma 4 bound Δ·#C",
+            e3_mis_convergence::run,
+        ),
+        entry(
+            "E4",
+            "MIS ♦-(x,1)-stability vs the Theorem 6 bound",
+            e4_mis_stability::run,
+        ),
+        entry(
+            "E5",
+            "MATCHING convergence vs the Lemma 9 bound (Δ+1)n+2",
+            e5_matching_convergence::run,
+        ),
+        entry(
+            "E6",
+            "MATCHING ♦-(x,1)-stability vs the Theorem 8 bound",
+            e6_matching_stability::run,
+        ),
+        entry(
+            "E7/E8",
+            "impossibility constructions of Theorems 1-2",
+            e7_impossibility::run,
+        ),
+        entry(
+            "E9",
+            "stabilized-phase reads and transient-fault recovery",
+            e9_fault_recovery::run,
+        ),
+        entry(
+            "E10",
+            "round-robin transformer vs hand-written COLORING",
+            e10_transformer::run,
+        ),
+        entry(
+            "E11",
+            "ablations: identifier quality and daemon choice",
+            e11_ablation::run,
+        ),
+        entry(
+            "E12",
+            "silent BFS spanning tree: convergence and post-silence cost",
+            e12_bfs_tree::run,
+        ),
+        entry(
+            "E13",
+            "communication-efficient leader election vs the Δ-efficient baseline",
+            e13_leader_election::run,
+        ),
     ]
 }
 
@@ -100,8 +181,8 @@ pub fn run_all(config: &ExperimentConfig) -> Vec<ExperimentTable> {
 pub fn run_selected(config: &ExperimentConfig, only: Option<&[String]>) -> Vec<ExperimentTable> {
     registry()
         .into_iter()
-        .filter(|(id, _)| only.is_none_or(|only| id_matches(id, only)))
-        .map(|(_, runner)| runner(config))
+        .filter(|e| only.is_none_or(|only| id_matches(e.id, only)))
+        .map(|e| (e.runner)(config))
         .collect()
 }
 
@@ -115,6 +196,7 @@ mod tests {
             runs: 5,
             max_steps: 10,
             base_seed: 100,
+            ..ExperimentConfig::default()
         };
         let seeds: Vec<u64> = cfg.seeds().collect();
         assert_eq!(seeds, vec![100, 101, 102, 103, 104]);
@@ -126,11 +208,20 @@ mod tests {
         let full = ExperimentConfig::default();
         assert!(quick.runs < full.runs);
         assert!(quick.max_steps <= full.max_steps);
+        assert!(quick.threads >= 1);
+    }
+
+    #[test]
+    fn with_threads_clamps_to_at_least_one_worker() {
+        let cfg = ExperimentConfig::quick().with_threads(0);
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(ExperimentConfig::quick().with_threads(4).threads, 4);
     }
 
     #[test]
     fn registry_ids_are_unique_and_ordered() {
-        let ids: Vec<&str> = registry().into_iter().map(|(id, _)| id).collect();
+        let entries = registry();
+        let ids: Vec<&str> = entries.iter().map(|e| e.id).collect();
         let mut unique = ids.clone();
         unique.sort_unstable();
         unique.dedup();
@@ -138,6 +229,7 @@ mod tests {
         assert_eq!(ids.first(), Some(&"E1"));
         assert!(ids.contains(&"E12"));
         assert!(ids.contains(&"E13"));
+        assert!(entries.iter().all(|e| !e.title.is_empty()));
     }
 
     #[test]
@@ -154,6 +246,7 @@ mod tests {
             runs: 1,
             max_steps: 200_000,
             base_seed: 1,
+            ..ExperimentConfig::default()
         };
         let only = vec!["E2".to_string()];
         let tables = run_selected(&cfg, Some(&only));

@@ -22,18 +22,25 @@
 //! | E12 | spanning subsystem   | silent BFS tree: oracle-verified convergence scaling with the tree height |
 //! | E13 | spanning subsystem   | leader election: unique min-id leader, ♦-1-efficient vs the Δ-efficient baseline |
 //!
-//! The `experiments` binary (`cargo run --release -p selfstab-analysis --bin
-//! experiments`) prints every table (`--only E12,E13` runs a subset,
-//! `--seed N` changes the base seed); the criterion benches in
+//! Every experiment declares its run grid as a [`campaign::CampaignSpec`]
+//! (workload × daemon × parameters × seeds) executed by the parallel
+//! campaign engine — see the [`campaign`] module for the engine's
+//! determinism guarantees. The `experiments` binary (`cargo run --release
+//! -p selfstab-analysis --bin experiments`) prints every table (`--only
+//! E12,E13` runs a subset, `--seed N` changes the base seed, `--threads N`
+//! sets the worker count, `--format json` emits one machine-readable
+//! document, `--list` shows the identifiers); the criterion benches in
 //! `selfstab-bench` time the same workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod stats;
 pub mod table;
 pub mod workloads;
 
+pub use campaign::{CampaignSpec, CellOutcome, DaemonSpec};
 pub use table::ExperimentTable;
 pub use workloads::Workload;

@@ -3,7 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 /// Summary of a sample of measurements (e.g. rounds-to-silence over many
-/// seeds).
+/// seeds): mean, spread, extremes and quartile/tail quantiles — the shared
+/// aggregation vocabulary of every campaign-based experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
     /// Number of samples.
@@ -18,6 +19,15 @@ pub struct Summary {
     pub max: f64,
     /// Median (0 for an empty sample).
     pub median: f64,
+    /// First quartile — nearest-rank 25th percentile (0 for an empty
+    /// sample).
+    pub p25: f64,
+    /// Third quartile — nearest-rank 75th percentile (0 for an empty
+    /// sample).
+    pub p75: f64,
+    /// Nearest-rank 95th percentile, the tail campaigns watch for
+    /// stragglers (0 for an empty sample).
+    pub p95: f64,
 }
 
 impl Summary {
@@ -34,6 +44,9 @@ impl Summary {
                 min: 0.0,
                 max: 0.0,
                 median: 0.0,
+                p25: 0.0,
+                p75: 0.0,
+                p95: 0.0,
             };
         }
         let mean = values.iter().sum::<f64>() / count as f64;
@@ -50,6 +63,9 @@ impl Summary {
             min: values[0],
             max: values[count - 1],
             median,
+            p25: percentile(&values, 25.0),
+            p75: percentile(&values, 75.0),
+            p95: percentile(&values, 95.0),
         }
     }
 
@@ -111,6 +127,21 @@ mod tests {
         let s = Summary::from_samples([1.0, f64::NAN, 3.0, f64::INFINITY]);
         assert_eq!(s.count, 2);
         assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_quantiles_match_the_percentile_helper() {
+        let sample: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let s = Summary::from_samples(sample.iter().copied());
+        assert_eq!(s.p25, percentile(&sample, 25.0));
+        assert_eq!(s.p75, percentile(&sample, 75.0));
+        assert_eq!(s.p95, percentile(&sample, 95.0));
+        assert!(s.p25 <= s.median && s.median <= s.p75 && s.p75 <= s.p95);
+
+        let empty = Summary::from_samples(std::iter::empty());
+        assert_eq!((empty.p25, empty.p75, empty.p95), (0.0, 0.0, 0.0));
+        let one = Summary::from_counts([7u64]);
+        assert_eq!((one.p25, one.p75, one.p95), (7.0, 7.0, 7.0));
     }
 
     #[test]

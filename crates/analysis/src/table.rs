@@ -81,6 +81,47 @@ impl ExperimentTable {
         out
     }
 
+    /// Renders the table as a self-contained JSON object
+    /// (`{"id", "title", "headers", "rows", "notes"}`), with full string
+    /// escaping. Written by hand because the workspace's offline `serde`
+    /// is a non-serializing stub.
+    pub fn to_json(&self) -> String {
+        let string = |s: &str| -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        };
+        let array = |items: Vec<String>| format!("[{}]", items.join(", "));
+        let string_array =
+            |items: &[String]| array(items.iter().map(|s| string(s)).collect::<Vec<_>>());
+        let rows = array(
+            self.rows
+                .iter()
+                .map(|r| string_array(r))
+                .collect::<Vec<_>>(),
+        );
+        format!(
+            "{{\"id\": {}, \"title\": {}, \"headers\": {}, \"rows\": {}, \"notes\": {}}}",
+            string(&self.id),
+            string(&self.title),
+            string_array(&self.headers),
+            rows,
+            string_array(&self.notes),
+        )
+    }
+
     /// Renders the table as CSV (headers + rows; notes become `#` comments).
     pub fn to_csv(&self) -> String {
         let escape = |cell: &str| -> String {
@@ -143,6 +184,28 @@ mod tests {
         assert!(csv.contains("graph,n,value"));
         assert!(csv.contains("\"has,comma\""));
         assert!(csv.contains("\"a \"\"quote\"\"\""));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_nests_correctly() {
+        let mut t = sample();
+        t.push_row(vec![
+            "a \"quote\"".into(),
+            "back\\slash".into(),
+            "line\nbreak".into(),
+        ]);
+        let json = t.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"id\": \"E0\""));
+        assert!(json.contains("\"headers\": [\"graph\", \"n\", \"value\"]"));
+        assert!(json.contains("\\\"quote\\\""));
+        assert!(json.contains("back\\\\slash"));
+        assert!(json.contains("line\\nbreak"));
+        assert!(json.contains("\"notes\": [\"values should grow with n\"]"));
+        // Unicode (Δ, ♦) passes through unescaped — JSON is UTF-8.
+        let mut t = ExperimentTable::new("EΔ", "♦-stability", vec!["k"]);
+        t.push_row(vec!["1".into()]);
+        assert!(t.to_json().contains("♦-stability"));
     }
 
     #[test]

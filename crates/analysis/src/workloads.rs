@@ -118,6 +118,57 @@ impl Workload {
     }
 }
 
+impl std::str::FromStr for Workload {
+    type Err = String;
+
+    /// Parses the exact label format produced by [`Workload`]'s `Display`
+    /// (`ring(32)`, `grid(6x6)`, `gnp(48,0.12)`, `figure11`, …), so that
+    /// campaign JSON output is parseable back into specs.
+    fn from_str(s: &str) -> Result<Workload, String> {
+        let s = s.trim();
+        if s == "figure11" {
+            return Ok(Workload::Figure11);
+        }
+        let (family, args) = s
+            .strip_suffix(')')
+            .and_then(|s| s.split_once('('))
+            .ok_or_else(|| format!("workload {s:?}: expected family(args) or figure11"))?;
+        let usize_arg = |v: &str| {
+            v.parse::<usize>()
+                .map_err(|err| format!("workload {s:?}: {err}"))
+        };
+        let pair = |sep: char| -> Result<(usize, usize), String> {
+            let (a, b) = args
+                .split_once(sep)
+                .ok_or_else(|| format!("workload {s:?}: expected two {sep:?}-separated sizes"))?;
+            Ok((usize_arg(a)?, usize_arg(b)?))
+        };
+        match family {
+            "path" => Ok(Workload::Path(usize_arg(args)?)),
+            "ring" => Ok(Workload::Ring(usize_arg(args)?)),
+            "grid" => pair('x').map(|(r, c)| Workload::Grid(r, c)),
+            "star" => Ok(Workload::Star(usize_arg(args)?)),
+            "complete" => Ok(Workload::Complete(usize_arg(args)?)),
+            "gnp" => {
+                let (n, p) = args
+                    .split_once(',')
+                    .ok_or_else(|| format!("workload {s:?}: expected gnp(n,p)"))?;
+                let p = p
+                    .parse::<f64>()
+                    .map_err(|err| format!("workload {s:?}: {err}"))?;
+                Ok(Workload::Gnp(usize_arg(n)?, p))
+            }
+            "tree" => Ok(Workload::Tree(usize_arg(args)?)),
+            "caterpillar" => pair(',').map(|(s, l)| Workload::Caterpillar(s, l)),
+            "torus" => pair('x').map(|(r, c)| Workload::Torus(r, c)),
+            "hypercube" => Ok(Workload::Hypercube(usize_arg(args)?)),
+            "btree" => pair(',').map(|(a, d)| Workload::BalancedTree(a, d)),
+            "ba" => pair(',').map(|(n, m)| Workload::Barabasi(n, m)),
+            other => Err(format!("unknown workload family {other:?} in {s:?}")),
+        }
+    }
+}
+
 impl fmt::Display for Workload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
@@ -180,6 +231,28 @@ mod tests {
         assert_eq!(Workload::Grid(3, 4).label(), "grid(3x4)");
         assert_eq!(Workload::Figure11.label(), "figure11");
         assert_eq!(Workload::Gnp(10, 0.25).label(), "gnp(10,0.25)");
+    }
+
+    #[test]
+    fn labels_parse_back_into_workloads() {
+        for w in [
+            Workload::Path(8),
+            Workload::Grid(3, 4),
+            Workload::Gnp(20, 0.25),
+            Workload::Caterpillar(4, 2),
+            Workload::Figure11,
+            Workload::Torus(3, 4),
+            Workload::BalancedTree(2, 3),
+            Workload::Barabasi(16, 2),
+        ] {
+            assert_eq!(w.label().parse::<Workload>(), Ok(w));
+        }
+        // Whitespace is tolerated; garbage is rejected with context.
+        assert_eq!(" ring(9) ".parse::<Workload>(), Ok(Workload::Ring(9)));
+        for bad in ["", "ring", "ring()", "grid(3,4)", "mobius(8)", "gnp(10)"] {
+            let err = bad.parse::<Workload>().unwrap_err();
+            assert!(err.contains("workload") || err.contains("family"), "{err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Campaign-engine throughput: the same E2 coloring grid executed by the
+//! declarative campaign engine at 1, 2 and 4 worker threads. Cell work
+//! dominates and cells are independent, so the time per campaign should
+//! shrink near-linearly until the core count (or the grid width) is
+//! reached — this bench is the acceptance evidence that `--threads 4` beats
+//! `--threads 1` on real experiment cells. (On a single-core host the
+//! multi-thread variants instead measure the engine's overhead, which
+//! should stay within a few percent of the inline path.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfstab_analysis::campaign::CampaignSpec;
+use selfstab_analysis::experiments::{e2_coloring, ExperimentConfig};
+use selfstab_bench::{bench_config, SAMPLE_SIZE};
+
+fn bench(c: &mut Criterion) {
+    // The shared bench seed and step budget, widened to a 4-seed grid so
+    // there is enough cell-level parallelism to schedule.
+    let config = ExperimentConfig {
+        runs: 4,
+        ..bench_config()
+    };
+    let workloads = e2_coloring::workloads();
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(SAMPLE_SIZE);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads={threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let spec = CampaignSpec::with_config(workloads.clone(), &config);
+                    let results = spec.run(threads, |cell| {
+                        e2_coloring::cell(cell.point, &config, cell.seed)
+                    });
+                    assert!(
+                        results.iter().all(|point| point.timeouts() == 0),
+                        "COLORING must stabilize in every cell"
+                    );
+                    results.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,12 +10,15 @@
 use selfstab_analysis::experiments::ExperimentConfig;
 
 /// The configuration used by every benchmark: few runs, generous step
-/// budget, fixed seed — criterion supplies the repetition.
+/// budget, fixed seed, single-threaded campaigns (the campaign-throughput
+/// bench overrides the thread count explicitly) — criterion supplies the
+/// repetition.
 pub fn bench_config() -> ExperimentConfig {
     ExperimentConfig {
         runs: 2,
         max_steps: 2_000_000,
         base_seed: 0xBEEF,
+        threads: 1,
     }
 }
 

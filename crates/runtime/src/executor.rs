@@ -680,6 +680,81 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     }
 }
 
+/// Runs one self-contained experiment **cell**: builds a [`Simulation`] from
+/// its owned inputs, drives it to silence (or until `max_steps` further
+/// steps), and extracts a result through `measure`.
+///
+/// This is the entry point parallel experiment campaigns use. Every mutable
+/// piece of a cell is owned by the call — the protocol, the scheduler, the
+/// configuration, and the [`StdRng`] seeded from `seed` — so any number of
+/// `run_cell` invocations may execute concurrently on different threads
+/// without sharing mutable state. [`Simulation`] itself is `Send` whenever
+/// the protocol, scheduler, and their state types are `Send` (every protocol
+/// and scheduler in this workspace is; the `send_bounds` test module pins
+/// this down), so a cell may also be constructed on one thread and finished
+/// on another.
+///
+/// The `measure` closure receives the [`RunReport`] of the silence run plus
+/// the simulation itself, ready for post-stabilization driving
+/// ([`Simulation::mark_suffix`], [`Simulation::run_steps`]) and metric
+/// extraction.
+///
+/// # Example
+///
+/// ```
+/// use selfstab_graph::generators;
+/// use selfstab_runtime::guarded::{ActionContext, GuardedAction, GuardedProtocol};
+/// use selfstab_runtime::scheduler::Synchronous;
+/// use selfstab_runtime::{run_cell, SimOptions};
+///
+/// let adopt_min = GuardedAction::new(
+///     "adopt-smaller-value",
+///     |ctx: &ActionContext<'_, '_, u32, u32>| ctx.neighbor_comms().any(|v| v < ctx.state),
+///     |ctx, _rng| ctx.neighbor_comms().copied().min().unwrap_or(*ctx.state),
+/// );
+/// let protocol = GuardedProtocol::new(
+///     "min-propagation",
+///     vec![adopt_min],
+///     |_, p, _| p.index() as u32 + 1,
+///     |_, state: &u32| *state,
+///     |_, _| 32,
+///     |_, _| 32,
+///     |_, config: &[u32]| config.iter().all(|&v| v == 1),
+/// );
+/// let graph = generators::ring(8);
+/// let steps = run_cell(
+///     &graph,
+///     protocol,
+///     Synchronous,
+///     7,
+///     SimOptions::default(),
+///     10_000,
+///     |report, _sim| {
+///         assert!(report.silent);
+///         report.total_steps
+///     },
+/// );
+/// assert!(steps > 0);
+/// ```
+pub fn run_cell<P, S, M, F>(
+    graph: &Graph,
+    protocol: P,
+    scheduler: S,
+    seed: u64,
+    options: SimOptions,
+    max_steps: u64,
+    measure: F,
+) -> M
+where
+    P: Protocol,
+    S: Scheduler,
+    F: FnOnce(RunReport, &mut Simulation<'_, P, S>) -> M,
+{
+    let mut sim = Simulation::new(graph, protocol, scheduler, seed, options);
+    let report = sim.run_until_silent(max_steps);
+    measure(report, &mut sim)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -745,6 +820,52 @@ mod tests {
             let min = config.iter().min().copied().unwrap_or(0);
             config.iter().all(|&v| v == min)
         }
+    }
+
+    /// Compile-time Send audit: experiment campaigns move cells across
+    /// worker threads, so a [`Simulation`] over Send protocol/scheduler
+    /// types must itself be Send (and the concrete schedulers must be Send
+    /// individually — see the matching assertions in `scheduler::tests` and
+    /// `guarded::tests`).
+    #[test]
+    fn simulation_is_send_for_send_protocol_and_scheduler() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation<'static, MinValue, Synchronous>>();
+        assert_send::<Simulation<'static, MinValue, DistributedRandom>>();
+        assert_send::<
+            Simulation<
+                'static,
+                crate::guarded::GuardedProtocol<u32, u32>,
+                Box<dyn crate::scheduler::Scheduler + Send>,
+            >,
+        >();
+    }
+
+    #[test]
+    fn run_cell_matches_a_hand_driven_simulation() {
+        let graph = generators::ring(8);
+        let cell_steps = run_cell(
+            &graph,
+            MinValue,
+            DistributedRandom::new(0.4),
+            3,
+            SimOptions::default(),
+            10_000,
+            |report, sim| {
+                assert!(report.silent);
+                assert_eq!(report.total_steps, sim.steps());
+                report.total_steps
+            },
+        );
+        let mut sim = Simulation::new(
+            &graph,
+            MinValue,
+            DistributedRandom::new(0.4),
+            3,
+            SimOptions::default(),
+        );
+        let report = sim.run_until_silent(10_000);
+        assert_eq!(cell_steps, report.total_steps);
     }
 
     #[test]

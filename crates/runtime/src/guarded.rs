@@ -355,6 +355,17 @@ mod tests {
         )
     }
 
+    /// Compile-time Send audit: every closure slot of a [`GuardedProtocol`]
+    /// is boxed with `Send + Sync` bounds, so the assembled protocol can be
+    /// executed by any worker thread of a parallel experiment campaign.
+    #[test]
+    fn guarded_protocols_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GuardedAction<u32, u32>>();
+        assert_send_sync::<GuardedProtocol<u32, u32>>();
+        assert_send_sync::<GuardedProtocol<(usize, Port), usize>>();
+    }
+
     #[test]
     fn dsl_coloring_stabilizes_and_is_one_efficient() {
         let graph = generators::ring(10);

@@ -102,7 +102,7 @@ pub mod trace;
 pub mod view;
 
 pub use enabled::EnabledSet;
-pub use executor::{RunReport, SimOptions, Simulation};
+pub use executor::{run_cell, RunReport, SimOptions, Simulation};
 pub use protocol::Protocol;
 pub use scheduler::Scheduler;
 pub use stats::RunStats;

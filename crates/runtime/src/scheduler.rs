@@ -414,6 +414,23 @@ mod tests {
         SchedulerContext { step, enabled }
     }
 
+    /// Compile-time Send audit: parallel experiment campaigns build one
+    /// daemon per cell and may move it to a worker thread, so every daemon
+    /// in this module (and the boxed forms the experiments pass around)
+    /// must be Send.
+    #[test]
+    fn every_scheduler_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Synchronous>();
+        assert_send::<CentralRoundRobin>();
+        assert_send::<CentralRandom>();
+        assert_send::<DistributedRandom>();
+        assert_send::<StarvingAdversary>();
+        assert_send::<LocallyCentral>();
+        assert_send::<Fair<DistributedRandom>>();
+        assert_send::<Box<dyn Scheduler + Send>>();
+    }
+
     #[test]
     fn synchronous_selects_everyone() {
         let enabled = set(&[true, false, true]);

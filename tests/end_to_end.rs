@@ -146,6 +146,7 @@ fn experiment_harness_smoke_test() {
         runs: 1,
         max_steps: 500_000,
         base_seed: 0xABCD,
+        ..ExperimentConfig::default()
     };
     let tables = experiments::run_all(&config);
     assert_eq!(tables.len(), experiments::registry().len());
