@@ -332,7 +332,9 @@ proptest! {
         );
         for sampled_prefix in 0..20u64 {
             sim.run_steps(sampled_prefix % 5 + 1);
-            let comm = sim.comm_config();
+            // `comm_config` now returns the cache by reference; copy it so
+            // the mutable `enabled_set` refresh below can proceed.
+            let comm = sim.comm_config().to_vec();
             for p in graph.nodes() {
                 let view = NeighborView::from_snapshot(&graph, p, &comm, false);
                 let expected =

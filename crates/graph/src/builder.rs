@@ -75,7 +75,7 @@ impl GraphBuilder {
     pub fn build(self) -> Result<Graph, GraphError> {
         let n = self.node_count;
         let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
-        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // First pass: validate every edge.
         for &(a, b) in &self.edges {
             if a >= n {
                 return Err(GraphError::NodeOutOfRange {
@@ -101,11 +101,19 @@ impl GraphBuilder {
                     b: NodeId::new(b),
                 });
             }
-            adj[a].push(NodeId::new(b));
-            adj[b].push(NodeId::new(a));
         }
         let edge_count = seen.len();
-        Ok(Graph::from_adjacency(adj, edge_count))
+        // Second pass: hand both endpoint directions to the shared CSR
+        // builder. Port numbering of every process follows the order in
+        // which its incident edges were added, which is exactly the
+        // pair-order guarantee of `csr::from_pairs`.
+        let mut pairs: Vec<(usize, NodeId)> = Vec::with_capacity(2 * self.edges.len());
+        for &(a, b) in &self.edges {
+            pairs.push((a, NodeId::new(b)));
+            pairs.push((b, NodeId::new(a)));
+        }
+        let (neighbors, offsets) = crate::csr::from_pairs(n, &pairs);
+        Ok(Graph::from_csr(neighbors, offsets, edge_count))
     }
 }
 

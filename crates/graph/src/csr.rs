@@ -1,0 +1,76 @@
+//! Shared CSR (compressed sparse row) construction.
+//!
+//! Both adjacency-like structures of this crate — [`Graph`](crate::Graph)'s
+//! undirected port-numbered adjacency and
+//! [`DagOrientation`](crate::orientation::DagOrientation)'s directed
+//! successor/predecessor arrays — store their rows as one flat node array
+//! plus an `n + 1`-entry offset array. This module holds the one
+//! implementation of the three-phase build (count degrees, exclusive
+//! prefix-sum, cursor scatter) they share.
+
+use crate::node::NodeId;
+
+/// Builds a CSR pair from `(row, value)` pairs: the row of index `r` is
+/// `flat[offsets[r] as usize .. offsets[r + 1] as usize]`, and each row
+/// keeps the order in which its pairs appear in `pairs` (for [`Graph`]
+/// this is what makes port numbering follow edge-insertion order).
+///
+/// Offsets are `u32`: 2³¹ directed entries is far beyond simulated scale,
+/// and the narrower offsets halve the index array on 64-bit targets.
+///
+/// [`Graph`]: crate::Graph
+pub(crate) fn from_pairs(n: usize, pairs: &[(usize, NodeId)]) -> (Vec<NodeId>, Vec<u32>) {
+    let mut degree = vec![0u32; n];
+    for &(row, _) in pairs {
+        degree[row] += 1;
+    }
+    let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut total = 0u32;
+    offsets.push(0);
+    for &d in &degree {
+        total += d;
+        offsets.push(total);
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut flat = vec![NodeId::new(0); total as usize];
+    for &(row, value) in pairs {
+        flat[cursor[row] as usize] = value;
+        cursor[row] += 1;
+    }
+    (flat, offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_keep_pair_order_and_offsets_are_prefix_sums() {
+        let pairs = [
+            (1, NodeId::new(5)),
+            (0, NodeId::new(2)),
+            (1, NodeId::new(3)),
+            (2, NodeId::new(0)),
+            (1, NodeId::new(4)),
+        ];
+        let (flat, offsets) = from_pairs(3, &pairs);
+        assert_eq!(offsets, vec![0, 1, 4, 5]);
+        assert_eq!(&flat[0..1], &[NodeId::new(2)]);
+        assert_eq!(
+            &flat[1..4],
+            &[NodeId::new(5), NodeId::new(3), NodeId::new(4)]
+        );
+        assert_eq!(&flat[4..5], &[NodeId::new(0)]);
+    }
+
+    #[test]
+    fn empty_rows_and_empty_input() {
+        let (flat, offsets) = from_pairs(4, &[]);
+        assert!(flat.is_empty());
+        assert_eq!(offsets, vec![0, 0, 0, 0, 0]);
+
+        let (flat, offsets) = from_pairs(0, &[]);
+        assert!(flat.is_empty());
+        assert_eq!(offsets, vec![0]);
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod builder;
 pub mod coloring;
+mod csr;
 pub mod dot;
 pub mod error;
 pub mod generators;

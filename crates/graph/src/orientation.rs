@@ -16,13 +16,48 @@ use crate::graph::Graph;
 use crate::node::NodeId;
 
 /// A dag orientation of a graph's edges.
+///
+/// Stored in the same **CSR (compressed sparse row)** layout as
+/// [`Graph`] itself — flat head/tail arrays plus offset arrays — in both
+/// directions, so [`DagOrientation::successors`] *and*
+/// [`DagOrientation::predecessors`] are `O(1)` contiguous-slice lookups
+/// (the row-of-`Vec`s predecessor scan of the seed was `O(n·Δ)` per call).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DagOrientation {
-    /// `successors[p]` lists the heads of the edges oriented away from `p`.
-    successors: Vec<Vec<NodeId>>,
+    /// Flat CSR successor array: the heads of the edges oriented away from
+    /// `p` are `succ[succ_offsets[p] .. succ_offsets[p + 1]]`.
+    succ: Vec<NodeId>,
+    /// CSR row offsets for `succ`, `n + 1` entries.
+    succ_offsets: Vec<u32>,
+    /// Flat CSR predecessor array (tails of incoming edges), ascending per
+    /// row.
+    pred: Vec<NodeId>,
+    /// CSR row offsets for `pred`, `n + 1` entries.
+    pred_offsets: Vec<u32>,
 }
 
 impl DagOrientation {
+    /// Assembles both CSR directions from a directed edge list (via the
+    /// shared [`crate::csr`] builder). Successor rows keep the edge-list
+    /// order; predecessor rows are sorted ascending.
+    fn from_directed_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let forward: Vec<(usize, NodeId)> = edges.iter().map(|&(f, t)| (f.index(), t)).collect();
+        let backward: Vec<(usize, NodeId)> = edges.iter().map(|&(f, t)| (t.index(), f)).collect();
+        let (succ, succ_offsets) = crate::csr::from_pairs(n, &forward);
+        let (mut pred, pred_offsets) = crate::csr::from_pairs(n, &backward);
+        for p in 0..n {
+            let start = pred_offsets[p] as usize;
+            let end = pred_offsets[p + 1] as usize;
+            pred[start..end].sort_unstable();
+        }
+        DagOrientation {
+            succ,
+            succ_offsets,
+            pred,
+            pred_offsets,
+        }
+    }
+
     /// Builds the orientation of Theorem 4: the edge `{p, q}` is oriented
     /// `p → q` exactly when `C.p ≺ C.q`.
     ///
@@ -37,15 +72,17 @@ impl DagOrientation {
                 reason: "the coloring is not a proper distance-1 coloring of the graph".into(),
             });
         }
-        let mut successors = vec![Vec::new(); graph.node_count()];
-        for (p, q) in graph.edges() {
-            if coloring.color(p) < coloring.color(q) {
-                successors[p.index()].push(q);
-            } else {
-                successors[q.index()].push(p);
-            }
-        }
-        Ok(DagOrientation { successors })
+        let edges: Vec<(NodeId, NodeId)> = graph
+            .edges()
+            .map(|(p, q)| {
+                if coloring.color(p) < coloring.color(q) {
+                    (p, q)
+                } else {
+                    (q, p)
+                }
+            })
+            .collect();
+        Ok(Self::from_directed_edges(graph.node_count(), &edges))
     }
 
     /// Builds an orientation from an explicit list of directed edges.
@@ -56,7 +93,6 @@ impl DagOrientation {
     /// an edge of `graph`, is duplicated, or the orientation has a directed
     /// cycle.
     pub fn from_edges(graph: &Graph, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
-        let mut successors = vec![Vec::new(); graph.node_count()];
         let mut seen = std::collections::BTreeSet::new();
         for &(from, to) in edges {
             graph.check_node(from)?;
@@ -72,15 +108,18 @@ impl DagOrientation {
                     reason: format!("edge {{{from}, {to}}} oriented more than once"),
                 });
             }
-            successors[from.index()].push(to);
         }
-        let orientation = DagOrientation { successors };
+        let orientation = Self::from_directed_edges(graph.node_count(), edges);
         if orientation.topological_order().is_none() {
             return Err(GraphError::InvalidParameters {
                 reason: "the orientation contains a directed cycle".into(),
             });
         }
         Ok(orientation)
+    }
+
+    fn node_count(&self) -> usize {
+        self.succ_offsets.len() - 1
     }
 
     /// Successor set `Succ.p`: neighbors reached by edges oriented away from
@@ -90,15 +129,22 @@ impl DagOrientation {
     ///
     /// Panics if `p` is out of range.
     pub fn successors(&self, p: NodeId) -> &[NodeId] {
-        &self.successors[p.index()]
+        let start = self.succ_offsets[p.index()] as usize;
+        let end = self.succ_offsets[p.index() + 1] as usize;
+        &self.succ[start..end]
     }
 
-    /// Predecessors of `p`: processes whose oriented edge points to `p`.
-    pub fn predecessors(&self, p: NodeId) -> Vec<NodeId> {
-        (0..self.successors.len())
-            .map(NodeId::new)
-            .filter(|&q| self.successors[q.index()].contains(&p))
-            .collect()
+    /// Predecessors of `p` (tails of its incoming oriented edges), in
+    /// ascending process order — an `O(1)` slice lookup on the reverse CSR
+    /// direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn predecessors(&self, p: NodeId) -> &[NodeId] {
+        let start = self.pred_offsets[p.index()] as usize;
+        let end = self.pred_offsets[p.index() + 1] as usize;
+        &self.pred[start..end]
     }
 
     /// Returns `true` when `p` has no incoming oriented edge.
@@ -108,24 +154,21 @@ impl DagOrientation {
 
     /// Returns `true` when `p` has no outgoing oriented edge.
     pub fn is_sink(&self, p: NodeId) -> bool {
-        self.successors[p.index()].is_empty()
+        self.successors(p).is_empty()
     }
 
     /// Number of oriented edges.
     pub fn edge_count(&self) -> usize {
-        self.successors.iter().map(Vec::len).sum()
+        self.succ.len()
     }
 
     /// A topological order of the processes, or `None` if the orientation
     /// has a directed cycle (it then is not a dag).
     pub fn topological_order(&self) -> Option<Vec<NodeId>> {
-        let n = self.successors.len();
-        let mut indegree = vec![0usize; n];
-        for succs in &self.successors {
-            for q in succs {
-                indegree[q.index()] += 1;
-            }
-        }
+        let n = self.node_count();
+        let mut indegree: Vec<usize> = (0..n)
+            .map(|p| self.predecessors(NodeId::new(p)).len())
+            .collect();
         let mut queue: VecDeque<NodeId> = (0..n)
             .filter(|&i| indegree[i] == 0)
             .map(NodeId::new)
@@ -133,7 +176,7 @@ impl DagOrientation {
         let mut order = Vec::with_capacity(n);
         while let Some(p) = queue.pop_front() {
             order.push(p);
-            for &q in &self.successors[p.index()] {
+            for &q in self.successors(p) {
                 indegree[q.index()] -= 1;
                 if indegree[q.index()] == 0 {
                     queue.push_back(q);
@@ -155,10 +198,10 @@ impl DagOrientation {
             Some(order) => order,
             None => return 0,
         };
-        let mut depth = vec![0usize; self.successors.len()];
+        let mut depth = vec![0usize; self.node_count()];
         let mut best = 0;
         for p in order {
-            for &q in &self.successors[p.index()] {
+            for &q in self.successors(p) {
                 if depth[p.index()] + 1 > depth[q.index()] {
                     depth[q.index()] = depth[p.index()] + 1;
                     best = best.max(depth[q.index()]);

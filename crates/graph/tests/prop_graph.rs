@@ -2,8 +2,10 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use selfstab_graph::{coloring, generators, longest_path, orientation, properties, verify, NodeId};
+use rand::{Rng, SeedableRng};
+use selfstab_graph::{
+    coloring, generators, longest_path, orientation, properties, verify, Graph, NodeId,
+};
 
 /// Strategy producing a connected random graph together with the seed used.
 fn connected_graph() -> impl Strategy<Value = selfstab_graph::Graph> {
@@ -14,8 +16,140 @@ fn connected_graph() -> impl Strategy<Value = selfstab_graph::Graph> {
     })
 }
 
+/// Reference adjacency model for the CSR layout: per-process neighbor rows
+/// in edge-insertion order, exactly the `Vec<Vec<NodeId>>` representation
+/// the seed `Graph` used before the CSR migration.
+fn reference_adjacency(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<NodeId>> {
+    let mut rows: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        rows[a].push(NodeId::new(b));
+        rows[b].push(NodeId::new(a));
+    }
+    rows
+}
+
+/// Checks that a CSR [`Graph`] agrees with the reference `Vec<Vec<NodeId>>`
+/// adjacency on degrees, neighbor iteration order, port arithmetic and the
+/// edge count.
+fn assert_csr_matches_reference(g: &Graph, reference: &[Vec<NodeId>], edge_count: usize) {
+    assert_eq!(g.node_count(), reference.len());
+    assert_eq!(g.edge_count(), edge_count);
+    let mut max_degree = 0;
+    for p in g.nodes() {
+        let row = &reference[p.index()];
+        max_degree = max_degree.max(row.len());
+        assert_eq!(g.degree(p), row.len(), "degree of {p}");
+        assert_eq!(
+            g.neighbor_slice(p),
+            &row[..],
+            "CSR row of {p} must match the reference row in iteration order"
+        );
+        let iterated: Vec<NodeId> = g.neighbors(p).collect();
+        assert_eq!(iterated, row[..].to_vec(), "iterator order of {p}");
+        for (i, &q) in row.iter().enumerate() {
+            assert_eq!(g.neighbor(p, selfstab_graph::Port::new(i)), q);
+        }
+    }
+    assert_eq!(g.max_degree(), max_degree);
+    let rows: Vec<&[NodeId]> = g.adjacency().collect();
+    assert_eq!(rows.len(), reference.len());
+    for (row, reference_row) in rows.iter().zip(reference) {
+        assert_eq!(*row, &reference_row[..]);
+    }
+    // Handshake lemma against the flat layout.
+    let degree_sum: usize = g.nodes().map(|p| g.degree(p)).sum();
+    assert_eq!(degree_sum, 2 * g.edge_count());
+}
+
+/// The CSR layout must agree with the reference adjacency on every
+/// deterministic generator family (the insertion orders differ per family,
+/// so this exercises the builder's two-pass scatter broadly).
+#[test]
+fn csr_layout_matches_reference_adjacency_across_generators() {
+    let mut rng = StdRng::seed_from_u64(0xC5);
+    let graphs: Vec<Graph> = vec![
+        generators::path(17),
+        generators::ring(12),
+        generators::complete(9),
+        generators::star(11),
+        generators::wheel(8),
+        generators::complete_bipartite(4, 6),
+        generators::grid(5, 7),
+        generators::torus(4, 5),
+        generators::balanced_tree(3, 3),
+        generators::caterpillar(6, 2),
+        generators::lollipop(5, 4),
+        generators::hypercube(4),
+        generators::barbell(4, 3),
+        generators::petersen(),
+        generators::random_tree(23, &mut rng),
+        generators::barabasi_albert(40, 3, &mut rng).unwrap(),
+        generators::gnp_connected(30, 0.15, &mut rng).unwrap(),
+        generators::gnm_connected(25, 40, &mut rng).unwrap(),
+        generators::random_regular(20, 4, &mut rng).unwrap(),
+    ];
+    for g in &graphs {
+        // Recover the insertion-order edge list from the graph itself: for
+        // each process the ports enumerate its incident edges in insertion
+        // order, and `edges()` yields the canonical (min, max) pairs; the
+        // reference model must therefore be rebuilt from a replayed
+        // insertion. Replay through the public builder API with the same
+        // edge sequence the generator used is not observable, so instead
+        // check self-consistency: rebuilding via `from_edges` with the
+        // canonical edge enumeration must reproduce a graph whose rows
+        // match ITS reference rows.
+        let edges: Vec<(usize, usize)> = g.edges().map(|(a, b)| (a.index(), b.index())).collect();
+        let rebuilt = Graph::from_edges(g.node_count(), &edges).unwrap();
+        let reference = reference_adjacency(g.node_count(), &edges);
+        assert_csr_matches_reference(&rebuilt, &reference, g.edge_count());
+        // The rebuilt graph has the same edge set as the original (port
+        // orders may differ: insertion order is the canonical enumeration).
+        for p in g.nodes() {
+            let mut a: Vec<NodeId> = g.neighbors(p).collect();
+            let mut b: Vec<NodeId> = rebuilt.neighbors(p).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "edge set of {p} differs after rebuild");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary random edge lists: the CSR graph built by the two-pass
+    /// builder must agree with the reference `Vec<Vec<NodeId>>` adjacency
+    /// built row-by-row from the same insertion sequence — including the
+    /// port numbering, which follows insertion order in both models.
+    #[test]
+    fn csr_builder_matches_reference_adjacency_on_random_edge_lists(
+        n in 1usize..40,
+        seed in 0u64..10_000,
+        density in 1u32..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Draw a random simple edge list in random insertion order.
+        let mut all: Vec<(usize, usize)> = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                all.push((a, b));
+            }
+        }
+        use rand::seq::SliceRandom;
+        all.shuffle(&mut rng);
+        let keep = (all.len() * density as usize) / 100;
+        let mut edges: Vec<(usize, usize)> = all.into_iter().take(keep).collect();
+        // Randomize endpoint orientation: insertion order of (a, b) vs
+        // (b, a) affects port numbering and must match the reference.
+        for edge in &mut edges {
+            if rng.gen_bool(0.5) {
+                *edge = (edge.1, edge.0);
+            }
+        }
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let reference = reference_adjacency(n, &edges);
+        assert_csr_matches_reference(&g, &reference, edges.len());
+    }
 
     #[test]
     fn generated_graphs_are_connected_simple_graphs(g in connected_graph()) {

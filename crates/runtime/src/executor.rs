@@ -26,6 +26,28 @@
 //! process on every step, which restores the historical full-recompute
 //! behavior bit for bit (used by the equivalence property tests and as the
 //! benchmark baseline).
+//!
+//! # Zero-allocation steady state
+//!
+//! [`Simulation::step`] performs **no heap allocation** once its scratch
+//! buffers have grown to the execution's working size (checked by the
+//! `zero_alloc` integration test with a counting allocator). Every
+//! per-step collection is a persistent buffer owned by the simulation:
+//!
+//! * the scheduler writes its selection into a reused `Vec<NodeId>`
+//!   (sorted and duplicate-free by the [`Scheduler`] contract — the
+//!   executor `debug_assert`s instead of re-sorting),
+//! * staged updates, the executed list, the neighbor-view read log and the
+//!   distinct-read set are all reused buffers drained in place,
+//! * round detection decrements an `unselected_remaining` counter instead
+//!   of scanning an `O(n)` flag vector every step,
+//! * [`Simulation::comm_config`] returns the maintained cache by reference.
+//!
+//! The two deliberate exceptions, both off by default: recording a
+//! [`Trace`] allocates one `ActivationRecord` (plus its read list) per
+//! activation because the trace retains them forever, and a
+//! [`SimOptions::with_read_restriction`] view allocates its restriction
+//! mask (cold impossibility-experiment path).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -120,12 +142,17 @@ pub struct RunReport {
 }
 
 /// What happened during a single step.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Kept `Copy`-small so [`Simulation::step`] stays allocation-free; the
+/// process lists live in the simulation's reused scratch buffers and are
+/// readable until the next step through [`Simulation::last_selected`] and
+/// [`Simulation::last_executed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepOutcome {
-    /// Processes selected by the scheduler.
-    pub selected: Vec<NodeId>,
-    /// Processes that executed an enabled action.
-    pub executed: Vec<NodeId>,
+    /// Number of processes selected by the scheduler.
+    pub selected: usize,
+    /// Number of processes that executed an enabled action.
+    pub executed: usize,
     /// Whether any communication variable changed.
     pub comm_changed: bool,
 }
@@ -141,7 +168,9 @@ pub struct StepOutcome {
 /// Internally the executor is *incremental*: it caches the communication
 /// configuration and the enabled set across steps and re-evaluates a
 /// process's guard only when the process or one of its neighbors changed
-/// (see the [module documentation](self)).
+/// (see the [module documentation](self)), and its steady-state step loop
+/// is allocation-free (every per-step collection is a persistent scratch
+/// buffer).
 pub struct Simulation<'g, P: Protocol, S: Scheduler> {
     graph: &'g Graph,
     protocol: P,
@@ -154,6 +183,10 @@ pub struct Simulation<'g, P: Protocol, S: Scheduler> {
     step: u64,
     rounds: u64,
     selected_this_round: Vec<bool>,
+    /// Number of `false` entries in `selected_this_round`: the round is
+    /// complete exactly when this reaches 0 (replaces the historical `O(n)`
+    /// per-step scan; the equivalence is `debug_assert`ed).
+    unselected_remaining: usize,
     /// Cached `comm(p, config[p])` for every process, kept current across
     /// steps (the seed executor recomputed this clone every step).
     comm_cache: Vec<P::Comm>,
@@ -168,6 +201,23 @@ pub struct Simulation<'g, P: Protocol, S: Scheduler> {
     /// Total number of `is_enabled` evaluations performed — the cost the
     /// incremental maintenance is designed to shrink.
     guard_evaluations: u64,
+    /// Scratch: the scheduler's selection for the current step.
+    selected_scratch: Vec<NodeId>,
+    /// Scratch: the processes that executed in the current step.
+    executed_scratch: Vec<NodeId>,
+    /// Scratch: staged updates `(process, state, comm, comm_changed)`,
+    /// applied simultaneously at the end of the step.
+    updates_scratch: Vec<(NodeId, P::State, P::Comm, bool)>,
+    /// Scratch: read-log buffer threaded through the tracked neighbor views
+    /// (one activation at a time), so recording reads never allocates.
+    read_log: Vec<Port>,
+    /// Scratch: distinct ports of the current activation, first-read order.
+    distinct_reads: Vec<Port>,
+    /// Scratch for the sampled debug invariant check, so even debug builds
+    /// keep the steady-state step allocation-free (the `zero_alloc`
+    /// integration test runs in debug mode).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    debug_enabled_scratch: Vec<bool>,
 }
 
 impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
@@ -264,12 +314,23 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             step: 0,
             rounds: 0,
             selected_this_round: vec![false; n],
+            unselected_remaining: n,
             comm_cache,
             enabled: EnabledSet::new(n),
             // Nothing has been evaluated yet: every guard starts dirty.
             dirty: vec![true; n],
             dirty_queue: graph.nodes().collect(),
             guard_evaluations: 0,
+            // Selections, executions and staged updates are all bounded by
+            // n (selections are duplicate-free by the scheduler contract),
+            // so reserving n once makes the per-step loop allocation-free
+            // from the very first step, not just after warm-up.
+            selected_scratch: Vec::with_capacity(n),
+            executed_scratch: Vec::with_capacity(n),
+            updates_scratch: Vec::with_capacity(n),
+            read_log: Vec::new(),
+            distinct_reads: Vec::with_capacity(graph.max_degree()),
+            debug_enabled_scratch: Vec::new(),
         }
     }
 
@@ -289,9 +350,22 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     }
 
     /// The current communication configuration (one communication state per
-    /// process), served from the maintained cache.
-    pub fn comm_config(&self) -> Vec<P::Comm> {
-        self.comm_cache.clone()
+    /// process), served **by reference** from the maintained cache (the
+    /// seed executor cloned the whole cache on every call).
+    pub fn comm_config(&self) -> &[P::Comm] {
+        &self.comm_cache
+    }
+
+    /// The processes selected in the most recent step, in increasing id
+    /// order (empty before the first step).
+    pub fn last_selected(&self) -> &[NodeId] {
+        &self.selected_scratch
+    }
+
+    /// The processes that executed an enabled action in the most recent
+    /// step, in increasing id order (empty before the first step).
+    pub fn last_executed(&self) -> &[NodeId] {
+        &self.executed_scratch
     }
 
     /// The enabled set for the current configuration.
@@ -393,8 +467,11 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         if self.dirty_queue.is_empty() {
             return;
         }
-        let queue = std::mem::take(&mut self.dirty_queue);
-        for p in queue {
+        // Swap the queue out so its buffer survives the drain (a plain
+        // `mem::take` would throw the allocation away every step a repair
+        // is in flight).
+        let mut queue = std::mem::take(&mut self.dirty_queue);
+        for &p in &queue {
             self.dirty[p.index()] = false;
             let view = self.untracked_view(p, &self.comm_cache);
             let now_enabled =
@@ -403,12 +480,21 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             self.guard_evaluations += 1;
             self.enabled.set(p, now_enabled);
         }
+        queue.clear();
+        // No in-tree protocol dirties processes from inside `is_enabled`,
+        // but if one ever does, those marks land in `self.dirty_queue`
+        // during the drain — carry them over into the restored buffer
+        // instead of silently dropping them (the pre-swap executor kept
+        // them the same way).
+        queue.append(&mut self.dirty_queue);
+        self.dirty_queue = queue;
     }
 
     /// Recomputes the enabled flags of every process from scratch
-    /// (the reference the incremental maintenance must agree with).
-    /// Only called from the sampled debug-assert and from tests.
-    #[cfg_attr(not(any(debug_assertions, test)), allow(dead_code))]
+    /// (the reference the incremental maintenance must agree with). The
+    /// sampled debug-assert recomputes into its own scratch buffer; this
+    /// allocating form is kept for tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn recompute_enabled_reference(&self) -> Vec<bool> {
         self.graph
             .nodes()
@@ -421,48 +507,96 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     }
 
     #[cfg(debug_assertions)]
-    fn debug_check_enabled_invariant(&self) {
+    fn debug_check_enabled_invariant(&mut self) {
         // Sampled: every step on small systems, periodically on large ones,
         // so debug test runs stay fast while still covering long executions.
         let sampled = self.graph.node_count() <= 64 || self.step.is_multiple_of(101);
         if sampled {
+            // Recompute into a persistent scratch: even the debug invariant
+            // machinery must not allocate in steady state.
+            let mut reference = std::mem::take(&mut self.debug_enabled_scratch);
+            reference.clear();
+            for p in self.graph.nodes() {
+                let view = self.untracked_view(p, &self.comm_cache);
+                reference.push(self.protocol.is_enabled(
+                    self.graph,
+                    p,
+                    &self.config[p.index()],
+                    &view,
+                ));
+            }
             debug_assert_eq!(
                 self.enabled.as_flags(),
-                &self.recompute_enabled_reference()[..],
+                &reference[..],
                 "incremental enabled set diverged from full recomputation at step {}",
                 self.step
             );
+            self.debug_enabled_scratch = reference;
         }
     }
 
     /// Executes one step: asks the scheduler for a selection, activates every
     /// selected process against the pre-step configuration, then applies all
     /// updates simultaneously.
+    ///
+    /// Allocation-free in steady state: selection, updates, read tracking
+    /// and round bookkeeping all reuse persistent buffers (see the
+    /// [module documentation](self)). The selected/executed process lists
+    /// of the step remain readable through [`Simulation::last_selected`] /
+    /// [`Simulation::last_executed`].
     pub fn step(&mut self) -> StepOutcome {
         self.refresh_enabled();
         #[cfg(debug_assertions)]
         self.debug_check_enabled_invariant();
 
+        self.selected_scratch.clear();
         let ctx = SchedulerContext {
             step: self.step,
             enabled: &self.enabled,
         };
-        let mut selected = self.scheduler.select(&ctx, &mut self.rng);
-        selected.sort();
-        selected.dedup();
+        self.scheduler
+            .select(&ctx, &mut self.rng, &mut self.selected_scratch);
         assert!(
-            !selected.is_empty(),
+            !self.selected_scratch.is_empty(),
             "schedulers must select a non-empty subset"
         );
+        debug_assert!(
+            self.selected_scratch.windows(2).all(|w| w[0] < w[1]),
+            "scheduler {} violated the sorted/duplicate-free selection contract",
+            self.scheduler.name()
+        );
 
-        let mut executed = Vec::new();
-        // (process, new state, new comm state, comm changed?)
-        let mut updates: Vec<(NodeId, P::State, P::Comm, bool)> = Vec::new();
+        self.executed_scratch.clear();
+        debug_assert!(self.updates_scratch.is_empty());
+        let tracing = self.options.record_trace;
+        // Trace records are the one intentional per-step allocation: the
+        // trace retains them for the lifetime of the simulation, so there
+        // is no buffer to reuse. Off by default.
         let mut records: Vec<ActivationRecord> = Vec::new();
-        for &p in &selected {
+        if tracing {
+            records.reserve(self.selected_scratch.len());
+        }
+        for i in 0..self.selected_scratch.len() {
+            let p = self.selected_scratch[i];
             self.stats.record_selection(p);
-            self.selected_this_round[p.index()] = true;
-            let view = self.tracked_view(p, &self.comm_cache);
+            if !self.selected_this_round[p.index()] {
+                self.selected_this_round[p.index()] = true;
+                self.unselected_remaining -= 1;
+            }
+            let log_buffer = std::mem::take(&mut self.read_log);
+            let view = {
+                let view = NeighborView::with_log_buffer(
+                    self.graph,
+                    p,
+                    &self.comm_cache,
+                    true,
+                    log_buffer,
+                );
+                match self.allowed_ports(p) {
+                    Some(allowed) => view.restricted_to(allowed),
+                    None => view,
+                }
+            };
             let new_state = self.protocol.activate(
                 self.graph,
                 p,
@@ -470,30 +604,34 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
                 &view,
                 &mut self.rng,
             );
-            let reads = view.reads();
+            view.collect_distinct_reads(&mut self.distinct_reads);
             let read_operations = view.read_operations();
+            self.read_log = view.into_log_buffer();
             let did_execute = new_state.is_some();
             let mut comm_changed = false;
             if let Some(new_state) = new_state {
                 let new_comm = self.protocol.comm(p, &new_state);
                 comm_changed = new_comm != self.comm_cache[p.index()];
-                executed.push(p);
-                self.stats.record_activation(p, &reads, read_operations);
+                self.executed_scratch.push(p);
+                self.stats
+                    .record_activation(p, &self.distinct_reads, read_operations);
                 if comm_changed {
                     self.stats.record_comm_change(p, self.step);
                 }
-                updates.push((p, new_state, new_comm, comm_changed));
+                self.updates_scratch
+                    .push((p, new_state, new_comm, comm_changed));
             } else {
                 // A disabled selected process does nothing, but its guard
                 // evaluation is still an activation for accounting purposes
                 // when it read something.
-                self.stats.record_activation(p, &reads, read_operations);
+                self.stats
+                    .record_activation(p, &self.distinct_reads, read_operations);
             }
-            if self.options.record_trace {
+            if tracing {
                 records.push(ActivationRecord {
                     process: p,
                     executed: did_execute,
-                    reads,
+                    reads: self.distinct_reads.clone(),
                     comm_changed,
                 });
             }
@@ -501,10 +639,12 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         // Apply all updates simultaneously, maintaining the communication
         // cache and dirtying exactly the guards the updates may flip: the
         // updated process itself (guards read the own full state) and, when
-        // its communication state changed, its neighbors.
+        // its communication state changed, its neighbors. The buffer is
+        // swapped out and back so its capacity persists across steps.
         let graph = self.graph;
         let mut comm_changed_any = false;
-        for (p, state, comm, comm_changed) in updates {
+        let mut updates = std::mem::take(&mut self.updates_scratch);
+        for (p, state, comm, comm_changed) in updates.drain(..) {
             self.config[p.index()] = state;
             self.mark_dirty(p);
             if comm_changed {
@@ -515,6 +655,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
                 }
             }
         }
+        self.updates_scratch = updates;
         if let Some(trace) = &mut self.trace {
             trace.push(StepRecord {
                 step: self.step,
@@ -524,17 +665,25 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
 
         self.step += 1;
         self.stats.steps = self.step;
-        if self.selected_this_round.iter().all(|&b| b) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.unselected_remaining == 0,
+            self.selected_this_round.iter().all(|&b| b),
+            "round counter diverged from the selected-this-round flags at step {}",
+            self.step
+        );
+        if self.unselected_remaining == 0 {
             self.rounds += 1;
             self.stats.rounds = self.rounds;
             for flag in &mut self.selected_this_round {
                 *flag = false;
             }
+            self.unselected_remaining = self.selected_this_round.len();
         }
 
         StepOutcome {
-            selected,
-            executed,
+            selected: self.selected_scratch.len(),
+            executed: self.executed_scratch.len(),
             comm_changed: comm_changed_any,
         }
     }
@@ -643,17 +792,6 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             .read_restriction
             .as_ref()
             .map(|restriction| restriction[p.index()].as_slice())
-    }
-
-    fn tracked_view<'c>(&self, p: NodeId, comm: &'c [P::Comm]) -> NeighborView<'c, P::Comm>
-    where
-        'g: 'c,
-    {
-        let view = NeighborView::from_snapshot(self.graph, p, comm, true);
-        match self.allowed_ports(p) {
-            Some(allowed) => view.restricted_to(allowed),
-            None => view,
-        }
     }
 
     fn untracked_view<'c>(&self, p: NodeId, comm: &'c [P::Comm]) -> NeighborView<'c, P::Comm>
@@ -881,6 +1019,24 @@ mod tests {
         assert!(report.steps <= 6);
         // Under the synchronous daemon every step is a round.
         assert_eq!(report.steps, report.rounds);
+    }
+
+    #[test]
+    fn step_outcome_and_last_step_accessors_agree() {
+        let graph = generators::path(4);
+        let mut sim = Simulation::new(&graph, MinValue, Synchronous, 1, SimOptions::default());
+        assert!(sim.last_selected().is_empty());
+        assert!(sim.last_executed().is_empty());
+        let outcome = sim.step();
+        assert_eq!(outcome.selected, 4, "synchronous selects everyone");
+        assert_eq!(sim.last_selected().len(), outcome.selected);
+        assert_eq!(sim.last_executed().len(), outcome.executed);
+        assert!(sim
+            .last_executed()
+            .iter()
+            .all(|p| sim.last_selected().contains(p)));
+        // Selected list is sorted and duplicate-free per the contract.
+        assert!(sim.last_selected().windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
@@ -1140,6 +1296,8 @@ mod tests {
                 record.activations.iter().filter(|a| a.comm_changed).count() as u64,
                 changes_after - changes_before,
             );
+            // The record's selection matches the scratch-backed accessor.
+            assert_eq!(record.selected(), sim.last_selected());
             changes_before = changes_after;
         }
     }
@@ -1190,5 +1348,33 @@ mod tests {
         reference.run_steps(1_000);
         // The reference pays n guard evaluations for every silent step.
         assert_eq!(reference.guard_evaluations(), reference_after + 1_000 * 64);
+    }
+
+    #[test]
+    fn round_counter_matches_flag_scan_under_mixed_daemons() {
+        // The O(1) round counter must agree with the historical O(n) flag
+        // scan (also debug_asserted on every step) across daemons that
+        // select one process, several, or everyone.
+        let graph = generators::grid(3, 3);
+        let mut sim = Simulation::new(
+            &graph,
+            MinValue,
+            DistributedRandom::new(0.35),
+            5,
+            SimOptions::default(),
+        );
+        let mut seen = [false; 9];
+        let mut rounds = 0u64;
+        for _ in 0..500 {
+            sim.step();
+            for p in sim.last_selected() {
+                seen[p.index()] = true;
+            }
+            if seen.iter().all(|&b| b) {
+                rounds += 1;
+                seen.iter_mut().for_each(|b| *b = false);
+            }
+            assert_eq!(sim.rounds(), rounds);
+        }
     }
 }

@@ -34,6 +34,10 @@ impl SchedulerContext<'_> {
     }
 
     /// Identifiers of the currently enabled processes.
+    ///
+    /// Allocates a fresh vector — convenience API for tests and external
+    /// daemons. Hot schedulers iterate [`EnabledSet::iter`] (or index
+    /// [`EnabledSet::is_enabled`]) instead.
     pub fn enabled_nodes(&self) -> Vec<NodeId> {
         self.enabled.to_nodes()
     }
@@ -46,18 +50,23 @@ impl SchedulerContext<'_> {
 /// * The executor only invokes [`Scheduler::select`] on **non-empty**
 ///   systems (`ctx.node_count() >= 1`); a scheduler given an empty system
 ///   should panic rather than fabricate a selection.
-/// * Implementations must return a non-empty subset of `0..n`; the
-///   executor treats duplicate mentions as a single activation and
-///   asserts non-emptiness. Selecting a *disabled* process is allowed
-///   (it is a no-op activation in the model).
+/// * The executor hands `select` an **empty** buffer (cleared, but with its
+///   previous capacity — across steps this makes selection allocation-free
+///   once the buffer has grown to the scheduler's working size).
+/// * On return the buffer must hold a non-empty subset of `0..n` in
+///   **strictly increasing order** (sorted, no duplicates). The executor
+///   `debug_assert`s this instead of re-sorting on the hot path; daemons
+///   that generate selections out of order (e.g. via shuffling) sort before
+///   returning. Selecting a *disabled* process is allowed (it is a no-op
+///   activation in the model).
 pub trait Scheduler {
     /// Short human-readable name, used in reports.
     fn name(&self) -> &'static str;
 
-    /// Selects the processes activated at this step.
+    /// Writes the processes activated at this step into `out`.
     ///
     /// See the [trait documentation](Scheduler) for the selection contract.
-    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId>;
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore, out: &mut Vec<NodeId>);
 }
 
 /// Boxed schedulers forward to their contents, so heterogeneous scheduler
@@ -68,8 +77,8 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
         (**self).name()
     }
 
-    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
-        (**self).select(ctx, rng)
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore, out: &mut Vec<NodeId>) {
+        (**self).select(ctx, rng, out);
     }
 }
 
@@ -82,8 +91,13 @@ impl Scheduler for Synchronous {
         "synchronous"
     }
 
-    fn select(&mut self, ctx: &SchedulerContext<'_>, _rng: &mut dyn RngCore) -> Vec<NodeId> {
-        (0..ctx.node_count()).map(NodeId::new).collect()
+    fn select(
+        &mut self,
+        ctx: &SchedulerContext<'_>,
+        _rng: &mut dyn RngCore,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.extend((0..ctx.node_count()).map(NodeId::new));
     }
 }
 
@@ -110,7 +124,12 @@ impl Scheduler for CentralRoundRobin {
     /// Panics on an empty system (`n = 0`): there is no process to select,
     /// and silently clamping would fabricate a selection of a process that
     /// does not exist (see the [`Scheduler`] contract).
-    fn select(&mut self, ctx: &SchedulerContext<'_>, _rng: &mut dyn RngCore) -> Vec<NodeId> {
+    fn select(
+        &mut self,
+        ctx: &SchedulerContext<'_>,
+        _rng: &mut dyn RngCore,
+        out: &mut Vec<NodeId>,
+    ) {
         let n = ctx.node_count();
         assert!(
             n > 0,
@@ -118,7 +137,7 @@ impl Scheduler for CentralRoundRobin {
         );
         let chosen = NodeId::new(self.next % n);
         self.next = (self.next + 1) % n;
-        vec![chosen]
+        out.push(chosen);
     }
 }
 
@@ -163,7 +182,7 @@ impl Scheduler for CentralRandom {
     /// # Panics
     ///
     /// Panics on an empty system (`n = 0`), per the [`Scheduler`] contract.
-    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore, out: &mut Vec<NodeId>) {
         let n = ctx.node_count();
         assert!(n > 0, "CentralRandom cannot select from an empty system");
         if self.prefer_enabled && ctx.enabled.any() {
@@ -171,10 +190,11 @@ impl Scheduler for CentralRandom {
             // rank among the enabled processes and walk to it.
             let rank = rng.gen_range(0..ctx.enabled.count());
             if let Some(p) = ctx.enabled.iter().nth(rank) {
-                return vec![p];
+                out.push(p);
+                return;
             }
         }
-        vec![NodeId::new(rng.gen_range(0..n))]
+        out.push(NodeId::new(rng.gen_range(0..n)));
     }
 }
 
@@ -216,16 +236,17 @@ impl Scheduler for DistributedRandom {
         "distributed-random"
     }
 
-    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore, out: &mut Vec<NodeId>) {
         let n = ctx.node_count();
-        let mut chosen: Vec<NodeId> = (0..n)
-            .filter(|_| rng.gen_bool(self.activation_prob))
-            .map(NodeId::new)
-            .collect();
-        if chosen.is_empty() && n > 0 {
-            chosen.push(NodeId::new(rng.gen_range(0..n)));
+        // Ascending visit order keeps the output sorted by construction.
+        for i in 0..n {
+            if rng.gen_bool(self.activation_prob) {
+                out.push(NodeId::new(i));
+            }
         }
-        chosen
+        if out.is_empty() && n > 0 {
+            out.push(NodeId::new(rng.gen_range(0..n)));
+        }
     }
 }
 
@@ -255,7 +276,7 @@ impl Scheduler for StarvingAdversary {
     /// # Panics
     ///
     /// Panics on an empty system (`n = 0`), per the [`Scheduler`] contract.
-    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore, out: &mut Vec<NodeId>) {
         let n = ctx.node_count();
         assert!(
             n > 0,
@@ -275,7 +296,7 @@ impl Scheduler for StarvingAdversary {
             })
             .unwrap_or_else(|| NodeId::new(rng.gen_range(0..n)));
         self.last_activation[chosen.index()] = ctx.step + 1;
-        vec![chosen]
+        out.push(chosen);
     }
 }
 
@@ -292,6 +313,11 @@ pub struct LocallyCentral {
     /// `neighbors[p]` lists the neighbor indices of process `p`.
     neighbors: Vec<Vec<usize>>,
     activation_prob: f64,
+    /// Scratch: visit order of the greedy independent-set pass (reused
+    /// across steps so selection stays allocation-free in steady state).
+    order: Vec<usize>,
+    /// Scratch: `kept[p]` marks processes already added this step.
+    kept: Vec<bool>,
 }
 
 impl LocallyCentral {
@@ -306,6 +332,8 @@ impl LocallyCentral {
         LocallyCentral {
             neighbors,
             activation_prob: activation_prob.clamp(f64::MIN_POSITIVE, 1.0),
+            order: Vec::new(),
+            kept: Vec::new(),
         }
     }
 }
@@ -315,32 +343,36 @@ impl Scheduler for LocallyCentral {
         "locally-central"
     }
 
-    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore, out: &mut Vec<NodeId>) {
         let n = ctx.node_count();
         // Visit processes in a random order, greedily keeping those whose
         // neighbors have not been kept yet.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.shuffle(rng);
-        let mut kept = vec![false; n];
-        let mut chosen = Vec::new();
-        for p in order {
+        self.order.clear();
+        self.order.extend(0..n);
+        self.order.shuffle(rng);
+        self.kept.clear();
+        self.kept.resize(n, false);
+        for i in 0..self.order.len() {
+            let p = self.order[i];
             if !rng.gen_bool(self.activation_prob) {
                 continue;
             }
             let conflicts = self
                 .neighbors
                 .get(p)
-                .map(|ns| ns.iter().any(|&q| kept[q]))
+                .map(|ns| ns.iter().any(|&q| self.kept[q]))
                 .unwrap_or(false);
             if !conflicts {
-                kept[p] = true;
-                chosen.push(NodeId::new(p));
+                self.kept[p] = true;
+                out.push(NodeId::new(p));
             }
         }
-        if chosen.is_empty() && n > 0 {
-            chosen.push(NodeId::new(rng.gen_range(0..n)));
+        if out.is_empty() && n > 0 {
+            out.push(NodeId::new(rng.gen_range(0..n)));
         }
-        chosen
+        // The greedy pass visits in shuffled order; the contract wants
+        // sorted output.
+        out.sort_unstable();
     }
 }
 
@@ -379,24 +411,28 @@ impl<S: Scheduler> Scheduler for Fair<S> {
         "fair"
     }
 
-    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore) -> Vec<NodeId> {
+    fn select(&mut self, ctx: &SchedulerContext<'_>, rng: &mut dyn RngCore, out: &mut Vec<NodeId>) {
         let n = ctx.node_count();
         if self.last_selected.len() != n {
             self.last_selected = vec![ctx.step; n];
         }
-        let mut chosen = self.inner.select(ctx, rng);
+        self.inner.select(ctx, rng, out);
+        let inner_len = out.len();
         for i in 0..n {
             if ctx.step.saturating_sub(self.last_selected[i]) >= self.window {
                 let p = NodeId::new(i);
-                if !chosen.contains(&p) {
-                    chosen.push(p);
+                if !out[..inner_len].contains(&p) {
+                    out.push(p);
                 }
             }
         }
-        for p in &chosen {
+        for p in out.iter() {
             self.last_selected[p.index()] = ctx.step + 1;
         }
-        chosen
+        // Force-included processes were appended out of order.
+        if out.len() > inner_len {
+            out.sort_unstable();
+        }
     }
 }
 
@@ -412,6 +448,23 @@ mod tests {
 
     fn ctx<'a>(enabled: &'a EnabledSet, step: u64) -> SchedulerContext<'a> {
         SchedulerContext { step, enabled }
+    }
+
+    /// Test adapter for the buffer-based contract: returns the selection as
+    /// an owned vector, as the old `select` signature did.
+    fn select_vec<S: Scheduler + ?Sized>(
+        s: &mut S,
+        ctx: &SchedulerContext<'_>,
+        rng: &mut StdRng,
+    ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        s.select(ctx, rng, &mut out);
+        assert!(
+            out.windows(2).all(|w| w[0] < w[1]),
+            "{}: selection must be sorted and duplicate-free, got {out:?}",
+            s.name()
+        );
+        out
     }
 
     /// Compile-time Send audit: parallel experiment campaigns build one
@@ -436,7 +489,23 @@ mod tests {
         let enabled = set(&[true, false, true]);
         let mut rng = StdRng::seed_from_u64(0);
         let mut s = Synchronous;
-        assert_eq!(s.select(&ctx(&enabled, 0), &mut rng).len(), 3);
+        assert_eq!(select_vec(&mut s, &ctx(&enabled, 0), &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn selection_buffer_is_reused_not_grown() {
+        let enabled = set(&[true; 16]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = Synchronous;
+        let mut out = Vec::new();
+        s.select(&ctx(&enabled, 0), &mut rng, &mut out);
+        let capacity = out.capacity();
+        for step in 1..50 {
+            out.clear();
+            s.select(&ctx(&enabled, step), &mut rng, &mut out);
+        }
+        assert_eq!(out.len(), 16);
+        assert_eq!(out.capacity(), capacity, "steady-state capacity is stable");
     }
 
     #[test]
@@ -445,7 +514,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut s = CentralRoundRobin::new();
         let picks: Vec<usize> = (0..6)
-            .map(|i| s.select(&ctx(&enabled, i), &mut rng)[0].index())
+            .map(|i| select_vec(&mut s, &ctx(&enabled, i), &mut rng)[0].index())
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
@@ -456,7 +525,7 @@ mod tests {
         let enabled = set(&[]);
         let mut rng = StdRng::seed_from_u64(0);
         let mut s = CentralRoundRobin::new();
-        let _ = s.select(&ctx(&enabled, 0), &mut rng);
+        let _ = select_vec(&mut s, &ctx(&enabled, 0), &mut rng);
     }
 
     #[test]
@@ -465,12 +534,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut s = CentralRandom::enabled_only();
         for step in 0..20 {
-            let picked = s.select(&ctx(&enabled, step), &mut rng);
+            let picked = select_vec(&mut s, &ctx(&enabled, step), &mut rng);
             assert_eq!(picked, vec![NodeId::new(2)]);
         }
         // Falls back to any process when nothing is enabled.
         let none = set(&[false; 4]);
-        let picked = s.select(&ctx(&none, 0), &mut rng);
+        let picked = select_vec(&mut s, &ctx(&none, 0), &mut rng);
         assert_eq!(picked.len(), 1);
     }
 
@@ -480,7 +549,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut s = DistributedRandom::new(0.01);
         for step in 0..200 {
-            assert!(!s.select(&ctx(&enabled, step), &mut rng).is_empty());
+            assert!(!select_vec(&mut s, &ctx(&enabled, step), &mut rng).is_empty());
         }
     }
 
@@ -491,7 +560,7 @@ mod tests {
         let mut s = DistributedRandom::new(0.3);
         let mut seen = [false; 6];
         for step in 0..500 {
-            for p in s.select(&ctx(&enabled, step), &mut rng) {
+            for p in select_vec(&mut s, &ctx(&enabled, step), &mut rng) {
                 seen[p.index()] = true;
             }
         }
@@ -503,9 +572,12 @@ mod tests {
         let enabled = set(&[true; 4]);
         let mut rng = StdRng::seed_from_u64(4);
         let mut s = StarvingAdversary::new();
-        let first = s.select(&ctx(&enabled, 0), &mut rng)[0];
+        let first = select_vec(&mut s, &ctx(&enabled, 0), &mut rng)[0];
         for step in 1..10 {
-            assert_eq!(s.select(&ctx(&enabled, step), &mut rng), vec![first]);
+            assert_eq!(
+                select_vec(&mut s, &ctx(&enabled, step), &mut rng),
+                vec![first]
+            );
         }
     }
 
@@ -516,7 +588,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut s = LocallyCentral::new(&graph, 0.8);
         for step in 0..200 {
-            let chosen = s.select(&ctx(&enabled, step), &mut rng);
+            let chosen = select_vec(&mut s, &ctx(&enabled, step), &mut rng);
             assert!(!chosen.is_empty());
             for &a in &chosen {
                 for &b in &chosen {
@@ -539,7 +611,7 @@ mod tests {
         let mut s = Fair::new(StarvingAdversary::new(), window);
         let mut last = [0u64; 4];
         for step in 0..100 {
-            for p in s.select(&ctx(&enabled, step), &mut rng) {
+            for p in select_vec(&mut s, &ctx(&enabled, step), &mut rng) {
                 last[p.index()] = step;
             }
             for (i, &l) in last.iter().enumerate() {

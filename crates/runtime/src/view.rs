@@ -21,20 +21,24 @@ use selfstab_graph::{Graph, NodeId, Port};
 ///
 /// Views are built on the executor's hot path — once per guard evaluation
 /// and once per activation — so constructing one performs **no allocation**
-/// in the common (unrestricted) case: the view borrows the graph's
-/// adjacency list and the communication snapshot instead of copying
-/// per-neighbor references.
+/// in the common (unrestricted) case: the view borrows the graph's CSR
+/// neighbor slice and the communication snapshot instead of copying
+/// per-neighbor references, and the executor threads one persistent read-log
+/// buffer through every tracked view ([`NeighborView::with_log_buffer`] /
+/// [`NeighborView::into_log_buffer`]) so recording reads never grows a
+/// fresh `Vec` in steady state.
 #[derive(Debug)]
 pub struct NeighborView<'a, C> {
     /// The observed process's neighbors, indexed by port (borrowed from the
-    /// graph's adjacency list).
+    /// graph's flat CSR neighbor array).
     neighbors: &'a [NodeId],
     /// Communication snapshot of every process, indexed by [`NodeId`].
     comm_snapshot: &'a [C],
     /// `Some(allowed)` with `allowed[i] == false` marks a restricted port;
     /// `None` means every port is readable (no allocation).
     allowed: Option<Vec<bool>>,
-    /// Ports read so far during the current activation.
+    /// Log of every read operation performed during the current activation,
+    /// in order, repeats included.
     reads: RefCell<Vec<Port>>,
     /// Whether reads are recorded (enabledness checks are not charged).
     tracking: bool,
@@ -54,23 +58,46 @@ impl<'a, C> NeighborView<'a, C> {
         comm_snapshot: &'a [C],
         tracking: bool,
     ) -> Self {
+        Self::with_log_buffer(graph, p, comm_snapshot, tracking, Vec::new())
+    }
+
+    /// Like [`NeighborView::from_snapshot`], but the read log reuses
+    /// `log_buffer`'s allocation (the buffer is cleared first). The executor
+    /// recovers the buffer with [`NeighborView::into_log_buffer`] after the
+    /// activation, so its capacity survives across steps.
+    pub fn with_log_buffer(
+        graph: &'a Graph,
+        p: NodeId,
+        comm_snapshot: &'a [C],
+        tracking: bool,
+        mut log_buffer: Vec<Port>,
+    ) -> Self {
         assert!(
             comm_snapshot.len() >= graph.node_count(),
             "communication snapshot must cover the graph"
         );
+        log_buffer.clear();
         NeighborView {
-            neighbors: &graph.adjacency()[p.index()],
+            neighbors: graph.neighbor_slice(p),
             comm_snapshot,
             allowed: None,
-            reads: RefCell::new(Vec::new()),
+            reads: RefCell::new(log_buffer),
             tracking,
         }
+    }
+
+    /// Consumes the view and returns the read-log buffer (with the reads of
+    /// this activation still in it), so its allocation can be reused.
+    pub fn into_log_buffer(self) -> Vec<Port> {
+        self.reads.into_inner()
     }
 
     /// Restricts this view so that only the listed ports are readable.
     ///
     /// Ports not mentioned behave as if the corresponding neighbor did not
-    /// exist: [`NeighborView::try_read`] returns `None`.
+    /// exist: [`NeighborView::try_read`] returns `None`. This allocates the
+    /// restriction mask; it is only used on the (cold) impossibility
+    /// experiment paths, never by the default executor configuration.
     #[must_use]
     pub fn restricted_to(mut self, allowed_ports: &[Port]) -> Self {
         let mut allowed = vec![false; self.neighbors.len()];
@@ -124,15 +151,24 @@ impl<'a, C> NeighborView<'a, C> {
     }
 
     /// The distinct ports read so far during this activation, in first-read
-    /// order.
+    /// order (allocates; the executor uses
+    /// [`NeighborView::collect_distinct_reads`] with a reused buffer
+    /// instead).
     pub fn reads(&self) -> Vec<Port> {
-        let mut seen = Vec::new();
+        let mut distinct = Vec::new();
+        self.collect_distinct_reads(&mut distinct);
+        distinct
+    }
+
+    /// Writes the distinct ports read so far, in first-read order, into
+    /// `out` (cleared first). Allocation-free once `out` has capacity Δ.
+    pub fn collect_distinct_reads(&self, out: &mut Vec<Port>) {
+        out.clear();
         for &port in self.reads.borrow().iter() {
-            if !seen.contains(&port) {
-                seen.push(port);
+            if !out.contains(&port) {
+                out.push(port);
             }
         }
-        seen
     }
 
     /// Total number of read operations performed (including repeated reads of
@@ -176,6 +212,29 @@ mod tests {
         let _ = view.read(Port::new(0));
         let _ = view.read(Port::new(1));
         assert!(view.reads().is_empty());
+        assert_eq!(view.read_operations(), 0);
+    }
+
+    #[test]
+    fn log_buffer_round_trips_and_keeps_capacity() {
+        let graph = generators::path(3);
+        let comms: Vec<u32> = vec![0, 1, 2];
+        let mut buffer = Vec::with_capacity(8);
+        let spare = buffer.spare_capacity_mut().len();
+        let view = NeighborView::with_log_buffer(&graph, NodeId::new(1), &comms, true, buffer);
+        let _ = view.read(Port::new(1));
+        let _ = view.read(Port::new(1));
+        let mut distinct = Vec::new();
+        view.collect_distinct_reads(&mut distinct);
+        assert_eq!(distinct, vec![Port::new(1)]);
+        buffer = view.into_log_buffer();
+        assert_eq!(buffer.len(), 2, "raw log keeps repeats");
+        assert!(
+            buffer.capacity() >= spare,
+            "capacity survives the round trip"
+        );
+        // Reusing the buffer clears the previous activation's reads.
+        let view = NeighborView::with_log_buffer(&graph, NodeId::new(0), &comms, true, buffer);
         assert_eq!(view.read_operations(), 0);
     }
 

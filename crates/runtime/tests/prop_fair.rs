@@ -51,8 +51,13 @@ proptest! {
                 step,
                 enabled: &enabled,
             };
-            let chosen = scheduler.select(&ctx, &mut rng);
+            let mut chosen = Vec::new();
+            scheduler.select(&ctx, &mut rng, &mut chosen);
             prop_assert!(!chosen.is_empty(), "schedulers must select non-empty subsets");
+            prop_assert!(
+                chosen.windows(2).all(|w| w[0] < w[1]),
+                "selections must be sorted and duplicate-free"
+            );
             let mut selected_now = vec![false; n];
             for p in &chosen {
                 prop_assert!(p.index() < n, "selection outside the system");
