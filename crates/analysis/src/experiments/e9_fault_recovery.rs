@@ -9,12 +9,19 @@
 //!   steady-state overhead the paper's contribution reduces), and
 //! * the rounds needed to re-stabilize after `f` processes suffer a
 //!   transient fault.
+//!
+//! Recovery runs through the fault-scenario engine
+//! ([`selfstab_runtime::faults`]): a single uniform-random
+//! [`FaultPlan`] injection — the easiest-case fault model. Experiment
+//! E14 sweeps the *structured* models (degree-targeted hubs, ball-radius
+//! regional corruption, adversarial stuck states, bursty re-injection) on
+//! the same protocols.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selfstab_core::baselines::BaselineMis;
 use selfstab_core::mis::Mis;
-use selfstab_runtime::faults::{inject_random_faults, FaultLoad};
+use selfstab_runtime::faults::{run_fault_plan, FaultInjector, FaultLoad, FaultModel, FaultPlan};
 use selfstab_runtime::scheduler::Synchronous;
 use selfstab_runtime::{run_cell, SimOptions};
 
@@ -34,7 +41,8 @@ pub enum MisKind {
 }
 
 impl MisKind {
-    fn label(&self) -> &'static str {
+    /// The protocol label used in table rows (shared with E14).
+    pub fn label(&self) -> &'static str {
         match self {
             MisKind::Efficient => "mis-1-efficient",
             MisKind::Baseline => "mis-baseline",
@@ -62,6 +70,32 @@ pub struct FaultRecovery {
     pub recovery_rounds: Vec<u64>,
     /// Runs that failed to (re-)stabilize within the budget.
     pub timeouts: u64,
+}
+
+/// Total read operations per round over `window_rounds` further completed
+/// rounds of a (typically stabilized) simulation — the pre-fault steady
+/// baseline. Shared by E9 and E14 so their steady-state figures stay
+/// directly comparable.
+pub(crate) fn steady_window_reads_per_round<P, S>(
+    sim: &mut selfstab_runtime::Simulation<'_, P, S>,
+    window_rounds: u64,
+) -> f64
+where
+    P: selfstab_runtime::Protocol,
+    S: selfstab_runtime::Scheduler,
+{
+    let reads_before = sim.stats().total_read_operations();
+    let rounds_before = sim.rounds();
+    while sim.rounds() < rounds_before + window_rounds {
+        sim.step();
+    }
+    (sim.stats().total_read_operations() - reads_before) as f64 / window_rounds as f64
+}
+
+/// The fault-stream RNG of a cell, derived from the cell seed — identical
+/// in E9 and E14, so a uniform E14 scenario replays E9's faults exactly.
+pub(crate) fn fault_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7))
 }
 
 /// The campaign cell: stabilize, measure the steady-state read overhead
@@ -93,24 +127,21 @@ pub fn cell(
                     return CellOutcome::Timeout;
                 }
                 // Steady-state read overhead over a fixed window of rounds.
-                let window_rounds = 20u64;
-                let reads_before = sim.stats().total_read_operations();
-                let rounds_before = sim.rounds();
-                while sim.rounds() < rounds_before + window_rounds {
-                    sim.step();
-                }
-                let reads_in_window = sim.stats().total_read_operations() - reads_before;
-                let steady_reads_per_round = reads_in_window as f64
-                    / (window_rounds as f64 * sim.graph().node_count() as f64);
+                let steady_reads_per_round =
+                    steady_window_reads_per_round(sim, 20) / sim.graph().node_count() as f64;
 
-                // Transient faults, then re-stabilization.
-                let mut fault_rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(7));
-                inject_random_faults(sim, fault_count, &mut fault_rng);
-                let rounds_at_fault = sim.rounds();
-                let report = sim.run_until_silent(config.max_steps);
+                // Transient faults, then re-stabilization — through the
+                // fault-scenario engine (one uniform injection at scenario
+                // start is the seed experiment's model, expressed as a
+                // FaultPlan).
+                let mut fault_rng = fault_rng(seed);
+                let plan = FaultPlan::single(FaultModel::Uniform(FaultLoad::Count(fault_count)));
+                let mut injector = FaultInjector::new(sim.topology());
+                let telemetry =
+                    run_fault_plan(sim, &plan, &mut injector, &mut fault_rng, config.max_steps);
                 CellOutcome::Stabilized(FaultRecoveryRun {
                     steady_reads_per_round,
-                    recovery_rounds: report.silent.then(|| sim.rounds() - rounds_at_fault),
+                    recovery_rounds: telemetry.recovery_rounds,
                 })
             },
         )

@@ -1,4 +1,4 @@
-//! The experiments E1–E13 (see the crate-level table).
+//! The experiments E1–E14 (see the crate-level table).
 //!
 //! Every experiment is a pure function from an [`ExperimentConfig`] to an
 //! [`ExperimentTable`], and declares its run grid as a
@@ -13,6 +13,7 @@ pub mod e10_transformer;
 pub mod e11_ablation;
 pub mod e12_bfs_tree;
 pub mod e13_leader_election;
+pub mod e14_fault_models;
 pub mod e1_communication;
 pub mod e2_coloring;
 pub mod e3_mis_convergence;
@@ -159,6 +160,11 @@ pub fn registry() -> Vec<Experiment> {
             "E13",
             "communication-efficient leader election vs the Δ-efficient baseline",
             e13_leader_election::run,
+        ),
+        entry(
+            "E14",
+            "recovery cost vs structured fault models (uniform/hubs/ball/stuck-at/bursty)",
+            e14_fault_models::run,
         ),
     ]
 }

@@ -21,6 +21,7 @@
 //! | E11 | design ablations     | identifier quality (#C) and daemon choice do not affect correctness |
 //! | E12 | spanning subsystem   | silent BFS tree: oracle-verified convergence scaling with the tree height |
 //! | E13 | spanning subsystem   | leader election: unique min-id leader, ♦-1-efficient vs the Δ-efficient baseline |
+//! | E14 | fault-scenario engine | recovery cost depends on *which* processes a fault hits: uniform vs hubs vs ball vs stuck-at vs bursty |
 //!
 //! Every experiment declares its run grid as a [`campaign::CampaignSpec`]
 //! (workload × daemon × parameters × seeds) executed by the parallel
@@ -41,6 +42,6 @@ pub mod stats;
 pub mod table;
 pub mod workloads;
 
-pub use campaign::{CampaignSpec, CellOutcome, DaemonSpec};
+pub use campaign::{CampaignSpec, CellOutcome, DaemonSpec, FaultPlanSpec};
 pub use table::ExperimentTable;
 pub use workloads::Workload;

@@ -37,6 +37,21 @@ fn every_table_is_byte_identical_between_one_and_eight_threads() {
 }
 
 #[test]
+fn e14_fault_scenario_tables_are_thread_count_independent() {
+    // The fault-scenario engine adds per-cell mutable state (the
+    // FaultInjector scratch, the StuckAt candidate search, the telemetry
+    // driver); all of it is built locally from the cell's seed, so the E14
+    // table — victims, recovery rounds, availability, read spikes — must
+    // stay byte-identical for every thread count.
+    let only = vec!["E14".to_string()];
+    let sequential = experiments::run_selected(&quick_config().with_threads(1), Some(&only));
+    let parallel = experiments::run_selected(&quick_config().with_threads(8), Some(&only));
+    assert_eq!(sequential.len(), 1);
+    assert_eq!(sequential[0].to_text(), parallel[0].to_text());
+    assert_eq!(sequential[0].to_json(), parallel[0].to_json());
+}
+
+#[test]
 fn selection_is_thread_count_independent_too() {
     let only = vec!["E2".to_string(), "E7".to_string()];
     let sequential = experiments::run_selected(&quick_config().with_threads(1), Some(&only));

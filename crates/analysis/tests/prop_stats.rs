@@ -1,0 +1,93 @@
+//! Property tests for [`selfstab_analysis::stats::percentile`] (and the
+//! [`Summary`] quantiles built on it): the nearest-rank percentile must be
+//! total — empty samples, singletons, the `q ∈ {0, 100}` extremes and
+//! heavily repeated values are exactly the shapes experiment aggregation
+//! feeds it (e.g. every recovery-rounds sample equal under a synchronous
+//! daemon).
+
+use proptest::prelude::*;
+use selfstab_analysis::stats::{percentile, Summary};
+
+/// Strategy over small f64 samples with deliberate repetition (values are
+/// drawn from a tiny integer domain, so collisions are the norm).
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    (0usize..12, 1u64..7, 0u64..5).prop_map(|(len, modulus, offset)| {
+        (0..len)
+            .map(|i| ((i as u64 * 2654435761 + offset) % modulus) as f64)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn empty_samples_yield_zero_for_every_q(q in 0u32..101) {
+        prop_assert_eq!(percentile(&[], f64::from(q)), 0.0);
+    }
+
+    #[test]
+    fn singleton_samples_yield_the_sample_for_every_q(v in -1000i64..1000, q in 0u32..101) {
+        let v = v as f64;
+        prop_assert_eq!(percentile(&[v], f64::from(q)), v);
+        let s = Summary::from_samples([v]);
+        prop_assert_eq!((s.p25, s.p75, s.p95), (v, v, v));
+    }
+
+    #[test]
+    fn q0_is_the_minimum_and_q100_the_maximum(values in sample()) {
+        if values.is_empty() {
+            return;
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(percentile(&values, 0.0), min);
+        prop_assert_eq!(percentile(&values, 100.0), max);
+    }
+
+    #[test]
+    fn percentiles_are_members_and_monotone_in_q(values in sample()) {
+        if values.is_empty() {
+            return;
+        }
+        let mut previous = f64::NEG_INFINITY;
+        for q in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 100.0] {
+            let p = percentile(&values, q);
+            // Nearest-rank percentiles are always actual sample members.
+            prop_assert!(
+                values.contains(&p),
+                "percentile({}) = {} is not a sample member of {:?}",
+                q, p, values
+            );
+            prop_assert!(p >= previous, "percentile must be monotone in q");
+            previous = p;
+        }
+    }
+
+    #[test]
+    fn repeated_values_collapse_every_percentile(v in -50i64..50, len in 1usize..20) {
+        let values = vec![v as f64; len];
+        for q in [0.0, 25.0, 50.0, 75.0, 95.0, 100.0] {
+            prop_assert_eq!(percentile(&values, q), v as f64);
+        }
+        let s = Summary::from_samples(values);
+        prop_assert_eq!(s.std_dev, 0.0);
+        prop_assert_eq!((s.min, s.median, s.max), (v as f64, v as f64, v as f64));
+    }
+
+    #[test]
+    fn summary_quantiles_always_match_the_percentile_helper(values in sample()) {
+        let s = Summary::from_samples(values.iter().copied());
+        prop_assert_eq!(s.p25, percentile(&values, 25.0));
+        prop_assert_eq!(s.p75, percentile(&values, 75.0));
+        prop_assert_eq!(s.p95, percentile(&values, 95.0));
+        prop_assert!(s.min <= s.p25 && s.p25 <= s.p75 && s.p75 <= s.p95 && s.p95 <= s.max);
+    }
+
+    #[test]
+    fn percentile_does_not_reorder_its_input(values in sample()) {
+        let original = values.clone();
+        let _ = percentile(&values, 50.0);
+        prop_assert_eq!(values, original, "percentile takes the sample by reference");
+    }
+}

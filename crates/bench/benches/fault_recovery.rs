@@ -1,6 +1,19 @@
-//! E9 — stabilized-phase overhead and transient-fault recovery: times one
-//! full cycle (stabilize, corrupt f processes, re-stabilize) for the
-//! 1-efficient MIS and its Δ-efficient baseline.
+//! E9/E14 — stabilized-phase overhead and transient-fault recovery: times
+//! one full cycle (stabilize, corrupt f processes, re-stabilize) for the
+//! 1-efficient MIS and its Δ-efficient baseline, plus **structured-fault
+//! recovery** at n ∈ {10³, 10⁴}: a stabilized large-n MIS is corrupted
+//! through the fault-scenario engine (uniform / degree-targeted / ball /
+//! stuck-at) and driven back to silence, timing the injector's victim
+//! selection (partial Fisher–Yates, bounded BFS, adversarial candidate
+//! search) together with the repair wave it triggers.
+//!
+//! The stabilized base configuration and the protocol (greedy coloring)
+//! of each `(topology, n)` pair are computed **once**; each iteration
+//! clones them and rebuilds a `Simulation` from the silent configuration
+//! (an `O(n)` memcpy-level cost, reported alongside the injection and the
+//! repair wave it triggers) — the expensive initial convergence is never
+//! timed. `--quick` drops the 10⁴ tier (CI smoke runs stay dominated by
+//! measurement, not setup).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -9,7 +22,10 @@ use selfstab_analysis::Workload;
 use selfstab_bench::{bench_config, SAMPLE_SIZE};
 use selfstab_core::baselines::BaselineMis;
 use selfstab_core::mis::Mis;
-use selfstab_runtime::faults::inject_random_faults;
+use selfstab_runtime::faults::{
+    inject_random_faults, run_fault_plan, BallCenter, FaultInjector, FaultLoad, FaultModel,
+    FaultPlan,
+};
 use selfstab_runtime::scheduler::Synchronous;
 use selfstab_runtime::{Protocol, SimOptions, Simulation};
 
@@ -75,5 +91,95 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+/// The structured-fault size tiers (the fault-scenario engine's target
+/// scale); `--quick` keeps only the 10³ tier.
+fn structured_sizes() -> &'static [usize] {
+    if criterion::quick_mode() {
+        &[1_000]
+    } else {
+        &[1_000, 10_000]
+    }
+}
+
+/// Structured-fault recovery at large n: one injection of each model into
+/// a pre-stabilized MIS, driven back to silence through the scenario
+/// engine.
+fn bench_structured(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fault_models");
+    group.sample_size(SAMPLE_SIZE);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let models = [
+        ("uniform", FaultModel::Uniform(FaultLoad::Fraction(0.01))),
+        (
+            "hubs",
+            FaultModel::DegreeTargeted(FaultLoad::Fraction(0.01)),
+        ),
+        (
+            "ball",
+            FaultModel::Ball {
+                center: BallCenter::Hub,
+                radius: 2,
+            },
+        ),
+        ("stuck", FaultModel::StuckAt(FaultLoad::Fraction(0.01))),
+    ];
+    for &n in structured_sizes() {
+        for workload in [Workload::Ring(n), Workload::Barabasi(n, 3)] {
+            let graph = workload.build(cfg.base_seed);
+            // Stabilize once; every iteration restarts from this silent
+            // configuration (and clones the pre-built protocol) so the
+            // initial convergence and the greedy coloring are never timed.
+            let base_protocol = Mis::with_greedy_coloring(&graph);
+            let base_config = {
+                let mut sim = Simulation::new(
+                    &graph,
+                    base_protocol.clone(),
+                    Synchronous,
+                    cfg.base_seed,
+                    SimOptions::default().with_check_interval(16),
+                );
+                let report = sim.run_until_silent(cfg.max_steps);
+                assert!(report.silent, "MIS must stabilize during bench setup");
+                sim.into_parts().0
+            };
+            for (label, model) in models {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{label}_n{n}"), workload.label()),
+                    &graph,
+                    |b, g| {
+                        let mut injector = FaultInjector::new(g);
+                        let plan = FaultPlan::single(model);
+                        let mut seed = 0u64;
+                        b.iter(|| {
+                            seed = seed.wrapping_add(1);
+                            let mut sim = Simulation::with_config(
+                                g,
+                                base_protocol.clone(),
+                                Synchronous,
+                                base_config.clone(),
+                                seed,
+                                SimOptions::default().with_check_interval(16),
+                            );
+                            let mut rng = StdRng::seed_from_u64(seed ^ 0xFA);
+                            let telemetry = run_fault_plan(
+                                &mut sim,
+                                &plan,
+                                &mut injector,
+                                &mut rng,
+                                cfg.max_steps,
+                            );
+                            assert!(telemetry.recovered, "structured faults must be repaired");
+                            telemetry.steps
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_structured);
 criterion_main!(benches);

@@ -339,6 +339,16 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         self.graph
     }
 
+    /// The simulated topology with the graph's own lifetime.
+    ///
+    /// Unlike [`Simulation::graph`] (whose borrow is tied to `&self`), the
+    /// returned reference lives as long as the graph itself, so callers —
+    /// fault injectors in particular — can keep reading the topology while
+    /// mutating the simulation in the same scope.
+    pub fn topology(&self) -> &'g Graph {
+        self.graph
+    }
+
     /// The protocol being executed.
     pub fn protocol(&self) -> &P {
         &self.protocol

@@ -1,20 +1,46 @@
-//! Transient fault injection.
+//! Transient-fault injection and the declarative fault-scenario engine.
 //!
 //! Self-stabilization promises recovery from *any* transient fault: a fault
 //! may overwrite the variables of any subset of processes with arbitrary
-//! values. The experiment E9 uses [`inject_random_faults`] to corrupt a
-//! stabilized execution and measure the re-stabilization cost of the
-//! 1-efficient protocols against their Δ-efficient baselines.
+//! values. But *which* subset matters enormously for the repair bill — a
+//! ♦-k-efficient silent protocol may pay full-Δ communication during
+//! repair, and corrupting a hub, a whole region, or a state crafted to
+//! flip many guards produces very different recovery regimes than the
+//! uniform-random corruption the easiest-case experiments explore.
+//!
+//! This module provides three layers:
+//!
+//! * **[`FaultModel`]** — *what* a single injection corrupts: uniformly
+//!   random victims, the highest-degree hubs, a BFS ball around a center
+//!   (correlated regional corruption), or adversarial `StuckAt` states
+//!   chosen (by candidate search) to maximize guard churn in the victim's
+//!   neighborhood,
+//! * **[`FaultPlan`]** — *when* injections happen: a sorted list of timed
+//!   [`FaultEvent`]s (single shots, periodic re-injection, bursts) relative
+//!   to the start of a scenario run,
+//! * **[`run_fault_plan`]** — the scenario driver: executes a plan against
+//!   a running [`Simulation`], records an [`InjectionRecord`] per event and
+//!   a [`RoundSample`] per completed round (legitimacy, enabled fraction,
+//!   read operations — the availability curve and read-cost spike profile
+//!   of the recovery), and keeps stepping until the system quiesces or a
+//!   budget runs out.
 //!
 //! Every injection goes through [`Simulation::set_state`], which refreshes
 //! the executor's cached communication configuration and marks the victim
-//! and its whole neighborhood dirty — so the incremental enabled set is
-//! correct again at the next step even though a fault changes state outside
-//! the normal activation path.
+//! and its whole neighborhood dirty — so the incremental enabled set stays
+//! sound even though a fault changes state outside the normal activation
+//! path (see the regression tests in `tests/fault_daemon_equivalence.rs`).
+//!
+//! Victim selection runs on a reusable [`FaultInjector`] scratch: uniform
+//! sampling is a **partial Fisher–Yates** over a persistent permutation
+//! pool (`O(count)` random swaps per injection instead of the seed's full
+//! `O(n)` shuffle), and the ball model's BFS reuses persistent distance and
+//! queue buffers — repeated injections at `n = 10⁵` touch the allocator
+//! not at all once warmed (enforced by `tests/zero_alloc.rs`).
 
-use rand::seq::SliceRandom;
-use rand::RngCore;
+use rand::{Rng, RngCore};
 use selfstab_graph::{Graph, NodeId};
+use std::fmt;
 
 use crate::executor::Simulation;
 use crate::protocol::Protocol;
@@ -24,7 +50,10 @@ use crate::scheduler::Scheduler;
 /// sampled arbitrary states, returning the identifiers of the corrupted
 /// processes.
 ///
-/// `count` is clamped to the number of processes.
+/// `count` is clamped to the number of processes. One-shot convenience
+/// wrapper around [`FaultInjector`]; callers injecting repeatedly (fault
+/// plans, benches) should hold an injector themselves so the victim-pool
+/// scratch is reused across injections.
 pub fn inject_random_faults<P, S, R>(
     sim: &mut Simulation<'_, P, S>,
     count: usize,
@@ -35,18 +64,10 @@ where
     S: Scheduler,
     R: RngCore,
 {
-    let graph = sim.graph();
-    let mut victims: Vec<NodeId> = graph.nodes().collect();
-    victims.shuffle(rng);
-    victims.truncate(count.min(graph.node_count()));
-    let states: Vec<(NodeId, P::State)> = victims
-        .iter()
-        .map(|&p| (p, sim.protocol().arbitrary_state(graph, p, rng)))
-        .collect();
-    for (p, state) in states {
-        sim.set_state(p, state);
-    }
-    victims
+    let mut injector = FaultInjector::new(sim.topology());
+    injector
+        .inject(sim, FaultModel::Uniform(FaultLoad::Count(count)), rng)
+        .to_vec()
 }
 
 /// Overwrites the state of the given processes with freshly sampled
@@ -57,11 +78,8 @@ where
     S: Scheduler,
     R: RngCore,
 {
-    let states: Vec<(NodeId, P::State)> = victims
-        .iter()
-        .map(|&p| (p, sim.protocol().arbitrary_state(sim.graph(), p, rng)))
-        .collect();
-    for (p, state) in states {
+    for &p in victims {
+        let state = sim.protocol().arbitrary_state(sim.topology(), p, rng);
         sim.set_state(p, state);
     }
 }
@@ -93,6 +111,470 @@ impl FaultLoad {
             }
         }
     }
+}
+
+impl fmt::Display for FaultLoad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultLoad::Count(c) => write!(f, "{c}"),
+            FaultLoad::Fraction(frac) => write!(f, "{:.0}%", frac * 100.0),
+        }
+    }
+}
+
+/// Where a [`FaultModel::Ball`] injection is centered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BallCenter {
+    /// A uniformly random process (fresh draw per injection).
+    Random,
+    /// The maximum-degree process (smallest id on ties) — the hub whose
+    /// corruption radiates furthest.
+    Hub,
+    /// A fixed process index.
+    Node(usize),
+}
+
+impl fmt::Display for BallCenter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BallCenter::Random => write!(f, "rand"),
+            BallCenter::Hub => write!(f, "hub"),
+            BallCenter::Node(i) => write!(f, "p{i}"),
+        }
+    }
+}
+
+/// *What* one fault injection corrupts: the victim-selection strategy (and,
+/// for [`FaultModel::StuckAt`], the state-selection strategy) of a single
+/// transient fault.
+///
+/// All variants overwrite victims with [`Protocol::arbitrary_state`]
+/// samples except `StuckAt`, which searches a small candidate set per
+/// victim for the state that *enables the most guards* in the victim's
+/// closed neighborhood — the adversarial "stuck" value that maximizes
+/// immediate repair churn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultModel {
+    /// Uniformly random distinct victims (the classical, easiest-case
+    /// model; what [`inject_random_faults`] uses).
+    Uniform(FaultLoad),
+    /// The highest-degree processes (hubs), ties broken by smaller id —
+    /// the targeted-fault sensitivity model: corrupting a hub perturbs Δ
+    /// neighborhoods at once.
+    DegreeTargeted(FaultLoad),
+    /// Every process within `radius` hops of `center` — correlated
+    /// regional corruption (a "lightning strike" hitting one area).
+    Ball {
+        /// Center of the corrupted region.
+        center: BallCenter,
+        /// Hop radius; `0` corrupts only the center.
+        radius: usize,
+    },
+    /// Uniformly random victims overwritten with adversarially chosen
+    /// states: per victim, several arbitrary-state candidates are scored by
+    /// how many guards they enable in the victim's closed neighborhood and
+    /// the worst one sticks.
+    StuckAt(FaultLoad),
+}
+
+/// Candidate states sampled per victim by the [`FaultModel::StuckAt`]
+/// search.
+const STUCK_AT_CANDIDATES: usize = 8;
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultModel::Uniform(load) => write!(f, "uniform({load})"),
+            FaultModel::DegreeTargeted(load) => write!(f, "hubs({load})"),
+            FaultModel::Ball { center, radius } => write!(f, "ball({center},r{radius})"),
+            FaultModel::StuckAt(load) => write!(f, "stuck({load})"),
+        }
+    }
+}
+
+/// Reusable victim-selection scratch: repeated injections (fault plans,
+/// large-n benches) select victims without touching the allocator once the
+/// buffers are warm.
+///
+/// * `pool` holds a persistent permutation of all processes; uniform
+///   sampling performs a **partial Fisher–Yates** — `count` random prefix
+///   swaps — and reads the prefix. Any permutation of the pool is an
+///   equally valid starting point, so the pool is never re-initialized.
+/// * the ball model's BFS reuses a persistent distance array and queue.
+/// * `victims` holds the most recent selection (readable until the next
+///   injection).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Persistent permutation of all node ids (partial Fisher–Yates pool).
+    pool: Vec<NodeId>,
+    /// Victims of the most recent injection.
+    victims: Vec<NodeId>,
+    /// BFS scratch: hop distance per process; `u32::MAX` = unvisited.
+    dist: Vec<u32>,
+    /// BFS scratch: queue (drained by index, never popped from the front).
+    queue: Vec<NodeId>,
+    /// Nodes sorted by (degree desc, id asc); a fixed function of the
+    /// graph, computed lazily on the first degree-targeted selection so
+    /// periodic hub plans pay the `O(n log n)` sort once, not per event.
+    by_degree: Vec<NodeId>,
+}
+
+impl FaultInjector {
+    /// Creates the injector for `graph` (buffers sized to `n` once).
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        FaultInjector {
+            pool: graph.nodes().collect(),
+            victims: Vec::with_capacity(n),
+            dist: vec![u32::MAX; n],
+            queue: Vec::with_capacity(n),
+            by_degree: Vec::new(),
+        }
+    }
+
+    /// The victims of the most recent injection, in selection order.
+    pub fn last_victims(&self) -> &[NodeId] {
+        &self.victims
+    }
+
+    /// Selects the victims of `model` on `graph` into the internal buffer
+    /// (no states are written — [`FaultInjector::inject`] does both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the injector was built for a different process count, or
+    /// if a [`BallCenter::Node`] index is out of range.
+    pub fn select_victims<R: RngCore>(
+        &mut self,
+        graph: &Graph,
+        model: FaultModel,
+        rng: &mut R,
+    ) -> &[NodeId] {
+        let n = graph.node_count();
+        assert_eq!(
+            self.pool.len(),
+            n,
+            "FaultInjector was built for a different graph size"
+        );
+        self.victims.clear();
+        match model {
+            FaultModel::Uniform(load) | FaultModel::StuckAt(load) => {
+                let count = load.resolve(graph);
+                // Partial Fisher–Yates: after i swaps the prefix pool[..i]
+                // is a uniform i-subset in uniform order, regardless of the
+                // permutation the pool started from.
+                for i in 0..count {
+                    let j = rng.gen_range(i..n);
+                    self.pool.swap(i, j);
+                    self.victims.push(self.pool[i]);
+                }
+            }
+            FaultModel::DegreeTargeted(load) => {
+                let count = load.resolve(graph);
+                // (degree desc, id asc) order: deterministic, so hub
+                // targeting is seed-independent; cached across injections.
+                if self.by_degree.len() != n {
+                    self.by_degree.clear();
+                    self.by_degree.extend(graph.nodes());
+                    self.by_degree
+                        .sort_unstable_by_key(|&p| (std::cmp::Reverse(graph.degree(p)), p.index()));
+                }
+                self.victims.extend_from_slice(&self.by_degree[..count]);
+            }
+            FaultModel::Ball { center, radius } => {
+                let center = match center {
+                    BallCenter::Random => NodeId::new(rng.gen_range(0..n)),
+                    BallCenter::Hub => graph
+                        .nodes()
+                        .max_by_key(|&p| (graph.degree(p), std::cmp::Reverse(p.index())))
+                        .expect("non-empty graph"),
+                    BallCenter::Node(i) => {
+                        assert!(i < n, "ball center {i} out of range (n = {n})");
+                        NodeId::new(i)
+                    }
+                };
+                // Bounded BFS over persistent scratch.
+                self.dist.iter_mut().for_each(|d| *d = u32::MAX);
+                self.queue.clear();
+                self.dist[center.index()] = 0;
+                self.queue.push(center);
+                let mut head = 0;
+                while head < self.queue.len() {
+                    let p = self.queue[head];
+                    head += 1;
+                    let d = self.dist[p.index()];
+                    self.victims.push(p);
+                    if (d as usize) < radius {
+                        for q in graph.neighbors(p) {
+                            if self.dist[q.index()] == u32::MAX {
+                                self.dist[q.index()] = d + 1;
+                                self.queue.push(q);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        &self.victims
+    }
+
+    /// Executes one injection: selects victims per `model` and overwrites
+    /// their states through [`Simulation::set_state`] (which keeps the
+    /// incremental enabled set sound). Returns the victims.
+    ///
+    /// Allocation-free once warm for `Copy`-state protocols (the `StuckAt`
+    /// search clones candidate states, so heap-backed states allocate there
+    /// by necessity).
+    pub fn inject<P, S, R>(
+        &mut self,
+        sim: &mut Simulation<'_, P, S>,
+        model: FaultModel,
+        rng: &mut R,
+    ) -> &[NodeId]
+    where
+        P: Protocol,
+        S: Scheduler,
+        R: RngCore,
+    {
+        let graph = sim.topology();
+        self.select_victims(graph, model, rng);
+        let adversarial = matches!(model, FaultModel::StuckAt(_));
+        for i in 0..self.victims.len() {
+            let p = self.victims[i];
+            if adversarial {
+                // Candidate search: keep the state that enables the most
+                // guards in p's closed neighborhood. Candidates are applied
+                // through set_state so the maintained enabled set scores
+                // them; the winner is re-applied last and therefore sticks.
+                let mut best: Option<(P::State, usize)> = None;
+                for _ in 0..STUCK_AT_CANDIDATES {
+                    let candidate = sim.protocol().arbitrary_state(graph, p, rng);
+                    sim.set_state(p, candidate.clone());
+                    let enabled = sim.enabled_set();
+                    let churn = enabled.is_enabled(p) as usize
+                        + graph
+                            .neighbors(p)
+                            .filter(|&q| enabled.is_enabled(q))
+                            .count();
+                    if best.as_ref().is_none_or(|&(_, b)| churn > b) {
+                        best = Some((candidate, churn));
+                    }
+                }
+                let (state, _) = best.expect("at least one candidate");
+                sim.set_state(p, state);
+            } else {
+                let state = sim.protocol().arbitrary_state(graph, p, rng);
+                sim.set_state(p, state);
+            }
+        }
+        &self.victims
+    }
+}
+
+/// One timed injection of a [`FaultPlan`]: the step offset (relative to the
+/// start of the scenario run) at which `model` fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Steps after the start of the plan run at which the injection lands.
+    pub at_step: u64,
+    /// What the injection corrupts.
+    pub model: FaultModel,
+}
+
+/// A declarative schedule of timed mid-run fault injections, executed by
+/// [`run_fault_plan`]. Events are kept sorted by step offset.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan firing the given events (sorted by offset internally; ties
+    /// fire in the given order).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at_step);
+        FaultPlan { events }
+    }
+
+    /// A single injection at scenario start.
+    pub fn single(model: FaultModel) -> Self {
+        FaultPlan::new(vec![FaultEvent { at_step: 0, model }])
+    }
+
+    /// A single injection after `at_step` steps.
+    pub fn delayed(model: FaultModel, at_step: u64) -> Self {
+        FaultPlan::new(vec![FaultEvent { at_step, model }])
+    }
+
+    /// `injections` firings of `model`, `period` steps apart, starting at
+    /// scenario start — periodic (bursty when `period` is small)
+    /// re-injection while the previous repair may still be in flight.
+    pub fn periodic(model: FaultModel, period: u64, injections: usize) -> Self {
+        FaultPlan::new(
+            (0..injections as u64)
+                .map(|i| FaultEvent {
+                    at_step: i * period,
+                    model,
+                })
+                .collect(),
+        )
+    }
+
+    /// The events, sorted by step offset.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Total processes a plan corrupts is plan- and run-dependent; the
+    /// number of *events* is static.
+    pub fn injection_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// One injection as it happened during a scenario run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionRecord {
+    /// Absolute simulation step at which the injection landed.
+    pub step: u64,
+    /// Absolute round count at injection time.
+    pub round: u64,
+    /// The model that fired.
+    pub model: FaultModel,
+    /// Number of corrupted processes.
+    pub victims: usize,
+}
+
+/// Telemetry of one completed round during a scenario run: a point of the
+/// availability curve and the read-cost spike profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundSample {
+    /// Absolute round index this sample closes.
+    pub round: u64,
+    /// Absolute simulation step at the round boundary.
+    pub step: u64,
+    /// Whether the configuration at the round boundary satisfies the
+    /// protocol's legitimacy predicate (the availability signal).
+    pub legitimate: bool,
+    /// Fraction of processes with an enabled guard at the round boundary
+    /// (0 once quiesced; the repair wave's footprint).
+    pub enabled_fraction: f64,
+    /// Read operations performed by the protocol during this round (the
+    /// read-cost spike profile around injections).
+    pub read_operations: u64,
+}
+
+/// Everything a scenario run observed: injections, the per-round recovery
+/// curve, and the final outcome. Aggregated into a
+/// `RecoveryReport` by `selfstab_core::measures`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryTelemetry {
+    /// The injections, in firing order.
+    pub injections: Vec<InjectionRecord>,
+    /// One sample per completed round, in round order (covers the whole
+    /// scenario run, including rounds between injections).
+    pub rounds: Vec<RoundSample>,
+    /// Whether the system quiesced (no enabled process) after the last
+    /// injection within the budget.
+    pub recovered: bool,
+    /// Whether the final configuration satisfies the legitimacy predicate.
+    pub legitimate: bool,
+    /// Rounds from the last injection until quiescence (`None` when the
+    /// budget ran out first).
+    pub recovery_rounds: Option<u64>,
+    /// Steps executed by the scenario run.
+    pub steps: u64,
+}
+
+/// Executes `plan` against a running simulation: injects each event at its
+/// step offset, then keeps stepping until the system is **silent** again
+/// or `max_steps` scenario steps have been executed.
+///
+/// Silence is detected two ways: instantly when no process has an enabled
+/// guard (MIS/MATCHING-style protocols whose guards fall quiet), and at
+/// every round boundary through [`Protocol::is_silent_config`] (protocols
+/// like COLORING or the leader election stay *guard-enabled* forever —
+/// they keep probing one neighbor — yet their communication variables
+/// quiesce; the per-round check amortizes the `O(n)` predicate to `O(1)`
+/// per step under central daemons).
+///
+/// Per completed round the driver records a [`RoundSample`] (legitimacy,
+/// enabled fraction, reads in the round), building the availability curve
+/// and the read-spike profile of the recovery. The `injector` scratch is
+/// reused across events (and across calls), so repeated scenarios at large
+/// `n` stay allocation-free on the injection path.
+///
+/// Typically called on a stabilized simulation (so the recovery cost is
+/// attributable to the plan), but any starting configuration works.
+pub fn run_fault_plan<P, S, R>(
+    sim: &mut Simulation<'_, P, S>,
+    plan: &FaultPlan,
+    injector: &mut FaultInjector,
+    rng: &mut R,
+    max_steps: u64,
+) -> RecoveryTelemetry
+where
+    P: Protocol,
+    S: Scheduler,
+    R: RngCore,
+{
+    let start_step = sim.steps();
+    let n = sim.topology().node_count().max(1);
+    let mut telemetry = RecoveryTelemetry::default();
+    let mut next_event = 0;
+    let mut round_start_reads = sim.stats().total_read_operations();
+    let mut rounds_at_last_injection = sim.rounds();
+    // The first silence check may run the O(n) predicate (treated as a
+    // round boundary) so a plan landing on an already-silent system with a
+    // zero-event tail terminates immediately.
+    let mut at_round_boundary = true;
+    loop {
+        let offset = sim.steps() - start_step;
+        while next_event < plan.events.len() && plan.events[next_event].at_step <= offset {
+            let model = plan.events[next_event].model;
+            let victims = injector.inject(sim, model, rng).len();
+            telemetry.injections.push(InjectionRecord {
+                step: sim.steps(),
+                round: sim.rounds(),
+                model,
+                victims,
+            });
+            rounds_at_last_injection = sim.rounds();
+            next_event += 1;
+        }
+        // Silence ends the scenario only once every event has fired. The
+        // enabled-count fast path catches guard-quiescent protocols with
+        // no O(n) work; `at_round_boundary` covers the ♦-efficient
+        // protocols that stay enabled forever but stop writing.
+        if next_event == plan.events.len() {
+            let guard_quiet = sim.enabled_set().count() == 0;
+            if guard_quiet || (at_round_boundary && sim.is_silent()) {
+                telemetry.recovered = true;
+                telemetry.recovery_rounds = Some(sim.rounds() - rounds_at_last_injection);
+                break;
+            }
+        }
+        if offset >= max_steps {
+            break;
+        }
+        let rounds_before = sim.rounds();
+        sim.step();
+        at_round_boundary = sim.rounds() > rounds_before;
+        if at_round_boundary {
+            let reads_now = sim.stats().total_read_operations();
+            telemetry.rounds.push(RoundSample {
+                round: sim.rounds(),
+                step: sim.steps(),
+                legitimate: sim.is_legitimate(),
+                enabled_fraction: sim.enabled_set().count() as f64 / n as f64,
+                read_operations: reads_now - round_start_reads,
+            });
+            round_start_reads = reads_now;
+        }
+    }
+    telemetry.legitimate = sim.is_legitimate();
+    telemetry.steps = sim.steps() - start_step;
+    telemetry
 }
 
 #[cfg(test)]
@@ -228,5 +710,202 @@ mod tests {
         assert_eq!(FaultLoad::Fraction(0.0).resolve(&graph), 0);
         assert_eq!(FaultLoad::Fraction(0.01).resolve(&graph), 1);
         assert_eq!(FaultLoad::Fraction(2.0).resolve(&graph), 10);
+    }
+
+    #[test]
+    fn uniform_victims_are_distinct_and_uniformly_spread() {
+        let graph = generators::ring(16);
+        let mut injector = FaultInjector::new(&graph);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = [0u32; 16];
+        for _ in 0..400 {
+            let victims =
+                injector.select_victims(&graph, FaultModel::Uniform(FaultLoad::Count(4)), &mut rng);
+            assert_eq!(victims.len(), 4);
+            let mut sorted: Vec<_> = victims.to_vec();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "distinct victims");
+            for v in victims {
+                hits[v.index()] += 1;
+            }
+        }
+        // 400 draws of 4-of-16: every process expects 100 hits; a process
+        // never (or always) drawn would betray a broken partial shuffle.
+        assert!(
+            hits.iter().all(|&h| (40..160).contains(&h)),
+            "hit histogram is far from uniform: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn degree_targeted_hits_the_hubs_deterministically() {
+        let graph = generators::star(7); // hub 0 with degree 6
+        let mut injector = FaultInjector::new(&graph);
+        let mut rng = StdRng::seed_from_u64(4);
+        let victims = injector
+            .select_victims(
+                &graph,
+                FaultModel::DegreeTargeted(FaultLoad::Count(3)),
+                &mut rng,
+            )
+            .to_vec();
+        assert_eq!(victims[0], NodeId::new(0), "the hub is corrupted first");
+        // Leaves tie at degree 1: smaller ids win.
+        assert_eq!(victims[1..], [NodeId::new(1), NodeId::new(2)]);
+        // No randomness involved: a second injector agrees.
+        let mut other = FaultInjector::new(&graph);
+        let mut rng2 = StdRng::seed_from_u64(999);
+        assert_eq!(
+            other.select_victims(
+                &graph,
+                FaultModel::DegreeTargeted(FaultLoad::Count(3)),
+                &mut rng2
+            ),
+            &victims[..]
+        );
+    }
+
+    #[test]
+    fn ball_selects_exactly_the_radius_neighborhood() {
+        let graph = generators::path(7); // 0-1-2-3-4-5-6
+        let mut injector = FaultInjector::new(&graph);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut victims: Vec<usize> = injector
+            .select_victims(
+                &graph,
+                FaultModel::Ball {
+                    center: BallCenter::Node(3),
+                    radius: 2,
+                },
+                &mut rng,
+            )
+            .iter()
+            .map(|p| p.index())
+            .collect();
+        victims.sort_unstable();
+        assert_eq!(victims, vec![1, 2, 3, 4, 5]);
+        // Radius 0 corrupts only the center; a hub center on a star is the
+        // max-degree process.
+        let star = generators::star(5);
+        let mut star_injector = FaultInjector::new(&star);
+        let victims = star_injector.select_victims(
+            &star,
+            FaultModel::Ball {
+                center: BallCenter::Hub,
+                radius: 0,
+            },
+            &mut rng,
+        );
+        assert_eq!(victims, &[NodeId::new(0)]);
+    }
+
+    #[test]
+    fn stuck_at_enables_more_guards_than_it_must() {
+        // On a silent ring, a StuckAt injection must leave at least the
+        // victim's neighborhood churning: the candidate search maximizes
+        // enabled guards, so *some* guard is enabled afterwards unless no
+        // candidate can enable any (impossible here: any value below the
+        // minimum enables both neighbors).
+        let graph = generators::ring(12);
+        let mut sim = Simulation::with_config(
+            &graph,
+            MinValue,
+            Synchronous,
+            vec![500; 12],
+            7,
+            SimOptions::default(),
+        );
+        assert_eq!(sim.enabled_set().count(), 0, "uniformly 500 is silent");
+        let mut injector = FaultInjector::new(&graph);
+        let mut rng = StdRng::seed_from_u64(11);
+        let victims = injector
+            .inject(&mut sim, FaultModel::StuckAt(FaultLoad::Count(1)), &mut rng)
+            .to_vec();
+        assert_eq!(victims.len(), 1);
+        assert!(
+            sim.enabled_set().count() >= 2,
+            "the adversarial state enables the victim's neighbors"
+        );
+    }
+
+    #[test]
+    fn fault_plans_sort_events_and_build_schedules() {
+        let model = FaultModel::Uniform(FaultLoad::Count(1));
+        let plan = FaultPlan::new(vec![
+            FaultEvent { at_step: 9, model },
+            FaultEvent { at_step: 2, model },
+        ]);
+        assert_eq!(plan.events()[0].at_step, 2);
+        assert_eq!(plan.injection_count(), 2);
+        assert_eq!(FaultPlan::single(model).events()[0].at_step, 0);
+        assert_eq!(FaultPlan::delayed(model, 7).events()[0].at_step, 7);
+        let periodic = FaultPlan::periodic(model, 10, 3);
+        let offsets: Vec<u64> = periodic.events().iter().map(|e| e.at_step).collect();
+        assert_eq!(offsets, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn run_fault_plan_records_injections_and_recovery() {
+        let graph = generators::ring(10);
+        let mut sim = Simulation::new(&graph, MinValue, Synchronous, 21, SimOptions::default());
+        sim.run_until_silent(10_000);
+        let mut injector = FaultInjector::new(&graph);
+        let mut rng = StdRng::seed_from_u64(8);
+        let plan = FaultPlan::periodic(FaultModel::Uniform(FaultLoad::Fraction(0.3)), 3, 2);
+        let telemetry = run_fault_plan(&mut sim, &plan, &mut injector, &mut rng, 10_000);
+        assert_eq!(telemetry.injections.len(), 2);
+        assert!(telemetry.injections[0].victims >= 1);
+        assert!(telemetry.recovered, "MinValue quiesces after faults");
+        assert!(telemetry.legitimate);
+        assert!(telemetry.recovery_rounds.is_some());
+        // The curve ends in a fully-available, quiet round.
+        let last = telemetry.rounds.last().expect("at least one round");
+        assert!(last.legitimate);
+        // Rounds are strictly increasing and reads are attributed per round.
+        assert!(telemetry.rounds.windows(2).all(|w| w[0].round < w[1].round));
+        let curve_reads: u64 = telemetry.rounds.iter().map(|r| r.read_operations).sum();
+        assert!(curve_reads > 0, "the repair wave reads neighbors");
+    }
+
+    #[test]
+    fn run_fault_plan_respects_the_step_budget() {
+        let graph = generators::ring(8);
+        let mut sim = Simulation::new(&graph, MinValue, Synchronous, 2, SimOptions::default());
+        sim.run_until_silent(1_000);
+        let mut injector = FaultInjector::new(&graph);
+        let mut rng = StdRng::seed_from_u64(13);
+        // Re-inject every step forever-ish: the budget must end the run.
+        let plan = FaultPlan::periodic(FaultModel::Uniform(FaultLoad::Count(2)), 1, 1_000);
+        let telemetry = run_fault_plan(&mut sim, &plan, &mut injector, &mut rng, 50);
+        assert!(!telemetry.recovered);
+        assert_eq!(telemetry.recovery_rounds, None);
+        assert!(telemetry.steps <= 51);
+    }
+
+    #[test]
+    fn model_and_load_labels_are_compact() {
+        assert_eq!(
+            FaultModel::Uniform(FaultLoad::Count(3)).to_string(),
+            "uniform(3)"
+        );
+        assert_eq!(
+            FaultModel::DegreeTargeted(FaultLoad::Fraction(0.1)).to_string(),
+            "hubs(10%)"
+        );
+        assert_eq!(
+            FaultModel::Ball {
+                center: BallCenter::Hub,
+                radius: 2
+            }
+            .to_string(),
+            "ball(hub,r2)"
+        );
+        assert_eq!(
+            FaultModel::StuckAt(FaultLoad::Fraction(0.25)).to_string(),
+            "stuck(25%)"
+        );
+        assert_eq!(BallCenter::Random.to_string(), "rand");
+        assert_eq!(BallCenter::Node(4).to_string(), "p4");
     }
 }

@@ -103,6 +103,9 @@ pub mod view;
 
 pub use enabled::EnabledSet;
 pub use executor::{run_cell, RunReport, SimOptions, Simulation};
+pub use faults::{
+    run_fault_plan, BallCenter, FaultInjector, FaultLoad, FaultModel, FaultPlan, RecoveryTelemetry,
+};
 pub use protocol::Protocol;
 pub use scheduler::Scheduler;
 pub use stats::RunStats;

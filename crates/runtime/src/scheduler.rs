@@ -27,19 +27,21 @@ pub struct SchedulerContext<'a> {
     pub enabled: &'a EnabledSet,
 }
 
-impl SchedulerContext<'_> {
+impl<'a> SchedulerContext<'a> {
     /// Number of processes in the system.
     pub fn node_count(&self) -> usize {
         self.enabled.node_count()
     }
 
-    /// Identifiers of the currently enabled processes.
+    /// Iterates the identifiers of the currently enabled processes in
+    /// increasing id order.
     ///
-    /// Allocates a fresh vector — convenience API for tests and external
-    /// daemons. Hot schedulers iterate [`EnabledSet::iter`] (or index
-    /// [`EnabledSet::is_enabled`]) instead.
-    pub fn enabled_nodes(&self) -> Vec<NodeId> {
-        self.enabled.to_nodes()
+    /// Allocation-free view over the maintained [`EnabledSet`] — this was
+    /// the last allocating accessor behind the select path (it used to
+    /// collect a fresh `Vec` per call). Callers that need an owned list
+    /// `collect()` explicitly.
+    pub fn enabled_nodes(&self) -> impl Iterator<Item = NodeId> + 'a {
+        self.enabled.iter()
     }
 }
 

@@ -99,6 +99,14 @@ pub struct RunStats {
     pub rounds: u64,
     /// Step at which the last suffix marker was placed, if any.
     pub suffix_marker_step: Option<u64>,
+    /// Running aggregate of [`ProcessStats::total_read_operations`], kept so
+    /// [`RunStats::total_read_operations`] is `O(1)` — per-round recovery
+    /// telemetry reads it at every round boundary.
+    total_reads: u64,
+    /// Running aggregate of [`ProcessStats::comm_changes`].
+    total_comm_change_count: u64,
+    /// Latest step at which any communication variable changed.
+    latest_comm_change_step: Option<u64>,
 }
 
 impl RunStats {
@@ -109,6 +117,9 @@ impl RunStats {
             steps: 0,
             rounds: 0,
             suffix_marker_step: None,
+            total_reads: 0,
+            total_comm_change_count: 0,
+            latest_comm_change_step: None,
         }
     }
 
@@ -135,6 +146,7 @@ impl RunStats {
 
     /// Records an activation of `p` that read the given distinct ports.
     pub(crate) fn record_activation(&mut self, p: NodeId, reads: &[Port], read_operations: usize) {
+        self.total_reads += read_operations as u64;
         let stats = &mut self.per_process[p.index()];
         stats.activations += 1;
         stats.total_read_operations += read_operations as u64;
@@ -152,6 +164,8 @@ impl RunStats {
 
     /// Records that `p` changed its communication state at `step`.
     pub(crate) fn record_comm_change(&mut self, p: NodeId, step: u64) {
+        self.total_comm_change_count += 1;
+        self.latest_comm_change_step = Some(step);
         let stats = &mut self.per_process[p.index()];
         stats.comm_changes += 1;
         stats.last_comm_change_step = Some(step);
@@ -233,24 +247,32 @@ impl RunStats {
     }
 
     /// Total number of read operations across all processes.
+    ///
+    /// `O(1)`: served from a running aggregate (the seed summed the
+    /// per-process counters on every call — per-round recovery telemetry
+    /// queries this at every round boundary, so the scan added up).
     pub fn total_read_operations(&self) -> u64 {
-        self.per_process
-            .iter()
-            .map(|s| s.total_read_operations)
-            .sum()
+        debug_assert_eq!(
+            self.total_reads,
+            self.per_process
+                .iter()
+                .map(|s| s.total_read_operations)
+                .sum::<u64>(),
+            "aggregate read counter diverged from the per-process counters"
+        );
+        self.total_reads
     }
 
-    /// Total number of communication-state changes across all processes.
+    /// Total number of communication-state changes across all processes
+    /// (`O(1)`, running aggregate).
     pub fn total_comm_changes(&self) -> u64 {
-        self.per_process.iter().map(|s| s.comm_changes).sum()
+        self.total_comm_change_count
     }
 
-    /// The latest step at which any communication variable changed, if any.
+    /// The latest step at which any communication variable changed, if any
+    /// (`O(1)`, running aggregate).
     pub fn last_comm_change_step(&self) -> Option<u64> {
-        self.per_process
-            .iter()
-            .filter_map(|s| s.last_comm_change_step)
-            .max()
+        self.latest_comm_change_step
     }
 }
 

@@ -15,8 +15,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use selfstab_graph::{generators, Graph, NodeId, Port};
+use selfstab_runtime::faults::{BallCenter, FaultInjector, FaultLoad, FaultModel};
 use selfstab_runtime::protocol::Protocol;
 use selfstab_runtime::scheduler::{
     CentralRandom, CentralRoundRobin, DistributedRandom, LocallyCentral, Scheduler, Synchronous,
@@ -178,6 +180,40 @@ fn assert_zero_alloc_steady_state<S: Scheduler>(graph: &Graph, scheduler: S, dae
         after - before,
         0,
         "{daemon}: enabled-set refresh allocated {} times",
+        after - before
+    );
+
+    // Regime 4: structured fault injections (the fault-scenario engine's
+    // victim selection + adversarial state search) interleaved with
+    // stepping. The injector's scratch — partial Fisher–Yates pool, BFS
+    // distance/queue buffers, victim list — is warmed by one injection per
+    // model, after which repeated injections must not allocate.
+    let models = [
+        FaultModel::Uniform(FaultLoad::Fraction(0.05)),
+        FaultModel::DegreeTargeted(FaultLoad::Count(3)),
+        FaultModel::Ball {
+            center: BallCenter::Random,
+            radius: 2,
+        },
+        FaultModel::StuckAt(FaultLoad::Count(2)),
+    ];
+    let mut injector = FaultInjector::new(graph);
+    let mut fault_rng = StdRng::seed_from_u64(7);
+    for &model in &models {
+        injector.inject(&mut sim, model, &mut fault_rng);
+        sim.run_steps(30);
+    }
+    let before = allocation_count();
+    for round in 0..12u32 {
+        let model = models[round as usize % models.len()];
+        injector.inject(&mut sim, model, &mut fault_rng);
+        sim.run_steps(50);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "{daemon}: structured fault injection + repair stepping allocated {} times",
         after - before
     );
 }
