@@ -85,6 +85,7 @@ pub fn cell(
         graph: &Graph,
         protocol: P,
         seed: u64,
+        options: SimOptions,
         max_steps: u64,
     ) -> CellOutcome<TransformerRun> {
         run_cell(
@@ -92,7 +93,7 @@ pub fn cell(
             protocol,
             DistributedRandom::new(0.5),
             seed,
-            SimOptions::default(),
+            options,
             max_steps,
             |report, sim| {
                 if !report.silent {
@@ -106,18 +107,27 @@ pub fn cell(
         )
     }
     let graph = workload.build(config.base_seed);
+    let options = config.sim_options();
     match variant {
-        Variant::HandWritten => drive(&graph, Coloring::new(&graph), seed, config.max_steps),
+        Variant::HandWritten => drive(
+            &graph,
+            Coloring::new(&graph),
+            seed,
+            options,
+            config.max_steps,
+        ),
         Variant::Transformed => drive(
             &graph,
             RoundRobinChecker::new(ColoringSpec::new(&graph)),
             seed,
+            options,
             config.max_steps,
         ),
         Variant::Baseline => drive(
             &graph,
             BaselineColoring::new(&graph),
             seed,
+            options,
             config.max_steps,
         ),
     }

@@ -60,6 +60,7 @@ pub fn cell(
         graph: &Graph,
         protocol: P,
         seed: u64,
+        options: SimOptions,
         max_steps: u64,
     ) -> measures::ComplexityReport {
         let extra_steps = 50 * graph.node_count() as u64;
@@ -68,7 +69,7 @@ pub fn cell(
             protocol,
             DistributedRandom::new(0.5),
             seed,
-            SimOptions::default(),
+            options,
             max_steps,
             |_report, sim| {
                 sim.run_steps(extra_steps);
@@ -77,24 +78,34 @@ pub fn cell(
         )
     }
     let graph = workload.build(config.base_seed);
+    let options = config.sim_options();
     match kind {
-        ProtocolKind::Coloring => complexity(&graph, Coloring::new(&graph), seed, config.max_steps),
+        ProtocolKind::Coloring => complexity(
+            &graph,
+            Coloring::new(&graph),
+            seed,
+            options,
+            config.max_steps,
+        ),
         ProtocolKind::BaselineColoring => complexity(
             &graph,
             BaselineColoring::new(&graph),
             seed,
+            options,
             config.max_steps,
         ),
         ProtocolKind::Mis => complexity(
             &graph,
             Mis::with_greedy_coloring(&graph),
             seed,
+            options,
             config.max_steps,
         ),
         ProtocolKind::BaselineMis => complexity(
             &graph,
             BaselineMis::with_greedy_coloring(&graph),
             seed,
+            options,
             config.max_steps,
         ),
     }

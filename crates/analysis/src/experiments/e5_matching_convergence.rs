@@ -6,8 +6,8 @@
 
 use selfstab_core::matching::Matching;
 use selfstab_graph::verify;
+use selfstab_runtime::run_cell;
 use selfstab_runtime::scheduler::Synchronous;
-use selfstab_runtime::{run_cell, SimOptions};
 
 use super::ExperimentConfig;
 use crate::campaign::{CampaignSpec, CellOutcome, PointResult};
@@ -47,7 +47,7 @@ pub fn cell(workload: &Workload, config: &ExperimentConfig, seed: u64) -> CellOu
         Matching::with_greedy_coloring(&graph),
         Synchronous,
         seed,
-        SimOptions::default(),
+        config.sim_options(),
         config.max_steps.min(bound + 16),
         |report, sim| {
             if !report.silent {

@@ -1,10 +1,15 @@
-//! Campaign determinism: the thread count must never change a result.
+//! Campaign determinism: neither the campaign thread count nor the
+//! intra-step worker count must ever change a result.
 //!
 //! Every experiment cell is a pure function of its grid point and seed, and
 //! the engine orders results by grid position rather than completion order —
 //! so every experiment table must be **byte-identical** between
-//! `--threads 1` and `--threads 8`. This is the property that makes the
-//! parallel campaign engine safe to enable by default.
+//! `--threads 1` and `--threads 8`. The sharded intra-step executor adds a
+//! second parallelism axis with the same contract: `--step-workers` only
+//! changes how one step's work is spread over threads, never what the step
+//! computes, so the tables must also be byte-identical across the full
+//! `(threads × step_workers)` matrix. These are the properties that make
+//! both parallel engines safe to enable by default.
 
 use selfstab_analysis::experiments::{self, ExperimentConfig};
 
@@ -49,6 +54,41 @@ fn e14_fault_scenario_tables_are_thread_count_independent() {
     assert_eq!(sequential.len(), 1);
     assert_eq!(sequential[0].to_text(), parallel[0].to_text());
     assert_eq!(sequential[0].to_json(), parallel[0].to_json());
+}
+
+#[test]
+fn quick_suite_is_byte_identical_across_the_thread_by_step_worker_matrix() {
+    // The full matrix on a representative selection: E2 (randomized
+    // activations — worker-count-invariant RNG derivation), E9 (fault
+    // injection + recovery telemetry), E12 (multi-axis sweep with check
+    // intervals). Reference point (threads=1, step_workers=1) versus the
+    // other three corners of {1,8} × {1,4}.
+    let only = vec!["E2".to_string(), "E9".to_string(), "E12".to_string()];
+    let render = |tables: &[selfstab_analysis::ExperimentTable]| -> String {
+        tables
+            .iter()
+            .map(|t| format!("{}\n{}\n{}", t.to_text(), t.to_csv(), t.to_json()))
+            .collect()
+    };
+    let reference = render(&experiments::run_selected(
+        &quick_config().with_threads(1).with_step_workers(1),
+        Some(&only),
+    ));
+    for (threads, step_workers) in [(1, 4), (8, 1), (8, 4)] {
+        // Threshold 0: the quick-suite graphs are far below the production
+        // dispatch threshold, so without it the step_workers > 1 corners
+        // would never actually thread a step.
+        let config = quick_config()
+            .with_threads(threads)
+            .with_step_workers(step_workers)
+            .with_parallel_work_threshold(0);
+        let tables = experiments::run_selected(&config, Some(&only));
+        assert_eq!(
+            render(&tables),
+            reference,
+            "tables differ at threads={threads}, step_workers={step_workers}"
+        );
+    }
 }
 
 #[test]

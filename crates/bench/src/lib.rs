@@ -19,6 +19,7 @@ pub fn bench_config() -> ExperimentConfig {
         max_steps: 2_000_000,
         base_seed: 0xBEEF,
         threads: 1,
+        ..ExperimentConfig::default()
     }
 }
 

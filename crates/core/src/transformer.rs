@@ -33,7 +33,7 @@ use std::fmt;
 pub trait EdgeCheckable {
     /// The per-process output value (becomes the only communication
     /// variable of the transformed protocol).
-    type Output: Clone + fmt::Debug + PartialEq;
+    type Output: Clone + fmt::Debug + PartialEq + Send + Sync;
 
     /// Short human-readable name of the transformed protocol.
     fn name(&self) -> &'static str;
@@ -93,7 +93,7 @@ impl<E: EdgeCheckable> RoundRobinChecker<E> {
     }
 }
 
-impl<E: EdgeCheckable> Protocol for RoundRobinChecker<E> {
+impl<E: EdgeCheckable + Send + Sync> Protocol for RoundRobinChecker<E> {
     type State = CheckerState<E::Output>;
     type Comm = E::Output;
 

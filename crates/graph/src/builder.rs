@@ -68,24 +68,48 @@ impl GraphBuilder {
     ///
     /// # Errors
     ///
+    /// * [`GraphError::TooManyNodes`] if `node_count` exceeds the `u32`
+    ///   [`NodeId`] space,
+    /// * [`GraphError::TooManyEdges`] if the edges would overflow the `u32`
+    ///   CSR port-entry space,
     /// * [`GraphError::NodeOutOfRange`] if an endpoint is `>= node_count`,
     /// * [`GraphError::SelfLoop`] if an edge `{p, p}` was added,
     /// * [`GraphError::DuplicateEdge`] if the same undirected edge was added
     ///   twice.
     pub fn build(self) -> Result<Graph, GraphError> {
         let n = self.node_count;
+        // Capacity checks come first, before any per-edge work or
+        // allocation: a request beyond the u32-compacted identifier space
+        // must fail fast with a typed error instead of wrapping (or
+        // attempting a multi-gigabyte validation pass).
+        if n > NodeId::MAX_INDEX + 1 {
+            return Err(GraphError::TooManyNodes {
+                node_count: n,
+                max_nodes: NodeId::MAX_INDEX + 1,
+            });
+        }
+        let max_edges = (u32::MAX as usize) / 2;
+        if self.edges.len() > max_edges {
+            return Err(GraphError::TooManyEdges {
+                edge_count: self.edges.len(),
+                max_edges,
+            });
+        }
         let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
-        // First pass: validate every edge.
+        // First pass: validate every edge. Out-of-range endpoints are
+        // clamped into the identifier range for error reporting only —
+        // `NodeId::new` itself would panic on an endpoint beyond
+        // `NodeId::MAX_INDEX`.
         for &(a, b) in &self.edges {
             if a >= n {
                 return Err(GraphError::NodeOutOfRange {
-                    node: NodeId::new(a),
+                    node: NodeId::new(a.min(NodeId::MAX_INDEX)),
                     node_count: n,
                 });
             }
             if b >= n {
                 return Err(GraphError::NodeOutOfRange {
-                    node: NodeId::new(b),
+                    node: NodeId::new(b.min(NodeId::MAX_INDEX)),
                     node_count: n,
                 });
             }
@@ -198,5 +222,60 @@ mod tests {
     fn pending_edge_count_reports_recorded_edges() {
         let b = GraphBuilder::new(3).edge(0, 1).edge(1, 2);
         assert_eq!(b.pending_edge_count(), 2);
+    }
+
+    #[test]
+    fn node_count_beyond_u32_is_a_typed_error_not_a_wrap() {
+        // The capacity check fires before any allocation or edge work, so
+        // this runs in O(1) despite the absurd node count.
+        let err = GraphBuilder::new(NodeId::MAX_INDEX + 2)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::TooManyNodes {
+                node_count: NodeId::MAX_INDEX + 2,
+                max_nodes: NodeId::MAX_INDEX + 1,
+            }
+        );
+        // usize::MAX must not wrap either.
+        let err = GraphBuilder::new(usize::MAX).build().unwrap_err();
+        assert!(matches!(err, GraphError::TooManyNodes { .. }));
+    }
+
+    #[test]
+    fn out_of_range_endpoint_beyond_u32_reports_instead_of_panicking() {
+        // An endpoint outside the u32 identifier space cannot be
+        // represented in the error's NodeId; it is clamped to MAX_INDEX
+        // for reporting, and the build still fails with the typed error.
+        let err = GraphBuilder::new(2)
+            .edge(0, usize::MAX)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId::new(NodeId::MAX_INDEX),
+                node_count: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn large_graphs_near_the_compacted_width_still_build() {
+        // A 2^20-process ring: comfortably valid under the u32 cap, large
+        // enough to catch accidental narrowing in the CSR scatter.
+        let n = 1usize << 20;
+        let g = GraphBuilder::new(n)
+            .edges((0..n).map(|i| (i, (i + 1) % n)))
+            .build()
+            .unwrap();
+        assert_eq!(g.node_count(), n);
+        assert_eq!(g.edge_count(), n);
+        assert_eq!(g.degree(NodeId::new(n - 1)), 2);
+        assert_eq!(
+            g.neighbor_slice(NodeId::new(n - 1)),
+            &[NodeId::new(n - 2), NodeId::new(0)]
+        );
     }
 }

@@ -30,6 +30,22 @@ pub enum GraphError {
     },
     /// The requested operation requires a connected graph.
     NotConnected,
+    /// More processes were requested than the `u32`-compacted [`NodeId`]
+    /// space can address.
+    TooManyNodes {
+        /// The requested process count.
+        node_count: usize,
+        /// The largest supported process count (`NodeId::MAX_INDEX + 1`).
+        max_nodes: usize,
+    },
+    /// The edge set would overflow the `u32` CSR port-entry space (each
+    /// undirected edge occupies two port entries).
+    TooManyEdges {
+        /// The requested undirected edge count.
+        edge_count: usize,
+        /// The largest supported undirected edge count.
+        max_edges: usize,
+    },
     /// A generator was asked for an impossible parameter combination.
     InvalidParameters {
         /// Human-readable description of the constraint that was violated.
@@ -51,6 +67,26 @@ impl fmt::Display for GraphError {
                 write!(f, "edge {{{a}, {b}}} was added more than once")
             }
             GraphError::NotConnected => write!(f, "operation requires a connected graph"),
+            GraphError::TooManyNodes {
+                node_count,
+                max_nodes,
+            } => {
+                write!(
+                    f,
+                    "graph of {node_count} processes exceeds the u32 node-identifier \
+                     capacity of {max_nodes}"
+                )
+            }
+            GraphError::TooManyEdges {
+                edge_count,
+                max_edges,
+            } => {
+                write!(
+                    f,
+                    "{edge_count} edges exceed the u32 CSR port-entry capacity \
+                     of {max_edges} edges"
+                )
+            }
             GraphError::InvalidParameters { reason } => {
                 write!(f, "invalid generator parameters: {reason}")
             }
@@ -88,6 +124,19 @@ mod tests {
             reason: "n must be >= 3".into(),
         };
         assert!(e.to_string().contains("n must be >= 3"));
+
+        let e = GraphError::TooManyNodes {
+            node_count: 1 << 33,
+            max_nodes: (u32::MAX as usize) + 1,
+        };
+        assert!(e.to_string().contains("u32"));
+        assert!(e.to_string().contains(&(1usize << 33).to_string()));
+
+        let e = GraphError::TooManyEdges {
+            edge_count: 1 << 32,
+            max_edges: (u32::MAX as usize) / 2,
+        };
+        assert!(e.to_string().contains("port-entry"));
     }
 
     #[test]

@@ -11,6 +11,12 @@ use serde::{Deserialize, Serialize};
 /// never read them (anonymous model), except through the explicitly provided
 /// local-coloring constants.
 ///
+/// Identifiers are stored as `u32` so that per-node index arrays stay
+/// compact on million-node graphs (half the footprint of `usize` on 64-bit
+/// hosts); the public API keeps speaking `usize`. Graphs are therefore
+/// capped at [`NodeId::MAX_INDEX`] processes — construction beyond that is
+/// a typed [`GraphError`](crate::GraphError), never a silent wrap.
+///
 /// # Example
 ///
 /// ```
@@ -20,17 +26,32 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(format!("{p}"), "p3");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct NodeId(usize);
+pub struct NodeId(u32);
 
 impl NodeId {
+    /// Largest representable process index (`u32::MAX`); a graph holds at
+    /// most `MAX_INDEX + 1` processes.
+    pub const MAX_INDEX: usize = u32::MAX as usize;
+
     /// Creates a process identifier from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`NodeId::MAX_INDEX`]. Fallible
+    /// construction paths ([`GraphBuilder::build`](crate::GraphBuilder))
+    /// check node counts first and report the typed
+    /// [`GraphError`](crate::GraphError) instead.
     pub const fn new(index: usize) -> Self {
-        NodeId(index)
+        assert!(
+            index <= NodeId::MAX_INDEX,
+            "node index exceeds the u32 identifier range"
+        );
+        NodeId(index as u32)
     }
 
     /// Returns the dense index of this process.
     pub const fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
@@ -42,13 +63,13 @@ impl fmt::Display for NodeId {
 
 impl From<usize> for NodeId {
     fn from(index: usize) -> Self {
-        NodeId(index)
+        NodeId::new(index)
     }
 }
 
 impl From<NodeId> for usize {
     fn from(id: NodeId) -> Self {
-        id.0
+        id.index()
     }
 }
 
@@ -143,6 +164,25 @@ mod tests {
     fn node_id_ordering_follows_index() {
         assert!(NodeId::new(1) < NodeId::new(2));
         assert_eq!(NodeId::new(7), NodeId::new(7));
+    }
+
+    #[test]
+    fn node_id_accepts_the_largest_u32_index() {
+        let id = NodeId::new(NodeId::MAX_INDEX);
+        assert_eq!(id.index(), u32::MAX as usize);
+        assert_eq!(id.to_string(), format!("p{}", u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 identifier range")]
+    fn node_id_rejects_indices_beyond_u32() {
+        let _ = NodeId::new(NodeId::MAX_INDEX + 1);
+    }
+
+    #[test]
+    fn node_id_is_four_bytes() {
+        // The compaction that makes 10^6–10^7-node index arrays affordable.
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
     }
 
     #[test]

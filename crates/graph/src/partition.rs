@@ -1,0 +1,257 @@
+//! Contiguous node partitions of a [`Graph`] for sharded execution.
+//!
+//! The parallel executor splits the CSR node range `0..n` into contiguous
+//! shards, one per worker, so that every per-node array (configuration,
+//! communication cache, dirty flags, enabled flags, statistics) can be
+//! handed out as disjoint `&mut` slices with `split_at_mut` — no locks on
+//! the hot path, no interleaved ownership. Contiguity is what makes the
+//! scheme sound *and* cache-friendly: a shard's slice of any per-node
+//! array is one dense memory range.
+//!
+//! Shards are **degree-balanced**: the cut points equalize the summed
+//! `degree + 1` weight per shard rather than the node count, so a
+//! heavy-tailed topology (Barabási–Albert) does not leave one worker
+//! scanning most of the edge set while the others idle. For a given
+//! `(graph, shard_count)` the partition is a pure function of the degree
+//! sequence — deterministic by construction, which the differential
+//! equivalence tests rely on.
+
+use std::ops::Range;
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// A contiguous, degree-balanced partition of a graph's node range.
+///
+/// Every node belongs to exactly one shard; shard `s` owns the dense index
+/// range [`NodePartition::range`]`(s)`, and the ranges cover `0..n` in
+/// order without gaps. The partition stores only the `shard_count + 1` cut
+/// points.
+///
+/// # Example
+///
+/// ```
+/// use selfstab_graph::{generators, NodePartition};
+///
+/// let g = generators::ring(10);
+/// let partition = NodePartition::new(&g, 3);
+/// assert_eq!(partition.shard_count(), 3);
+/// let covered: usize = (0..3).map(|s| partition.range(s).len()).sum();
+/// assert_eq!(covered, 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePartition {
+    /// Cut points: shard `s` covers `boundaries[s]..boundaries[s + 1]`.
+    boundaries: Vec<usize>,
+}
+
+impl NodePartition {
+    /// Partitions `graph` into `shard_count` contiguous shards.
+    ///
+    /// `shard_count` is clamped to `1..=n` (an empty graph always gets one
+    /// empty shard), so every shard is nonempty whenever the graph is.
+    /// Cut points are chosen so each shard carries roughly `1/shard_count`
+    /// of the total `degree + 1` weight.
+    pub fn new(graph: &Graph, shard_count: usize) -> Self {
+        let n = graph.node_count();
+        let shards = shard_count.clamp(1, n.max(1));
+        let mut boundaries = Vec::with_capacity(shards + 1);
+        boundaries.push(0);
+        if shards > 1 {
+            // Prefix sums of the per-node weight; prefix[i] is the weight
+            // of nodes 0..i. Transient O(n) construction scratch.
+            let mut prefix: Vec<u64> = Vec::with_capacity(n + 1);
+            let mut acc = 0u64;
+            prefix.push(0);
+            for i in 0..n {
+                acc += graph.degree(NodeId::new(i)) as u64 + 1;
+                prefix.push(acc);
+            }
+            let total = acc;
+            for s in 1..shards {
+                let target = total * s as u64 / shards as u64;
+                let cut = prefix.partition_point(|&w| w < target);
+                // Keep every shard nonempty: the cut must leave at least
+                // one node behind it and one node per remaining shard
+                // ahead of it.
+                let prev = *boundaries.last().expect("boundaries start nonempty");
+                let cut = cut.clamp(prev + 1, n - (shards - s));
+                boundaries.push(cut);
+            }
+        }
+        boundaries.push(n);
+        NodePartition { boundaries }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Number of nodes covered (the graph's `n`).
+    pub fn node_count(&self) -> usize {
+        *self.boundaries.last().expect("boundaries are nonempty")
+    }
+
+    /// The dense node-index range owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= shard_count()`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.boundaries[s]..self.boundaries[s + 1]
+    }
+
+    /// Iterator over all shard ranges, in shard order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.shard_count()).map(|s| self.range(s))
+    }
+
+    /// The shard owning node `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `0..node_count()`.
+    #[inline]
+    pub fn shard_of(&self, p: NodeId) -> usize {
+        assert!(p.index() < self.node_count(), "node {p} outside partition");
+        if self.boundaries.len() == 2 {
+            return 0;
+        }
+        self.boundaries.partition_point(|&b| b <= p.index()) - 1
+    }
+
+    /// The raw cut points: `shard_count() + 1` monotone indices starting at
+    /// `0` and ending at `node_count()`.
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// Returns `true` when `{p, q}` crosses a shard boundary.
+    pub fn is_boundary_edge(&self, p: NodeId, q: NodeId) -> bool {
+        self.shard_of(p) != self.shard_of(q)
+    }
+
+    /// The directed boundary edges of shard `s`: every `(p, q)` with `p`
+    /// owned by `s` and `q` owned by a different shard. The union over all
+    /// shards lists every cross-shard edge exactly twice (once per
+    /// direction), which is the symmetry the property tests check.
+    pub fn boundary_edges(&self, graph: &Graph, s: usize) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for i in self.range(s) {
+            let p = NodeId::new(i);
+            for q in graph.neighbors(p) {
+                if self.shard_of(q) != s {
+                    out.push((p, q));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ranges_cover_zero_to_n_contiguously() {
+        let g = generators::ring(10);
+        for shards in 1..=10 {
+            let partition = NodePartition::new(&g, shards);
+            assert_eq!(partition.shard_count(), shards);
+            assert_eq!(partition.node_count(), 10);
+            let mut next = 0;
+            for range in partition.ranges() {
+                assert_eq!(range.start, next, "ranges must be contiguous");
+                assert!(!range.is_empty(), "every shard is nonempty");
+                next = range.end;
+            }
+            assert_eq!(next, 10);
+        }
+    }
+
+    #[test]
+    fn shard_of_agrees_with_ranges() {
+        let g = generators::grid(4, 5);
+        let partition = NodePartition::new(&g, 4);
+        for s in 0..partition.shard_count() {
+            for i in partition.range(s) {
+                assert_eq!(partition.shard_of(NodeId::new(i)), s);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_node_count() {
+        let g = generators::path(3);
+        let partition = NodePartition::new(&g, 16);
+        assert_eq!(partition.shard_count(), 3);
+        for range in partition.ranges() {
+            assert_eq!(range.len(), 1);
+        }
+        let partition = NodePartition::new(&g, 0);
+        assert_eq!(partition.shard_count(), 1);
+        assert_eq!(partition.range(0), 0..3);
+    }
+
+    #[test]
+    fn empty_graph_gets_one_empty_shard() {
+        let g = crate::Graph::from_edges(0, &[]).unwrap();
+        let partition = NodePartition::new(&g, 8);
+        assert_eq!(partition.shard_count(), 1);
+        assert_eq!(partition.range(0), 0..0);
+        assert_eq!(partition.node_count(), 0);
+    }
+
+    #[test]
+    fn partitioning_is_deterministic() {
+        let g = generators::grid(6, 7);
+        for shards in [1, 2, 3, 5, 8] {
+            assert_eq!(
+                NodePartition::new(&g, shards),
+                NodePartition::new(&g, shards)
+            );
+        }
+    }
+
+    #[test]
+    fn degree_balancing_splits_a_star_unevenly_by_node_count() {
+        // Hub weight = n, leaf weight = 2: the hub's shard should hold far
+        // fewer nodes than the leaf shard.
+        let g = generators::star(101);
+        let partition = NodePartition::new(&g, 2);
+        let hub_shard = partition.range(0).len();
+        let leaf_shard = partition.range(1).len();
+        assert!(hub_shard < leaf_shard, "{hub_shard} vs {leaf_shard}");
+    }
+
+    #[test]
+    fn boundary_edges_are_symmetric_and_complete() {
+        let g = generators::grid(5, 5);
+        let partition = NodePartition::new(&g, 3);
+        let mut directed: Vec<(NodeId, NodeId)> = Vec::new();
+        for s in 0..partition.shard_count() {
+            for (p, q) in partition.boundary_edges(&g, s) {
+                assert_eq!(partition.shard_of(p), s);
+                assert!(partition.is_boundary_edge(p, q));
+                directed.push((p, q));
+            }
+        }
+        // Symmetry: (p, q) listed from p's shard iff (q, p) listed from q's.
+        for &(p, q) in &directed {
+            assert!(directed.contains(&(q, p)));
+        }
+        // Completeness: every cross-shard edge of the graph is present.
+        let cross: Vec<(NodeId, NodeId)> = g
+            .edges()
+            .filter(|&(p, q)| partition.is_boundary_edge(p, q))
+            .collect();
+        assert_eq!(directed.len(), 2 * cross.len());
+        for (p, q) in cross {
+            assert!(directed.contains(&(p, q)));
+            assert!(directed.contains(&(q, p)));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for [`NodePartition`], the contiguous shard layout
+//! the parallel executor's disjoint-slice ownership is built on.
+//!
+//! The invariants checked here are exactly what `split_at_mut`-based shard
+//! dispatch assumes: every node lies in exactly one shard, the shard
+//! ranges tile `0..n` in order without gaps, the per-shard boundary-edge
+//! sets are symmetric (each cross-shard edge appears once from each side)
+//! and complete (no cross-shard edge is missed), and the whole layout is a
+//! deterministic function of `(graph, shard_count)`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_graph::{generators, Graph, NodeId, NodePartition};
+
+/// Checks every partition invariant the sharded executor relies on.
+fn assert_partition_invariants(g: &Graph, shard_count: usize) {
+    let partition = NodePartition::new(g, shard_count);
+    let n = g.node_count();
+    assert_eq!(partition.node_count(), n);
+
+    // Ranges tile 0..n contiguously, every shard nonempty (n > 0).
+    let mut next = 0usize;
+    for s in 0..partition.shard_count() {
+        let range = partition.range(s);
+        assert_eq!(range.start, next, "shard {s} must start where {s}-1 ended");
+        if n > 0 {
+            assert!(!range.is_empty(), "shard {s} must be nonempty");
+        }
+        next = range.end;
+    }
+    assert_eq!(next, n, "shards must cover 0..n");
+
+    // Every node in exactly one shard, and shard_of agrees with the ranges.
+    let mut owner = vec![usize::MAX; n];
+    for s in 0..partition.shard_count() {
+        for i in partition.range(s) {
+            assert_eq!(owner[i], usize::MAX, "node {i} assigned twice");
+            owner[i] = s;
+            assert_eq!(partition.shard_of(NodeId::new(i)), s);
+        }
+    }
+    assert!(owner.iter().all(|&s| s != usize::MAX));
+
+    // Boundary-edge sets: symmetric and complete.
+    let mut directed: Vec<(NodeId, NodeId)> = Vec::new();
+    for s in 0..partition.shard_count() {
+        for (p, q) in partition.boundary_edges(g, s) {
+            assert_eq!(partition.shard_of(p), s, "boundary edge owner mismatch");
+            assert!(partition.is_boundary_edge(p, q));
+            directed.push((p, q));
+        }
+    }
+    directed.sort();
+    for &(p, q) in &directed {
+        assert!(
+            directed.binary_search(&(q, p)).is_ok(),
+            "boundary edge ({p}, {q}) missing its mirror"
+        );
+    }
+    let cross_count = g
+        .edges()
+        .filter(|&(p, q)| partition.is_boundary_edge(p, q))
+        .count();
+    assert_eq!(
+        directed.len(),
+        2 * cross_count,
+        "boundary-edge union must list every cross-shard edge twice"
+    );
+    for (p, q) in g.edges() {
+        if partition.is_boundary_edge(p, q) {
+            assert!(directed.binary_search(&(p, q)).is_ok());
+            assert!(directed.binary_search(&(q, p)).is_ok());
+        }
+    }
+
+    // Determinism: a second construction is identical.
+    assert_eq!(partition, NodePartition::new(g, shard_count));
+}
+
+/// Deterministic generator families, including the heavy-tailed one the
+/// degree balancing exists for.
+#[test]
+fn partition_invariants_hold_across_generator_families() {
+    let mut rng = StdRng::seed_from_u64(0x9A27);
+    let graphs: Vec<Graph> = vec![
+        generators::path(17),
+        generators::ring(32),
+        generators::complete(9),
+        generators::star(33),
+        generators::wheel(8),
+        generators::complete_bipartite(4, 6),
+        generators::grid(5, 7),
+        generators::torus(4, 5),
+        generators::balanced_tree(3, 3),
+        generators::caterpillar(6, 2),
+        generators::lollipop(5, 4),
+        generators::hypercube(4),
+        generators::barbell(4, 3),
+        generators::petersen(),
+        generators::random_tree(23, &mut rng),
+        generators::barabasi_albert(60, 3, &mut rng).unwrap(),
+        generators::gnp_connected(30, 0.15, &mut rng).unwrap(),
+        generators::gnm_connected(25, 40, &mut rng).unwrap(),
+        generators::random_regular(20, 4, &mut rng).unwrap(),
+    ];
+    for g in &graphs {
+        for shard_count in [1, 2, 3, 4, 7, 8, 16, g.node_count(), g.node_count() + 5] {
+            assert_partition_invariants(g, shard_count);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random Barabási–Albert graphs under random shard counts: the
+    /// degree-heavy hub tail is the worst case for the balancing cuts.
+    #[test]
+    fn barabasi_albert_partitions_are_sound(
+        n in 5usize..120,
+        m in 1usize..4,
+        seed in 0u64..5_000,
+        shard_count in 1usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = m.min(n - 1);
+        let g = generators::barabasi_albert(n, m, &mut rng).expect("valid BA parameters");
+        assert_partition_invariants(&g, shard_count);
+    }
+
+    /// Random G(n, p) graphs: arbitrary degree sequences and shard counts
+    /// beyond n (which must clamp to singleton shards).
+    #[test]
+    fn gnp_partitions_are_sound(
+        n in 3usize..80,
+        seed in 0u64..5_000,
+        density in 5u32..60,
+        shard_count in 1usize..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = f64::from(density) / 100.0;
+        let g = generators::gnp_connected(n, p, &mut rng).expect("valid parameters");
+        assert_partition_invariants(&g, shard_count);
+    }
+
+    /// Degree balance: on any graph, the heaviest shard carries at most
+    /// the ideal per-shard weight plus one node's maximum weight — the
+    /// slack a single contiguous cut can introduce.
+    #[test]
+    fn shard_weights_are_balanced(
+        n in 8usize..100,
+        seed in 0u64..2_000,
+        shard_count in 2usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(n, 2, &mut rng).expect("valid BA parameters");
+        let partition = NodePartition::new(&g, shard_count);
+        let weight = |range: std::ops::Range<usize>| -> u64 {
+            range.map(|i| g.degree(NodeId::new(i)) as u64 + 1).sum()
+        };
+        let total: u64 = weight(0..n);
+        let ideal = total / partition.shard_count() as u64;
+        let max_node_weight = g.max_degree() as u64 + 1;
+        for s in 0..partition.shard_count() {
+            let w = weight(partition.range(s));
+            prop_assert!(
+                w <= ideal + 2 * max_node_weight,
+                "shard {} weight {} vs ideal {} (max node weight {})",
+                s, w, ideal, max_node_weight
+            );
+        }
+    }
+}

@@ -85,6 +85,7 @@ impl EnabledSet {
     }
 
     /// Updates one flag, keeping the cardinality in sync.
+    #[cfg(test)]
     pub(crate) fn set(&mut self, p: NodeId, enabled: bool) {
         let flag = &mut self.flags[p.index()];
         if *flag != enabled {
@@ -95,6 +96,28 @@ impl EnabledSet {
                 self.count -= 1;
             }
         }
+    }
+
+    /// The raw flags, for the sharded executor: disjoint per-shard slices
+    /// are handed to worker threads, which flip flags directly and report a
+    /// cardinality delta to apply afterwards through
+    /// [`EnabledSet::apply_count_delta`].
+    pub(crate) fn flags_mut(&mut self) -> &mut [bool] {
+        &mut self.flags
+    }
+
+    /// Applies the net cardinality change accumulated by shard workers that
+    /// mutated the flags through [`EnabledSet::flags_mut`].
+    pub(crate) fn apply_count_delta(&mut self, delta: isize) {
+        self.count = self
+            .count
+            .checked_add_signed(delta)
+            .expect("enabled-set cardinality delta underflowed");
+        debug_assert_eq!(
+            self.count,
+            self.flags.iter().filter(|&&b| b).count(),
+            "enabled-set cardinality diverged from the flags after a sharded update"
+        );
     }
 }
 

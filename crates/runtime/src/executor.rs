@@ -48,16 +48,34 @@
 //! activation because the trace retains them forever, and a
 //! [`SimOptions::with_read_restriction`] view allocates its restriction
 //! mask (cold impossibility-experiment path).
+//!
+//! # Intra-step parallelism
+//!
+//! With [`SimOptions::with_step_workers`]` > 1` the node range is split
+//! into contiguous, degree-balanced shards ([`NodePartition`]) and the two
+//! data-parallel phases of a step — guard re-evaluation over the dirty
+//! queues and activation staging over the scheduler's selection — run on
+//! scoped worker threads. Every per-node array (dirty flags, enabled
+//! flags, round flags, statistics) is handed out as disjoint `&mut`
+//! slices, each worker owns a private `ShardScratch` (the per-worker
+//! extension of the zero-allocation discipline above), and a sequential
+//! merge phase applies staged updates and dirty propagation in shard
+//! order. Selection itself and all cross-shard mutation stay on the
+//! coordinating thread, and every activation draws from a private RNG
+//! derived from `(seed, step, process)`, so the observable execution —
+//! selected/executed lists, configuration, [`RunStats`], trace, enabled
+//! sets — is **byte-identical at every worker count** (locked down by the
+//! `parallel_step_equivalence` differential test).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use selfstab_graph::{Graph, NodeId, Port};
+use selfstab_graph::{Graph, NodeId, NodePartition, Port};
 use serde::{Deserialize, Serialize};
 
 use crate::enabled::EnabledSet;
 use crate::protocol::Protocol;
 use crate::scheduler::{Scheduler, SchedulerContext};
-use crate::stats::RunStats;
+use crate::stats::{RunStats, StatsShard};
 use crate::trace::{ActivationRecord, StepRecord, Trace};
 use crate::view::NeighborView;
 
@@ -79,6 +97,21 @@ pub struct SimOptions {
     /// stats, trace, RNG stream) is identical either way; this exists as
     /// the reference behavior for equivalence tests and benchmarks.
     pub full_recompute: bool,
+    /// Number of worker threads for the intra-step parallel phases (guard
+    /// refresh and activation staging). `1` (the default) keeps every
+    /// phase on the calling thread; any value is clamped to at least 1 and
+    /// to the process count. The observable execution is byte-identical at
+    /// every worker count (see the [module documentation](self)).
+    pub step_workers: usize,
+    /// Minimum number of work items (dirty processes for the guard phase,
+    /// selected processes for the activation phase) before a phase is
+    /// dispatched to worker threads instead of running inline — spawning
+    /// across shards is not worth it for a handful of activations. Set to
+    /// `0` to force threaded dispatch whenever `step_workers > 1` (the
+    /// equivalence and allocation tests do, so that small graphs still
+    /// exercise the parallel path). Outcomes are identical either way; the
+    /// threshold only moves work between threads.
+    pub parallel_work_threshold: usize,
 }
 
 impl Default for SimOptions {
@@ -88,6 +121,8 @@ impl Default for SimOptions {
             check_interval: 1,
             read_restriction: None,
             full_recompute: false,
+            step_workers: 1,
+            parallel_work_threshold: 256,
         }
     }
 }
@@ -119,6 +154,21 @@ impl SimOptions {
     #[must_use]
     pub fn with_full_recompute(mut self) -> Self {
         self.full_recompute = true;
+        self
+    }
+
+    /// Sets the number of intra-step worker threads (clamped to at least 1).
+    #[must_use]
+    pub fn with_step_workers(mut self, workers: usize) -> Self {
+        self.step_workers = workers.max(1);
+        self
+    }
+
+    /// Sets the minimum per-phase work-item count for threaded dispatch
+    /// (`0` forces the parallel path whenever `step_workers > 1`).
+    #[must_use]
+    pub fn with_parallel_work_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_work_threshold = threshold;
         self
     }
 }
@@ -196,23 +246,30 @@ pub struct Simulation<'g, P: Protocol, S: Scheduler> {
     /// `dirty[p]`: `p`'s guard must be re-evaluated before the next
     /// selection (its state changed, or a neighbor's comm state changed).
     dirty: Vec<bool>,
-    /// The processes with `dirty[p] == true` (each listed once).
-    dirty_queue: Vec<NodeId>,
+    /// Contiguous degree-balanced shard layout; one shard per step worker
+    /// (clamped to the process count), a single shard when sequential.
+    partition: NodePartition,
+    /// Per-shard scratch: dirty queue, staged updates, executed list, read
+    /// buffers, trace records. Each worker thread owns exactly one during
+    /// the parallel phases.
+    shards: Vec<ShardScratch<P>>,
+    /// Effective intra-step worker count (`options.step_workers`, ≥ 1).
+    step_workers: usize,
+    /// Salt for the per-activation RNG streams, derived from the
+    /// construction seed: each activation of process `p` at step `t` draws
+    /// from `StdRng::seed_from_u64(mix(salt, t, p))`, which makes protocol
+    /// randomness independent of both the activation order within a step
+    /// and the worker count.
+    activation_salt: u64,
     /// Total number of `is_enabled` evaluations performed — the cost the
     /// incremental maintenance is designed to shrink.
     guard_evaluations: u64,
     /// Scratch: the scheduler's selection for the current step.
     selected_scratch: Vec<NodeId>,
-    /// Scratch: the processes that executed in the current step.
+    /// Scratch: the processes that executed in the current step, merged
+    /// from the per-shard lists in shard order (which is increasing id
+    /// order, since shards tile the id space contiguously).
     executed_scratch: Vec<NodeId>,
-    /// Scratch: staged updates `(process, state, comm, comm_changed)`,
-    /// applied simultaneously at the end of the step.
-    updates_scratch: Vec<(NodeId, P::State, P::Comm, bool)>,
-    /// Scratch: read-log buffer threaded through the tracked neighbor views
-    /// (one activation at a time), so recording reads never allocates.
-    read_log: Vec<Port>,
-    /// Scratch: distinct ports of the current activation, first-read order.
-    distinct_reads: Vec<Port>,
     /// Scratch for the sampled debug invariant check, so even debug builds
     /// keep the steady-state step allocation-free (the `zero_alloc`
     /// integration test runs in debug mode).
@@ -302,6 +359,29 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             .nodes()
             .map(|p| protocol.comm(p, &config[p.index()]))
             .collect();
+        let step_workers = options.step_workers.max(1);
+        let partition = NodePartition::new(graph, step_workers);
+        let max_degree = graph.max_degree();
+        // Per-shard scratch is sized for the worst case up front (a shard
+        // never stages or executes more than its own nodes, and a read set
+        // never exceeds the maximum degree), so the per-step loop is
+        // allocation-free from the very first step, not just after warm-up.
+        // Nothing has been evaluated yet: every guard starts dirty.
+        let shards: Vec<ShardScratch<P>> = partition
+            .ranges()
+            .map(|range| ShardScratch {
+                dirty_queue: {
+                    let mut queue = Vec::with_capacity(range.len());
+                    queue.extend(range.clone().map(NodeId::new));
+                    queue
+                },
+                staged: Vec::with_capacity(range.len()),
+                executed: Vec::with_capacity(range.len()),
+                read_log: Vec::new(),
+                distinct_reads: Vec::with_capacity(max_degree),
+                records: Vec::new(),
+            })
+            .collect();
         Simulation {
             graph,
             protocol,
@@ -317,19 +397,18 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             unselected_remaining: n,
             comm_cache,
             enabled: EnabledSet::new(n),
-            // Nothing has been evaluated yet: every guard starts dirty.
             dirty: vec![true; n],
-            dirty_queue: graph.nodes().collect(),
+            partition,
+            shards,
+            step_workers,
+            // Any injective-ish mixing of the seed works here; the constant
+            // only separates the salt from the main RNG stream's seed.
+            activation_salt: seed ^ 0xA076_1D64_78BD_642F,
             guard_evaluations: 0,
-            // Selections, executions and staged updates are all bounded by
-            // n (selections are duplicate-free by the scheduler contract),
-            // so reserving n once makes the per-step loop allocation-free
-            // from the very first step, not just after warm-up.
+            // Selections and executions are bounded by n (selections are
+            // duplicate-free by the scheduler contract).
             selected_scratch: Vec::with_capacity(n),
             executed_scratch: Vec::with_capacity(n),
-            updates_scratch: Vec::with_capacity(n),
-            read_log: Vec::new(),
-            distinct_reads: Vec::with_capacity(graph.max_degree()),
             debug_enabled_scratch: Vec::new(),
         }
     }
@@ -461,43 +540,96 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     fn mark_dirty(&mut self, p: NodeId) {
         if !self.dirty[p.index()] {
             self.dirty[p.index()] = true;
-            self.dirty_queue.push(p);
+            let s = self.partition.shard_of(p);
+            self.shards[s].dirty_queue.push(p);
         }
     }
 
     /// Re-evaluates the guards of every dirty process, bringing the
     /// maintained enabled set in sync with the current configuration.
+    ///
+    /// This is the first data-parallel phase: each shard drains its own
+    /// dirty queue against disjoint windows of the dirty and enabled-flag
+    /// arrays. Guard evaluation is pure (it reads the shared pre-step
+    /// snapshot and writes only shard-local flags), so the drain order
+    /// across shards is unobservable — the resulting enabled *set* and the
+    /// evaluation *count* are identical at every worker count.
     fn refresh_enabled(&mut self) {
         if self.options.full_recompute {
-            let graph = self.graph;
-            for p in graph.nodes() {
-                self.mark_dirty(p);
+            for (s, scratch) in self.shards.iter_mut().enumerate() {
+                for i in self.partition.range(s) {
+                    if !self.dirty[i] {
+                        self.dirty[i] = true;
+                        scratch.dirty_queue.push(NodeId::new(i));
+                    }
+                }
             }
         }
-        if self.dirty_queue.is_empty() {
+        let total_dirty: usize = self.shards.iter().map(|s| s.dirty_queue.len()).sum();
+        if total_dirty == 0 {
             return;
         }
-        // Swap the queue out so its buffer survives the drain (a plain
-        // `mem::take` would throw the allocation away every step a repair
-        // is in flight).
-        let mut queue = std::mem::take(&mut self.dirty_queue);
-        for &p in &queue {
-            self.dirty[p.index()] = false;
-            let view = self.untracked_view(p, &self.comm_cache);
-            let now_enabled =
-                self.protocol
-                    .is_enabled(self.graph, p, &self.config[p.index()], &view);
-            self.guard_evaluations += 1;
-            self.enabled.set(p, now_enabled);
+        let ctx = StepContext {
+            graph: self.graph,
+            protocol: &self.protocol,
+            config: &self.config,
+            comm_cache: &self.comm_cache,
+            read_restriction: self.options.read_restriction.as_deref(),
+            step: self.step,
+            salt: self.activation_salt,
+            tracing: false,
+        };
+        let mut evaluations = 0u64;
+        let mut delta = 0isize;
+        if self.shards.len() == 1 {
+            // Sequential fast path: one stack-allocated task over the full
+            // arrays, no task list to build.
+            let mut task = GuardTask {
+                node_base: 0,
+                queue: &mut self.shards[0].dirty_queue,
+                dirty: &mut self.dirty,
+                enabled: self.enabled.flags_mut(),
+                guard_evaluations: 0,
+                enabled_delta: 0,
+            };
+            run_guard_task(&mut task, &ctx);
+            evaluations = task.guard_evaluations;
+            delta = task.enabled_delta;
+        } else {
+            let mut tasks = Vec::with_capacity(self.shards.len());
+            let mut dirty_rest: &mut [bool] = &mut self.dirty;
+            let mut enabled_rest: &mut [bool] = self.enabled.flags_mut();
+            for (s, scratch) in self.shards.iter_mut().enumerate() {
+                let range = self.partition.range(s);
+                let (dirty, rest) = dirty_rest.split_at_mut(range.len());
+                dirty_rest = rest;
+                let (enabled, rest) = enabled_rest.split_at_mut(range.len());
+                enabled_rest = rest;
+                tasks.push(GuardTask {
+                    node_base: range.start,
+                    queue: &mut scratch.dirty_queue,
+                    dirty,
+                    enabled,
+                    guard_evaluations: 0,
+                    enabled_delta: 0,
+                });
+            }
+            if self.step_workers > 1 && total_dirty >= self.options.parallel_work_threshold {
+                run_shard_tasks(self.step_workers, &mut tasks, |task| {
+                    run_guard_task(task, &ctx);
+                });
+            } else {
+                for task in &mut tasks {
+                    run_guard_task(task, &ctx);
+                }
+            }
+            for task in &tasks {
+                evaluations += task.guard_evaluations;
+                delta += task.enabled_delta;
+            }
         }
-        queue.clear();
-        // No in-tree protocol dirties processes from inside `is_enabled`,
-        // but if one ever does, those marks land in `self.dirty_queue`
-        // during the drain — carry them over into the restored buffer
-        // instead of silently dropping them (the pre-swap executor kept
-        // them the same way).
-        queue.append(&mut self.dirty_queue);
-        self.dirty_queue = queue;
+        self.guard_evaluations += evaluations;
+        self.enabled.apply_count_delta(delta);
     }
 
     /// Recomputes the enabled flags of every process from scratch
@@ -576,8 +708,10 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             self.scheduler.name()
         );
 
-        self.executed_scratch.clear();
-        debug_assert!(self.updates_scratch.is_empty());
+        // Phase: activation staging, per shard. Every worker evaluates its
+        // slice of the selection against the shared pre-step snapshot and
+        // stages the resulting updates in its own scratch; nothing global
+        // is mutated until the merge below.
         let tracing = self.options.record_trace;
         // Trace records are the one intentional per-step allocation: the
         // trace retains them for the lifetime of the simulation, so there
@@ -586,86 +720,117 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         if tracing {
             records.reserve(self.selected_scratch.len());
         }
-        for i in 0..self.selected_scratch.len() {
-            let p = self.selected_scratch[i];
-            self.stats.record_selection(p);
-            if !self.selected_this_round[p.index()] {
-                self.selected_this_round[p.index()] = true;
-                self.unselected_remaining -= 1;
-            }
-            let log_buffer = std::mem::take(&mut self.read_log);
-            let view = {
-                let view = NeighborView::with_log_buffer(
-                    self.graph,
-                    p,
-                    &self.comm_cache,
-                    true,
-                    log_buffer,
-                );
-                match self.allowed_ports(p) {
-                    Some(allowed) => view.restricted_to(allowed),
-                    None => view,
-                }
+        let step = self.step;
+        let ctx = StepContext {
+            graph: self.graph,
+            protocol: &self.protocol,
+            config: &self.config,
+            comm_cache: &self.comm_cache,
+            read_restriction: self.options.read_restriction.as_deref(),
+            step,
+            salt: self.activation_salt,
+            tracing,
+        };
+        let mut newly_selected = 0usize;
+        let mut read_operations_delta = 0u64;
+        let mut comm_changes_delta = 0u64;
+        if self.shards.len() == 1 {
+            // Sequential fast path: one stack-allocated task over the full
+            // arrays and the whole selection.
+            let mut splitter = self.stats.sharded();
+            let mut task = ActivationTask {
+                node_base: 0,
+                selected: &self.selected_scratch,
+                selected_this_round: &mut self.selected_this_round,
+                scratch: &mut self.shards[0],
+                stats: splitter.take(0..self.config.len()),
+                newly_selected: 0,
             };
-            let new_state = self.protocol.activate(
-                self.graph,
-                p,
-                &self.config[p.index()],
-                &view,
-                &mut self.rng,
-            );
-            view.collect_distinct_reads(&mut self.distinct_reads);
-            let read_operations = view.read_operations();
-            self.read_log = view.into_log_buffer();
-            let did_execute = new_state.is_some();
-            let mut comm_changed = false;
-            if let Some(new_state) = new_state {
-                let new_comm = self.protocol.comm(p, &new_state);
-                comm_changed = new_comm != self.comm_cache[p.index()];
-                self.executed_scratch.push(p);
-                self.stats
-                    .record_activation(p, &self.distinct_reads, read_operations);
-                if comm_changed {
-                    self.stats.record_comm_change(p, self.step);
-                }
-                self.updates_scratch
-                    .push((p, new_state, new_comm, comm_changed));
-            } else {
-                // A disabled selected process does nothing, but its guard
-                // evaluation is still an activation for accounting purposes
-                // when it read something.
-                self.stats
-                    .record_activation(p, &self.distinct_reads, read_operations);
-            }
-            if tracing {
-                records.push(ActivationRecord {
-                    process: p,
-                    executed: did_execute,
-                    reads: self.distinct_reads.clone(),
-                    comm_changed,
+            run_activation_task(&mut task, &ctx);
+            newly_selected = task.newly_selected;
+            read_operations_delta = task.stats.read_operations;
+            comm_changes_delta = task.stats.comm_changes;
+        } else {
+            let mut tasks = Vec::with_capacity(self.shards.len());
+            let mut splitter = self.stats.sharded();
+            let mut round_rest: &mut [bool] = &mut self.selected_this_round;
+            let selected: &[NodeId] = &self.selected_scratch;
+            let mut selected_cursor = 0usize;
+            for (s, scratch) in self.shards.iter_mut().enumerate() {
+                let range = self.partition.range(s);
+                let (round_flags, rest) = round_rest.split_at_mut(range.len());
+                round_rest = rest;
+                // The selection is sorted, so each shard's share is the
+                // contiguous run of ids below its range end.
+                let selected_end = selected_cursor
+                    + selected[selected_cursor..].partition_point(|p| p.index() < range.end);
+                let shard_selected = &selected[selected_cursor..selected_end];
+                selected_cursor = selected_end;
+                tasks.push(ActivationTask {
+                    node_base: range.start,
+                    selected: shard_selected,
+                    selected_this_round: round_flags,
+                    scratch,
+                    stats: splitter.take(range),
+                    newly_selected: 0,
                 });
             }
-        }
-        // Apply all updates simultaneously, maintaining the communication
-        // cache and dirtying exactly the guards the updates may flip: the
-        // updated process itself (guards read the own full state) and, when
-        // its communication state changed, its neighbors. The buffer is
-        // swapped out and back so its capacity persists across steps.
-        let graph = self.graph;
-        let mut comm_changed_any = false;
-        let mut updates = std::mem::take(&mut self.updates_scratch);
-        for (p, state, comm, comm_changed) in updates.drain(..) {
-            self.config[p.index()] = state;
-            self.mark_dirty(p);
-            if comm_changed {
-                comm_changed_any = true;
-                self.comm_cache[p.index()] = comm;
-                for q in graph.neighbors(p) {
-                    self.mark_dirty(q);
+            if self.step_workers > 1
+                && self.selected_scratch.len() >= self.options.parallel_work_threshold
+            {
+                run_shard_tasks(self.step_workers, &mut tasks, |task| {
+                    run_activation_task(task, &ctx);
+                });
+            } else {
+                for task in &mut tasks {
+                    run_activation_task(task, &ctx);
                 }
             }
+            for task in &tasks {
+                newly_selected += task.newly_selected;
+                read_operations_delta += task.stats.read_operations;
+                comm_changes_delta += task.stats.comm_changes;
+            }
         }
-        self.updates_scratch = updates;
+        // Merge phase, sequential and in shard order — deterministic
+        // regardless of which worker ran which shard when. Apply all staged
+        // updates simultaneously, maintaining the communication cache and
+        // dirtying exactly the guards the updates may flip: the updated
+        // process itself (guards read the own full state) and, when its
+        // communication state changed, its neighbors (dirty marks route
+        // back into the owning shard's queue). Shard-order concatenation of
+        // the per-shard executed lists reproduces the global increasing-id
+        // order, because shards tile the id space contiguously.
+        self.stats.apply_step_deltas(
+            read_operations_delta,
+            comm_changes_delta,
+            (comm_changes_delta > 0).then_some(step),
+        );
+        self.unselected_remaining -= newly_selected;
+        let comm_changed_any = comm_changes_delta > 0;
+        let graph = self.graph;
+        self.executed_scratch.clear();
+        for s in 0..self.shards.len() {
+            self.executed_scratch
+                .extend_from_slice(&self.shards[s].executed);
+            // The staged buffer is swapped out and back so its capacity
+            // persists across steps (mark_dirty below needs `&mut self`).
+            let mut staged = std::mem::take(&mut self.shards[s].staged);
+            for (p, state, comm, comm_changed) in staged.drain(..) {
+                self.config[p.index()] = state;
+                self.mark_dirty(p);
+                if comm_changed {
+                    self.comm_cache[p.index()] = comm;
+                    for q in graph.neighbors(p) {
+                        self.mark_dirty(q);
+                    }
+                }
+            }
+            self.shards[s].staged = staged;
+            if tracing {
+                records.append(&mut self.shards[s].records);
+            }
+        }
         if let Some(trace) = &mut self.trace {
             trace.push(StepRecord {
                 step: self.step,
@@ -826,6 +991,257 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.rng
     }
+}
+
+/// Per-shard scratch buffers: everything one worker thread writes during
+/// the parallel phases of a step, sized once at construction so the steady
+/// state stays allocation-free *per worker*.
+struct ShardScratch<P: Protocol> {
+    /// The shard's slice of the dirty set (each process listed once).
+    dirty_queue: Vec<NodeId>,
+    /// Staged updates `(process, state, comm, comm_changed)` awaiting the
+    /// merge phase.
+    staged: Vec<(NodeId, P::State, P::Comm, bool)>,
+    /// Processes of this shard that executed in the current step.
+    executed: Vec<NodeId>,
+    /// Read-log buffer threaded through the tracked neighbor views (one
+    /// activation at a time), so recording reads never allocates.
+    read_log: Vec<Port>,
+    /// Distinct ports of the current activation, first-read order.
+    distinct_reads: Vec<Port>,
+    /// Trace records staged by this shard (tracing only — the deliberate
+    /// per-activation allocation documented on [`Simulation::step`]).
+    records: Vec<ActivationRecord>,
+}
+
+/// The shared read-only snapshot every shard task evaluates against.
+struct StepContext<'a, P: Protocol> {
+    graph: &'a Graph,
+    protocol: &'a P,
+    config: &'a [P::State],
+    comm_cache: &'a [P::Comm],
+    read_restriction: Option<&'a [Vec<Port>]>,
+    step: u64,
+    salt: u64,
+    tracing: bool,
+}
+
+impl<'a, P: Protocol> StepContext<'a, P> {
+    fn allowed_ports(&self, p: NodeId) -> Option<&'a [Port]> {
+        self.read_restriction
+            .map(|restriction| restriction[p.index()].as_slice())
+    }
+
+    fn untracked_view(&self, p: NodeId) -> NeighborView<'a, P::Comm> {
+        let view = NeighborView::from_snapshot(self.graph, p, self.comm_cache, false);
+        match self.allowed_ports(p) {
+            Some(allowed) => view.restricted_to(allowed),
+            None => view,
+        }
+    }
+}
+
+/// One shard's guard-refresh work item: drain the shard's dirty queue
+/// against its disjoint windows of the dirty and enabled-flag arrays.
+struct GuardTask<'a> {
+    node_base: usize,
+    queue: &'a mut Vec<NodeId>,
+    dirty: &'a mut [bool],
+    enabled: &'a mut [bool],
+    guard_evaluations: u64,
+    enabled_delta: isize,
+}
+
+fn run_guard_task<P: Protocol>(task: &mut GuardTask<'_>, ctx: &StepContext<'_, P>) {
+    for i in 0..task.queue.len() {
+        let p = task.queue[i];
+        let local = p.index() - task.node_base;
+        task.dirty[local] = false;
+        let view = ctx.untracked_view(p);
+        let now_enabled = ctx
+            .protocol
+            .is_enabled(ctx.graph, p, &ctx.config[p.index()], &view);
+        task.guard_evaluations += 1;
+        let flag = &mut task.enabled[local];
+        if *flag != now_enabled {
+            task.enabled_delta += if now_enabled { 1 } else { -1 };
+            *flag = now_enabled;
+        }
+    }
+    task.queue.clear();
+}
+
+/// One shard's activation-staging work item: evaluate the shard's slice of
+/// the (sorted) selection against the pre-step snapshot, staging updates
+/// and statistics in shard-private buffers.
+struct ActivationTask<'a, P: Protocol> {
+    node_base: usize,
+    selected: &'a [NodeId],
+    selected_this_round: &'a mut [bool],
+    scratch: &'a mut ShardScratch<P>,
+    stats: StatsShard<'a>,
+    newly_selected: usize,
+}
+
+fn run_activation_task<P: Protocol>(task: &mut ActivationTask<'_, P>, ctx: &StepContext<'_, P>) {
+    debug_assert!(task.scratch.staged.is_empty());
+    task.scratch.executed.clear();
+    if ctx.tracing {
+        task.scratch.records.reserve(task.selected.len());
+    }
+    for &p in task.selected {
+        task.stats.record_selection(p);
+        let local = p.index() - task.node_base;
+        if !task.selected_this_round[local] {
+            task.selected_this_round[local] = true;
+            task.newly_selected += 1;
+        }
+        let log_buffer = std::mem::take(&mut task.scratch.read_log);
+        let view = {
+            let view =
+                NeighborView::with_log_buffer(ctx.graph, p, ctx.comm_cache, true, log_buffer);
+            match ctx.allowed_ports(p) {
+                Some(allowed) => view.restricted_to(allowed),
+                None => view,
+            }
+        };
+        // A private, deterministically derived RNG per activation: the
+        // stream depends only on (seed, step, process), never on which
+        // worker runs the activation or in what order.
+        let mut rng = activation_rng(ctx.salt, ctx.step, p);
+        let new_state =
+            ctx.protocol
+                .activate(ctx.graph, p, &ctx.config[p.index()], &view, &mut rng);
+        view.collect_distinct_reads(&mut task.scratch.distinct_reads);
+        let read_operations = view.read_operations();
+        task.scratch.read_log = view.into_log_buffer();
+        let did_execute = new_state.is_some();
+        let mut comm_changed = false;
+        if let Some(new_state) = new_state {
+            let new_comm = ctx.protocol.comm(p, &new_state);
+            comm_changed = new_comm != ctx.comm_cache[p.index()];
+            task.scratch.executed.push(p);
+            task.stats
+                .record_activation(p, &task.scratch.distinct_reads, read_operations);
+            if comm_changed {
+                task.stats.record_comm_change(p, ctx.step);
+            }
+            task.scratch
+                .staged
+                .push((p, new_state, new_comm, comm_changed));
+        } else {
+            // A disabled selected process does nothing, but its guard
+            // evaluation is still an activation for accounting purposes
+            // when it read something.
+            task.stats
+                .record_activation(p, &task.scratch.distinct_reads, read_operations);
+        }
+        if ctx.tracing {
+            task.scratch.records.push(ActivationRecord {
+                process: p,
+                executed: did_execute,
+                reads: task.scratch.distinct_reads.clone(),
+                comm_changed,
+            });
+        }
+    }
+}
+
+/// The private RNG of one activation, seeded from the simulation salt,
+/// the step index and the process id — so the random stream a protocol
+/// sees depends only on `(seed, step, process)`, never on which worker
+/// ran the activation or how many workers there are.
+///
+/// Expansion of the seed into generator state is **lazy**: protocols that
+/// never draw during `activate` (MIS, matching, the min-value test
+/// protocols — the synchronous hot path at 10⁶ activations per step) pay
+/// one branch per activation instead of a full `seed_from_u64`.
+struct ActivationRng {
+    seed: u64,
+    inner: Option<StdRng>,
+}
+
+impl ActivationRng {
+    #[inline]
+    fn rng(&mut self) -> &mut StdRng {
+        self.inner
+            .get_or_insert_with(|| StdRng::seed_from_u64(self.seed))
+    }
+}
+
+impl rand::RngCore for ActivationRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.rng().next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.rng().next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.rng().fill_bytes(dest)
+    }
+}
+
+/// Derives the private RNG of one activation (a SplitMix64 finalizer over
+/// the salt/step/process mix; see [`ActivationRng`]).
+fn activation_rng(salt: u64, step: u64, p: NodeId) -> ActivationRng {
+    let mut z = salt
+        ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (p.index() as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ActivationRng {
+        seed: z,
+        inner: None,
+    }
+}
+
+/// Dispatches shard tasks to `workers` scoped threads with the same
+/// atomic-cursor claiming the campaign engine uses: workers `fetch_add` an
+/// index and run the claimed task. Each slot's mutex is locked exactly once
+/// (the cursor hands every index to exactly one worker); the mutexes exist
+/// to hand `&mut` task borrows across the thread boundary without `unsafe`.
+///
+/// Worker threads mark themselves via [`crate::probes`] so the
+/// zero-allocation test can count worker-side allocations (the hot path
+/// forbids them) separately from this function's own coordinator-side
+/// bookkeeping (task list, thread spawning), which is deliberate and
+/// per-step `O(workers)`.
+fn run_shard_tasks<T: Send>(workers: usize, tasks: &mut [T], run: impl Fn(&mut T) + Sync) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<&mut T>> = tasks.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        let spawned = workers.min(slots.len());
+        let handles: Vec<_> = (0..spawned)
+            .map(|_| {
+                scope.spawn(|| {
+                    crate::probes::enter_step_worker();
+                    loop {
+                        let claimed = cursor.fetch_add(1, Ordering::Relaxed);
+                        if claimed >= slots.len() {
+                            break;
+                        }
+                        let mut slot = slots[claimed].lock().expect("shard task mutex poisoned");
+                        run(&mut slot);
+                    }
+                    crate::probes::exit_step_worker();
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
 }
 
 /// Runs one self-contained experiment **cell**: builds a [`Simulation`] from

@@ -1,0 +1,60 @@
+//! Thread-role probes for allocation tests.
+//!
+//! The zero-allocation integration test installs a counting global
+//! allocator; with the sharded executor it must distinguish allocations on
+//! *step worker threads* (which the hot path forbids) from allocations on
+//! the coordinating thread (which legitimately builds the per-step task
+//! list when dispatching work to a thread pool). The executor marks each
+//! worker thread for the duration of its claim loop, and the allocator asks
+//! [`is_step_worker`] when deciding whether to count.
+//!
+//! The flag is a `const`-initialized `thread_local` `Cell`, so neither
+//! marking a thread nor querying the flag allocates — a hard requirement,
+//! since [`is_step_worker`] is called from inside `GlobalAlloc::alloc`.
+
+use std::cell::Cell;
+
+thread_local! {
+    static IS_STEP_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Marks the current thread as a sharded-executor step worker.
+pub(crate) fn enter_step_worker() {
+    IS_STEP_WORKER.with(|flag| flag.set(true));
+}
+
+/// Clears the step-worker mark before the thread runs its teardown (thread
+/// exit may touch the allocator, and those allocations are not the hot
+/// path's).
+pub(crate) fn exit_step_worker() {
+    IS_STEP_WORKER.with(|flag| flag.set(false));
+}
+
+/// Whether the current thread is executing sharded step work right now.
+///
+/// Safe to call from a global allocator: uses `try_with` so a query during
+/// thread-local teardown answers `false` instead of panicking.
+pub fn is_step_worker() -> bool {
+    IS_STEP_WORKER.try_with(|flag| flag.get()).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_mark_is_per_thread() {
+        assert!(!is_step_worker());
+        enter_step_worker();
+        assert!(is_step_worker());
+        let seen_on_other_thread = std::thread::spawn(is_step_worker)
+            .join()
+            .expect("probe thread");
+        assert!(
+            !seen_on_other_thread,
+            "the mark must not leak across threads"
+        );
+        exit_step_worker();
+        assert!(!is_step_worker());
+    }
+}

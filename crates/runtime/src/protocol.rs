@@ -33,11 +33,21 @@ use crate::view::NeighborView;
 /// * `activate` and `is_enabled` may only learn about other processes through
 ///   `view` — this is what makes the measured read sets meaningful.
 /// * `comm` must be a pure projection of the state.
-pub trait Protocol {
+///
+/// # Threading
+///
+/// The sharded executor evaluates guards and activations from worker
+/// threads that share the protocol value and read the pre-step
+/// configuration concurrently, so a protocol must be [`Sync`] and its
+/// state/communication types must be [`Send`]` + `[`Sync`]. Protocols are
+/// plain data plus pure functions in this model (all mutation goes through
+/// the returned states), so these bounds are vacuous in practice — they
+/// exclude interior mutability, which the contract above already forbids.
+pub trait Protocol: Sync {
     /// Full per-process state: communication plus internal variables.
-    type State: Clone + fmt::Debug + PartialEq;
+    type State: Clone + fmt::Debug + PartialEq + Send + Sync;
     /// Communication state: the projection of the state neighbors can read.
-    type Comm: Clone + fmt::Debug + PartialEq;
+    type Comm: Clone + fmt::Debug + PartialEq + Send + Sync;
 
     /// Short human-readable protocol name (used in reports and traces).
     fn name(&self) -> &'static str;

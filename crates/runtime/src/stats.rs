@@ -19,11 +19,32 @@
 //! byte-identical [`RunStats`] (the executor's own guard-evaluation cost is
 //! reported separately by
 //! [`Simulation::guard_evaluations`](crate::executor::Simulation::guard_evaluations)).
+//!
+//! # Layout
+//!
+//! The statistics are stored struct-of-arrays: per-process *scalar*
+//! counters live in one dense `Vec<ProcessStats>`, while the per-port read
+//! flags of all processes share two flat `Vec<bool>` arrays in CSR layout
+//! (`port_offsets[p] .. port_offsets[p + 1]` is process `p`'s slice). This
+//! keeps the memory footprint at `n · sizeof(ProcessStats) + 2·2m` bytes
+//! with no per-process heap indirection — at n = 10⁶/10⁷ the two
+//! allocations replace 2n tiny vectors — and it is what lets the sharded
+//! executor split the whole statistics store into disjoint per-shard
+//! `&mut` windows (`RunStats::sharded`): a contiguous node range owns a
+//! contiguous scalar range *and* a contiguous port-flag range.
+
+use std::ops::Range;
 
 use selfstab_graph::{NodeId, Port};
 use serde::{Deserialize, Serialize};
 
-/// Statistics of a single process across a (partial) execution.
+/// Scalar statistics of a single process across a (partial) execution.
+///
+/// The per-port read flags are *not* stored here — they live in flat
+/// CSR-layout arrays owned by [`RunStats`] (see the
+/// [module documentation](self)); query them through
+/// [`RunStats::distinct_neighbors_ever`] and
+/// [`RunStats::distinct_neighbors_since_marker`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProcessStats {
     /// Number of times the scheduler selected this process.
@@ -45,11 +66,6 @@ pub struct ProcessStats {
     /// since the last suffix marker — the per-process ♦-k-efficiency
     /// (eventually reading at most `k` neighbors *per step*).
     pub max_reads_per_activation_since_marker: usize,
-    /// Ports read at least once since the beginning of the execution.
-    pub ports_read_ever: Vec<bool>,
-    /// Ports read at least once since the last suffix marker
-    /// ([`RunStats::mark_suffix`]).
-    pub ports_read_since_marker: Vec<bool>,
     /// Number of steps in which this process changed its communication
     /// state.
     pub comm_changes: u64,
@@ -58,7 +74,7 @@ pub struct ProcessStats {
 }
 
 impl ProcessStats {
-    fn new(degree: usize) -> Self {
+    fn new() -> Self {
         ProcessStats {
             selections: 0,
             activations: 0,
@@ -67,23 +83,9 @@ impl ProcessStats {
             read_operations_since_marker: 0,
             selections_since_marker: 0,
             max_reads_per_activation_since_marker: 0,
-            ports_read_ever: vec![false; degree],
-            ports_read_since_marker: vec![false; degree],
             comm_changes: 0,
             last_comm_change_step: None,
         }
-    }
-
-    /// Number of distinct neighbors read since the start of the execution
-    /// (`R_p(C)` of Definition 7 for the whole computation observed so far).
-    pub fn distinct_neighbors_ever(&self) -> usize {
-        self.ports_read_ever.iter().filter(|&&b| b).count()
-    }
-
-    /// Number of distinct neighbors read since the last suffix marker
-    /// (`R_p(C')` of Definitions 8–9 for the suffix starting at the marker).
-    pub fn distinct_neighbors_since_marker(&self) -> usize {
-        self.ports_read_since_marker.iter().filter(|&&b| b).count()
     }
 }
 
@@ -91,6 +93,15 @@ impl ProcessStats {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunStats {
     per_process: Vec<ProcessStats>,
+    /// CSR offsets into the flat port-flag arrays: process `p` owns
+    /// `port_offsets[p] .. port_offsets[p + 1]`. `u32` suffices — the graph
+    /// builder caps the edge count so that `2m` fits.
+    port_offsets: Vec<u32>,
+    /// Flat per-port flags: port read at least once since the beginning.
+    ports_read_ever: Vec<bool>,
+    /// Flat per-port flags: port read at least once since the last suffix
+    /// marker ([`RunStats::mark_suffix`]).
+    ports_read_since_marker: Vec<bool>,
     /// Total number of steps executed.
     pub steps: u64,
     /// Number of completed rounds (paper definition: a round ends when every
@@ -112,8 +123,18 @@ pub struct RunStats {
 impl RunStats {
     /// Creates empty statistics for processes with the given degrees.
     pub fn new(degrees: &[usize]) -> Self {
+        let mut port_offsets = Vec::with_capacity(degrees.len() + 1);
+        let mut total: u32 = 0;
+        port_offsets.push(0);
+        for &d in degrees {
+            total += u32::try_from(d).expect("degree exceeds the u32 port space");
+            port_offsets.push(total);
+        }
         RunStats {
-            per_process: degrees.iter().map(|&d| ProcessStats::new(d)).collect(),
+            per_process: degrees.iter().map(|_| ProcessStats::new()).collect(),
+            port_offsets,
+            ports_read_ever: vec![false; total as usize],
+            ports_read_since_marker: vec![false; total as usize],
             steps: 0,
             rounds: 0,
             suffix_marker_step: None,
@@ -137,38 +158,62 @@ impl RunStats {
         &self.per_process
     }
 
-    /// Records that `p` was selected by the scheduler.
-    pub(crate) fn record_selection(&mut self, p: NodeId) {
-        let stats = &mut self.per_process[p.index()];
-        stats.selections += 1;
-        stats.selections_since_marker += 1;
+    /// The flat port-flag range of process `p`.
+    fn port_range(&self, p: NodeId) -> Range<usize> {
+        self.port_offsets[p.index()] as usize..self.port_offsets[p.index() + 1] as usize
     }
 
-    /// Records an activation of `p` that read the given distinct ports.
-    pub(crate) fn record_activation(&mut self, p: NodeId, reads: &[Port], read_operations: usize) {
-        self.total_reads += read_operations as u64;
-        let stats = &mut self.per_process[p.index()];
-        stats.activations += 1;
-        stats.total_read_operations += read_operations as u64;
-        stats.read_operations_since_marker += read_operations as u64;
-        stats.max_reads_per_activation = stats.max_reads_per_activation.max(reads.len());
-        stats.max_reads_per_activation_since_marker =
-            stats.max_reads_per_activation_since_marker.max(reads.len());
-        for &port in reads {
-            if port.index() < stats.ports_read_ever.len() {
-                stats.ports_read_ever[port.index()] = true;
-                stats.ports_read_since_marker[port.index()] = true;
-            }
+    /// Number of distinct neighbors `p` read since the start of the
+    /// execution (`R_p(C)` of Definition 7 for the whole computation
+    /// observed so far).
+    pub fn distinct_neighbors_ever(&self, p: NodeId) -> usize {
+        self.ports_read_ever[self.port_range(p)]
+            .iter()
+            .filter(|&&b| b)
+            .count()
+    }
+
+    /// Number of distinct neighbors `p` read since the last suffix marker
+    /// (`R_p(C')` of Definitions 8–9 for the suffix starting at the marker).
+    pub fn distinct_neighbors_since_marker(&self, p: NodeId) -> usize {
+        self.ports_read_since_marker[self.port_range(p)]
+            .iter()
+            .filter(|&&b| b)
+            .count()
+    }
+
+    /// Splits the mutable recording surface into an ordered sequence of
+    /// disjoint per-shard windows (see [`ShardedStats::take`]).
+    ///
+    /// The running aggregates (`total_reads`, comm-change totals) are *not*
+    /// part of a window: every [`StatsShard`] accumulates its own deltas and
+    /// the executor folds them back through
+    /// [`RunStats::apply_step_deltas`] in its deterministic merge phase.
+    pub(crate) fn sharded(&mut self) -> ShardedStats<'_> {
+        ShardedStats {
+            port_offsets: &self.port_offsets,
+            per_process: &mut self.per_process,
+            ports_read_ever: &mut self.ports_read_ever,
+            ports_read_since_marker: &mut self.ports_read_since_marker,
+            node_cursor: 0,
+            port_cursor: 0,
         }
     }
 
-    /// Records that `p` changed its communication state at `step`.
-    pub(crate) fn record_comm_change(&mut self, p: NodeId, step: u64) {
-        self.total_comm_change_count += 1;
-        self.latest_comm_change_step = Some(step);
-        let stats = &mut self.per_process[p.index()];
-        stats.comm_changes += 1;
-        stats.last_comm_change_step = Some(step);
+    /// Folds the per-shard aggregate deltas of one step back into the
+    /// running totals. `comm_change_step` is the step index when any shard
+    /// recorded a communication change, `None` otherwise.
+    pub(crate) fn apply_step_deltas(
+        &mut self,
+        read_operations: u64,
+        comm_changes: u64,
+        comm_change_step: Option<u64>,
+    ) {
+        self.total_reads += read_operations;
+        self.total_comm_change_count += comm_changes;
+        if comm_change_step.is_some() {
+            self.latest_comm_change_step = comm_change_step;
+        }
     }
 
     /// Places the suffix marker at `step`: the per-process suffix read sets
@@ -177,10 +222,8 @@ impl RunStats {
     /// ♦-(x, k)-stability of Definition 9 can be evaluated.
     pub fn mark_suffix(&mut self, step: u64) {
         self.suffix_marker_step = Some(step);
+        self.ports_read_since_marker.fill(false);
         for stats in &mut self.per_process {
-            for flag in &mut stats.ports_read_since_marker {
-                *flag = false;
-            }
             stats.read_operations_since_marker = 0;
             stats.selections_since_marker = 0;
             stats.max_reads_per_activation_since_marker = 0;
@@ -231,18 +274,16 @@ impl RunStats {
     /// Number of processes whose suffix read set has size at most `k` —
     /// the `x` of ♦-(x, k)-stability measured from the suffix marker.
     pub fn stable_process_count(&self, k: usize) -> usize {
-        self.per_process
-            .iter()
-            .filter(|s| s.distinct_neighbors_since_marker() <= k)
+        (0..self.per_process.len())
+            .filter(|&i| self.distinct_neighbors_since_marker(NodeId::new(i)) <= k)
             .count()
     }
 
     /// Number of processes whose *whole-execution* read set has size at most
     /// `k` (the unconditioned k-stability of Definition 7).
     pub fn k_stable_process_count(&self, k: usize) -> usize {
-        self.per_process
-            .iter()
-            .filter(|s| s.distinct_neighbors_ever() <= k)
+        (0..self.per_process.len())
+            .filter(|&i| self.distinct_neighbors_ever(NodeId::new(i)) <= k)
             .count()
     }
 
@@ -276,26 +317,168 @@ impl RunStats {
     }
 }
 
+/// A splitter handing out disjoint per-shard recording windows over a
+/// [`RunStats`] store, in ascending node order.
+///
+/// The struct-of-arrays layout makes this a pair of `split_at_mut` walks:
+/// shard `s`'s contiguous node range owns a contiguous window of the scalar
+/// array and (via the CSR `port_offsets`) a contiguous window of both flat
+/// port-flag arrays. No `unsafe`, no locks — the borrow checker sees the
+/// windows are disjoint, which is exactly the property that lets worker
+/// threads record concurrently.
+pub(crate) struct ShardedStats<'a> {
+    port_offsets: &'a [u32],
+    per_process: &'a mut [ProcessStats],
+    ports_read_ever: &'a mut [bool],
+    ports_read_since_marker: &'a mut [bool],
+    node_cursor: usize,
+    port_cursor: usize,
+}
+
+impl<'a> ShardedStats<'a> {
+    /// Takes the recording window for the shard owning `node_range`.
+    ///
+    /// Ranges must be requested in ascending order and tile the node space
+    /// without overlap (the executor walks its partition in shard order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_range` does not start at the cursor left by the
+    /// previous call.
+    pub(crate) fn take(&mut self, node_range: Range<usize>) -> StatsShard<'a> {
+        assert_eq!(
+            node_range.start, self.node_cursor,
+            "shard stats windows must be taken in partition order"
+        );
+        let node_len = node_range.len();
+        let port_end = self.port_offsets[node_range.end] as usize;
+        let port_len = port_end - self.port_cursor;
+
+        let per_process = std::mem::take(&mut self.per_process);
+        let (scalars, rest) = per_process.split_at_mut(node_len);
+        self.per_process = rest;
+        let ever = std::mem::take(&mut self.ports_read_ever);
+        let (ports_read_ever, rest) = ever.split_at_mut(port_len);
+        self.ports_read_ever = rest;
+        let marker = std::mem::take(&mut self.ports_read_since_marker);
+        let (ports_read_since_marker, rest) = marker.split_at_mut(port_len);
+        self.ports_read_since_marker = rest;
+
+        let shard = StatsShard {
+            node_base: node_range.start,
+            port_base: self.port_cursor,
+            port_offsets: self.port_offsets,
+            per_process: scalars,
+            ports_read_ever,
+            ports_read_since_marker,
+            read_operations: 0,
+            comm_changes: 0,
+        };
+        self.node_cursor = node_range.end;
+        self.port_cursor = port_end;
+        shard
+    }
+}
+
+/// One shard's private window into the statistics store.
+///
+/// Recording methods mirror what the pre-sharding executor recorded
+/// inline; per-process scalars and port flags are written directly (the
+/// window is exclusive), while store-wide aggregates are accumulated in
+/// [`StatsShard::read_operations`] / [`StatsShard::comm_changes`] and folded
+/// back by the executor's merge phase via [`RunStats::apply_step_deltas`].
+pub(crate) struct StatsShard<'a> {
+    node_base: usize,
+    port_base: usize,
+    /// The *global* CSR offsets (shared, read-only).
+    port_offsets: &'a [u32],
+    per_process: &'a mut [ProcessStats],
+    ports_read_ever: &'a mut [bool],
+    ports_read_since_marker: &'a mut [bool],
+    /// Read operations recorded through this window (store-wide aggregate
+    /// delta, folded back in the merge phase).
+    pub(crate) read_operations: u64,
+    /// Communication changes recorded through this window (store-wide
+    /// aggregate delta, folded back in the merge phase).
+    pub(crate) comm_changes: u64,
+}
+
+impl StatsShard<'_> {
+    fn scalars(&mut self, p: NodeId) -> &mut ProcessStats {
+        &mut self.per_process[p.index() - self.node_base]
+    }
+
+    /// Records that `p` was selected by the scheduler.
+    pub(crate) fn record_selection(&mut self, p: NodeId) {
+        let stats = self.scalars(p);
+        stats.selections += 1;
+        stats.selections_since_marker += 1;
+    }
+
+    /// Records an activation of `p` that read the given distinct ports.
+    pub(crate) fn record_activation(&mut self, p: NodeId, reads: &[Port], read_operations: usize) {
+        self.read_operations += read_operations as u64;
+        let port_lo = self.port_offsets[p.index()] as usize - self.port_base;
+        let port_hi = self.port_offsets[p.index() + 1] as usize - self.port_base;
+        let degree = port_hi - port_lo;
+        let stats = &mut self.per_process[p.index() - self.node_base];
+        stats.activations += 1;
+        stats.total_read_operations += read_operations as u64;
+        stats.read_operations_since_marker += read_operations as u64;
+        stats.max_reads_per_activation = stats.max_reads_per_activation.max(reads.len());
+        stats.max_reads_per_activation_since_marker =
+            stats.max_reads_per_activation_since_marker.max(reads.len());
+        for &port in reads {
+            if port.index() < degree {
+                self.ports_read_ever[port_lo + port.index()] = true;
+                self.ports_read_since_marker[port_lo + port.index()] = true;
+            }
+        }
+    }
+
+    /// Records that `p` changed its communication state at `step`.
+    pub(crate) fn record_comm_change(&mut self, p: NodeId, step: u64) {
+        self.comm_changes += 1;
+        let stats = self.scalars(p);
+        stats.comm_changes += 1;
+        stats.last_comm_change_step = Some(step);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Test harness mirroring the executor: record through a single shard
+    /// window covering everything, then fold the deltas back.
+    fn record<R>(stats: &mut RunStats, step: u64, f: impl FnOnce(&mut StatsShard<'_>) -> R) -> R {
+        let n = stats.processes().len();
+        let mut shard = stats.sharded().take(0..n);
+        let out = f(&mut shard);
+        let reads = shard.read_operations;
+        let changes = shard.comm_changes;
+        stats.apply_step_deltas(reads, changes, (changes > 0).then_some(step));
+        out
+    }
 
     #[test]
     fn activation_accounting() {
         let mut stats = RunStats::new(&[3, 2]);
         let p0 = NodeId::new(0);
         let p1 = NodeId::new(1);
-        stats.record_selection(p0);
-        stats.record_activation(p0, &[Port::new(0), Port::new(2)], 5);
-        stats.record_selection(p1);
-        stats.record_activation(p1, &[Port::new(1)], 1);
-        stats.record_comm_change(p1, 0);
+        record(&mut stats, 0, |shard| {
+            shard.record_selection(p0);
+            shard.record_activation(p0, &[Port::new(0), Port::new(2)], 5);
+            shard.record_selection(p1);
+            shard.record_activation(p1, &[Port::new(1)], 1);
+            shard.record_comm_change(p1, 0);
+        });
 
         assert_eq!(stats.process(p0).selections, 1);
         assert_eq!(stats.process(p0).activations, 1);
         assert_eq!(stats.process(p0).max_reads_per_activation, 2);
         assert_eq!(stats.process(p0).total_read_operations, 5);
-        assert_eq!(stats.process(p0).distinct_neighbors_ever(), 2);
+        assert_eq!(stats.distinct_neighbors_ever(p0), 2);
         assert_eq!(stats.process(p1).comm_changes, 1);
         assert_eq!(stats.process(p1).last_comm_change_step, Some(0));
         assert_eq!(stats.measured_efficiency(), 2);
@@ -305,17 +488,64 @@ mod tests {
     }
 
     #[test]
+    fn sharded_windows_agree_with_a_single_window() {
+        // The same recording pushed through two disjoint shard windows must
+        // produce byte-identical stats — the unit-level version of the
+        // executor's differential equivalence guarantee.
+        let degrees = [2usize, 3, 1, 2];
+        let mut whole = RunStats::new(&degrees);
+        record(&mut whole, 4, |shard| {
+            for (i, &d) in degrees.iter().enumerate() {
+                let p = NodeId::new(i);
+                shard.record_selection(p);
+                shard.record_activation(p, &[Port::new(0), Port::new(d - 1)], d);
+            }
+            shard.record_comm_change(NodeId::new(3), 4);
+        });
+
+        let mut split = RunStats::new(&degrees);
+        {
+            let mut splitter = split.sharded();
+            let mut low = splitter.take(0..2);
+            let mut high = splitter.take(2..4);
+            for (i, &d) in degrees.iter().enumerate() {
+                let p = NodeId::new(i);
+                let shard = if i < 2 { &mut low } else { &mut high };
+                shard.record_selection(p);
+                shard.record_activation(p, &[Port::new(0), Port::new(d - 1)], d);
+            }
+            high.record_comm_change(NodeId::new(3), 4);
+            let reads = low.read_operations + high.read_operations;
+            let changes = low.comm_changes + high.comm_changes;
+            split.apply_step_deltas(reads, changes, Some(4));
+        }
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition order")]
+    fn shard_windows_must_be_taken_in_order() {
+        let mut stats = RunStats::new(&[1, 1]);
+        let mut splitter = stats.sharded();
+        let _ = splitter.take(1..2);
+    }
+
+    #[test]
     fn suffix_marker_resets_suffix_read_sets_only() {
         let mut stats = RunStats::new(&[2]);
         let p = NodeId::new(0);
-        stats.record_activation(p, &[Port::new(0), Port::new(1)], 2);
-        assert_eq!(stats.process(p).distinct_neighbors_since_marker(), 2);
+        record(&mut stats, 0, |shard| {
+            shard.record_activation(p, &[Port::new(0), Port::new(1)], 2);
+        });
+        assert_eq!(stats.distinct_neighbors_since_marker(p), 2);
         stats.mark_suffix(10);
         assert_eq!(stats.suffix_marker_step, Some(10));
-        assert_eq!(stats.process(p).distinct_neighbors_since_marker(), 0);
-        assert_eq!(stats.process(p).distinct_neighbors_ever(), 2);
-        stats.record_activation(p, &[Port::new(1)], 1);
-        assert_eq!(stats.process(p).distinct_neighbors_since_marker(), 1);
+        assert_eq!(stats.distinct_neighbors_since_marker(p), 0);
+        assert_eq!(stats.distinct_neighbors_ever(p), 2);
+        record(&mut stats, 11, |shard| {
+            shard.record_activation(p, &[Port::new(1)], 1);
+        });
+        assert_eq!(stats.distinct_neighbors_since_marker(p), 1);
         assert_eq!(stats.stable_process_count(1), 1);
         assert_eq!(stats.stable_process_count(0), 0);
     }
@@ -324,16 +554,20 @@ mod tests {
     fn suffix_marker_resets_read_and_selection_counters() {
         let mut stats = RunStats::new(&[2, 2]);
         let p0 = NodeId::new(0);
-        stats.record_selection(p0);
-        stats.record_activation(p0, &[Port::new(0)], 3);
+        record(&mut stats, 0, |shard| {
+            shard.record_selection(p0);
+            shard.record_activation(p0, &[Port::new(0)], 3);
+        });
         assert_eq!(stats.suffix_read_operations(), 3);
         assert_eq!(stats.suffix_selections(), 1);
         stats.mark_suffix(5);
         assert_eq!(stats.suffix_read_operations(), 0);
         assert_eq!(stats.suffix_selections(), 0);
         assert_eq!(stats.process(p0).total_read_operations, 3);
-        stats.record_selection(p0);
-        stats.record_activation(p0, &[Port::new(1)], 2);
+        record(&mut stats, 6, |shard| {
+            shard.record_selection(p0);
+            shard.record_activation(p0, &[Port::new(1)], 2);
+        });
         assert_eq!(stats.suffix_read_operations(), 2);
         assert_eq!(stats.suffix_selections(), 1);
         assert_eq!(stats.process(p0).read_operations_since_marker, 2);
@@ -344,12 +578,16 @@ mod tests {
     fn suffix_efficiency_only_sees_post_marker_activations() {
         let mut stats = RunStats::new(&[3]);
         let p = NodeId::new(0);
-        stats.record_activation(p, &[Port::new(0), Port::new(1), Port::new(2)], 3);
+        record(&mut stats, 0, |shard| {
+            shard.record_activation(p, &[Port::new(0), Port::new(1), Port::new(2)], 3);
+        });
         assert_eq!(stats.measured_efficiency(), 3);
         assert_eq!(stats.suffix_measured_efficiency(), 3);
         stats.mark_suffix(1);
         assert_eq!(stats.suffix_measured_efficiency(), 0);
-        stats.record_activation(p, &[Port::new(1)], 1);
+        record(&mut stats, 2, |shard| {
+            shard.record_activation(p, &[Port::new(1)], 1);
+        });
         // Whole-run efficiency remembers the repair; the suffix shows the
         // protocol is eventually 1-efficient.
         assert_eq!(stats.measured_efficiency(), 3);
@@ -359,8 +597,10 @@ mod tests {
     #[test]
     fn stability_counts() {
         let mut stats = RunStats::new(&[2, 2, 2]);
-        stats.record_activation(NodeId::new(0), &[Port::new(0)], 1);
-        stats.record_activation(NodeId::new(1), &[Port::new(0), Port::new(1)], 2);
+        record(&mut stats, 0, |shard| {
+            shard.record_activation(NodeId::new(0), &[Port::new(0)], 1);
+            shard.record_activation(NodeId::new(1), &[Port::new(0), Port::new(1)], 2);
+        });
         // Process 2 never reads anyone.
         assert_eq!(stats.k_stable_process_count(0), 1);
         assert_eq!(stats.k_stable_process_count(1), 2);

@@ -1,0 +1,294 @@
+//! The sharded intra-step executor is observably identical to the
+//! sequential one, at every worker count, under every daemon.
+//!
+//! The executor shards the graph into contiguous node partitions and runs
+//! guard evaluation and activation staging per shard (on worker threads
+//! when `step_workers > 1`), then merges the per-shard results in shard
+//! order. Nothing about that reorganization may be observable: this
+//! regression test drives a sequential baseline (`step_workers = 1`) and
+//! sharded executors at 2, 4 and 8 workers in lockstep — with the work
+//! threshold forced to zero so the threaded dispatch path actually runs on
+//! these small graphs — and asserts after every step and every mid-round
+//! fault injection that the enabled flags, the [`StepOutcome`], the
+//! configuration, and the full [`RunStats`] (including the per-port read
+//! footprints behind the paper's k-efficiency measures) never diverge.
+//!
+//! The protocol draws from its activation RNG, so the test also locks down
+//! the worker-count-invariant per-activation RNG derivation: if worker
+//! count ever leaked into the random streams, configurations would split
+//! at the first randomized activation.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use selfstab_graph::{generators, Graph, NodeId, Port};
+use selfstab_runtime::faults::{BallCenter, FaultInjector, FaultLoad, FaultModel};
+use selfstab_runtime::protocol::Protocol;
+use selfstab_runtime::scheduler::{
+    CentralRandom, CentralRoundRobin, DistributedRandom, Fair, LocallyCentral, Scheduler,
+    StarvingAdversary, Synchronous,
+};
+use selfstab_runtime::view::NeighborView;
+use selfstab_runtime::{SimOptions, Simulation};
+
+/// Minimum propagation with randomized over-write: disabled processes may
+/// still be selected, and enabled ones draw from the activation RNG to
+/// decide between two equivalent descents. Guards read every neighbor, so
+/// every fault flips guards across the whole victim neighborhood — the
+/// worst case for per-shard dirty routing — and the RNG draw makes any
+/// worker-count leakage into the random streams immediately visible.
+struct NoisyMin;
+
+impl Protocol for NoisyMin {
+    type State = u32;
+    type Comm = u32;
+
+    fn name(&self) -> &'static str {
+        "noisy-min"
+    }
+
+    fn arbitrary_state(&self, _graph: &Graph, _p: NodeId, rng: &mut dyn RngCore) -> u32 {
+        rand::Rng::gen_range(rng, 0..1000)
+    }
+
+    fn comm(&self, _p: NodeId, state: &u32) -> u32 {
+        *state
+    }
+
+    fn is_enabled(
+        &self,
+        graph: &Graph,
+        p: NodeId,
+        state: &u32,
+        view: &NeighborView<'_, u32>,
+    ) -> bool {
+        (0..graph.degree(p)).any(|i| view.read(Port::new(i)) < state)
+    }
+
+    fn activate(
+        &self,
+        graph: &Graph,
+        p: NodeId,
+        state: &u32,
+        view: &NeighborView<'_, u32>,
+        rng: &mut dyn RngCore,
+    ) -> Option<u32> {
+        let min = (0..graph.degree(p))
+            .map(|i| *view.read(Port::new(i)))
+            .min()
+            .unwrap_or(*state);
+        if min >= *state {
+            return None;
+        }
+        // Descend to the neighborhood minimum, or (with probability 1/2,
+        // drawn from the per-activation RNG) overshoot-then-correct via
+        // min itself plus a derived bit — both choices keep convergence,
+        // but the drawn bit lands in the communication variable, so any
+        // divergence in RNG streams becomes a configuration divergence.
+        let jitter = (rng.next_u64() & 1) as u32;
+        Some(min.saturating_sub(jitter.min(min)))
+    }
+
+    fn comm_bits(&self, _graph: &Graph, _p: NodeId) -> u64 {
+        32
+    }
+
+    fn state_bits(&self, _graph: &Graph, _p: NodeId) -> u64 {
+        32
+    }
+
+    fn is_legitimate(&self, _graph: &Graph, config: &[u32]) -> bool {
+        let min = config.iter().min().copied().unwrap_or(0);
+        config.iter().all(|&v| v == min)
+    }
+}
+
+/// The structured fault models an injection cycle rotates through
+/// (mirrors `fault_daemon_equivalence.rs`).
+fn models() -> [FaultModel; 4] {
+    [
+        FaultModel::Uniform(FaultLoad::Count(2)),
+        FaultModel::DegreeTargeted(FaultLoad::Count(2)),
+        FaultModel::Ball {
+            center: BallCenter::Random,
+            radius: 1,
+        },
+        FaultModel::StuckAt(FaultLoad::Count(1)),
+    ]
+}
+
+/// One executor under test plus its private fault stream (identically
+/// seeded across all executors, so victims must match).
+struct Lane<'g, S: Scheduler> {
+    workers: usize,
+    sim: Simulation<'g, NoisyMin, S>,
+    injector: FaultInjector,
+    fault_rng: StdRng,
+}
+
+/// Drives the sequential baseline and the sharded executors at 2, 4 and 8
+/// workers in lockstep under one daemon, injecting identical faults
+/// mid-round, and asserts that no observable ever diverges.
+fn assert_parallel_equivalence<S: Scheduler>(graph: &Graph, make: impl Fn() -> S, daemon: &str) {
+    let seed = 0x5AA27;
+    let lane = |workers: usize| {
+        let options = SimOptions::default()
+            .with_step_workers(workers)
+            // Force the threaded dispatch path: the production threshold
+            // would keep these deliberately small graphs sequential.
+            .with_parallel_work_threshold(0);
+        Lane {
+            workers,
+            sim: Simulation::new(graph, NoisyMin, make(), seed, options),
+            injector: FaultInjector::new(graph),
+            fault_rng: StdRng::seed_from_u64(99),
+        }
+    };
+    let mut baseline = lane(1);
+    let mut sharded: Vec<Lane<'_, S>> = [2, 4, 8].map(lane).into_iter().collect();
+
+    let models = models();
+    for cycle in 0..12usize {
+        // 7 steps between injections: coprime with every round length in
+        // play, so injections keep landing mid-round.
+        for step in 0..7 {
+            let expected_outcome = baseline.sim.step();
+            for lane in &mut sharded {
+                let outcome = lane.sim.step();
+                let workers = lane.workers;
+                assert_eq!(
+                    outcome, expected_outcome,
+                    "{daemon}/workers={workers}: step outcome diverged (cycle {cycle}, step {step})"
+                );
+                assert_eq!(
+                    lane.sim.last_selected(),
+                    baseline.sim.last_selected(),
+                    "{daemon}/workers={workers}: selected list diverged (cycle {cycle}, step {step})"
+                );
+                assert_eq!(
+                    lane.sim.last_executed(),
+                    baseline.sim.last_executed(),
+                    "{daemon}/workers={workers}: executed list diverged (cycle {cycle}, step {step})"
+                );
+                assert_eq!(
+                    lane.sim.config(),
+                    baseline.sim.config(),
+                    "{daemon}/workers={workers}: configuration diverged (cycle {cycle}, step {step})"
+                );
+                let expected_flags = baseline.sim.enabled_set().as_flags().to_vec();
+                assert_eq!(
+                    lane.sim.enabled_set().as_flags(),
+                    expected_flags,
+                    "{daemon}/workers={workers}: enabled flags diverged (cycle {cycle}, step {step})"
+                );
+            }
+        }
+        let model = models[cycle % models.len()];
+        let expected_victims = baseline
+            .injector
+            .inject(&mut baseline.sim, model, &mut baseline.fault_rng)
+            .to_vec();
+        for lane in &mut sharded {
+            let victims = lane
+                .injector
+                .inject(&mut lane.sim, model, &mut lane.fault_rng)
+                .to_vec();
+            let workers = lane.workers;
+            assert_eq!(
+                victims, expected_victims,
+                "{daemon}/workers={workers}: victim selection must be worker-count-independent"
+            );
+            assert_eq!(
+                lane.sim.config(),
+                baseline.sim.config(),
+                "{daemon}/workers={workers}: configurations diverged after injection (cycle {cycle}, {model})"
+            );
+            // The heart of the regression: mid-round injections mark dirty
+            // nodes straight into per-shard queues; the maintained enabled
+            // set must still match the sequential executor's.
+            let expected_flags = baseline.sim.enabled_set().as_flags().to_vec();
+            assert_eq!(
+                lane.sim.enabled_set().as_flags(),
+                expected_flags,
+                "{daemon}/workers={workers}: post-injection enabled set diverged (cycle {cycle}, {model})"
+            );
+            assert_eq!(
+                lane.sim.stats(),
+                baseline.sim.stats(),
+                "{daemon}/workers={workers}: stats diverged after injection (cycle {cycle}, {model})"
+            );
+        }
+    }
+    // After the storm, every executor settles to the same silent point
+    // with the same observable statistics, in the same number of steps.
+    let expected_report = baseline.sim.run_until_silent(100_000);
+    assert!(
+        expected_report.silent,
+        "{daemon}: baseline must re-stabilize"
+    );
+    for lane in &mut sharded {
+        let report = lane.sim.run_until_silent(100_000);
+        let workers = lane.workers;
+        assert_eq!(
+            report, expected_report,
+            "{daemon}/workers={workers}: reports diverged"
+        );
+        assert_eq!(lane.sim.config(), baseline.sim.config());
+        assert_eq!(
+            lane.sim.stats(),
+            baseline.sim.stats(),
+            "{daemon}/workers={workers}: final stats diverged"
+        );
+    }
+}
+
+#[test]
+fn sharded_executor_matches_sequential_under_every_daemon() {
+    let grid = generators::grid(4, 5);
+    assert_parallel_equivalence(&grid, || Synchronous, "synchronous");
+    assert_parallel_equivalence(&grid, CentralRoundRobin::new, "central-round-robin");
+    assert_parallel_equivalence(&grid, CentralRandom::enabled_only, "central-random-enabled");
+    assert_parallel_equivalence(&grid, || DistributedRandom::new(0.4), "distributed-random");
+    assert_parallel_equivalence(&grid, || LocallyCentral::new(&grid, 0.5), "locally-central");
+    assert_parallel_equivalence(
+        &grid,
+        || Fair::new(DistributedRandom::new(0.05), 4),
+        "fair(distributed-random)",
+    );
+    assert_parallel_equivalence(
+        &grid,
+        || Fair::new(StarvingAdversary::new(), 3),
+        "fair(starving-adversary)",
+    );
+}
+
+#[test]
+fn sharded_executor_matches_sequential_on_irregular_topologies() {
+    // Degree-skewed graphs stress the degree-weighted partition cuts: the
+    // hub of a star and the tail of a barabasi-albert graph land in
+    // different shards at different worker counts.
+    let ba = generators::barabasi_albert(60, 3, &mut StdRng::seed_from_u64(7))
+        .expect("valid barabasi-albert parameters");
+    let topologies = [("star-24", generators::star(24)), ("ba-60", ba)];
+    for (name, graph) in &topologies {
+        assert_parallel_equivalence(graph, || Synchronous, &format!("{name}/synchronous"));
+        assert_parallel_equivalence(
+            graph,
+            || DistributedRandom::new(0.3),
+            &format!("{name}/distributed-random"),
+        );
+    }
+}
+
+#[test]
+fn more_workers_than_nodes_degrades_gracefully() {
+    // 8 workers on a 6-node ring: the partition clamps to nonempty shards
+    // (fewer shards than requested workers) and must still agree with the
+    // sequential executor all the way to silence.
+    let ring = generators::ring(6);
+    assert_parallel_equivalence(&ring, || Synchronous, "tiny-ring/synchronous");
+    assert_parallel_equivalence(
+        &ring,
+        CentralRoundRobin::new,
+        "tiny-ring/central-round-robin",
+    );
+}
