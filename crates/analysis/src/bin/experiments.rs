@@ -29,6 +29,10 @@ use std::time::Instant;
 
 use selfstab_analysis::experiments::{self, ExperimentConfig};
 use selfstab_analysis::table::ExperimentTable;
+use selfstab_analysis::tracecell::{self, TraceCellSpec, TraceRunSummary};
+use selfstab_analysis::workloads::Workload;
+use selfstab_analysis::{campaign, metrics_report};
+use selfstab_runtime::telemetry::metrics;
 
 /// Output format of the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +49,12 @@ struct Args {
     threads: Option<usize>,
     step_workers: Option<usize>,
     format: Format,
+    trace_out: Option<PathBuf>,
+    replay: Option<PathBuf>,
+    trace_workload: Option<Workload>,
+    trace_seed: Option<u64>,
+    metrics: Option<Format>,
+    progress: bool,
 }
 
 const USAGE: &str = "usage: experiments [OPTIONS]
@@ -62,7 +72,22 @@ options:
                        tables are byte-identical for every worker count)
   --format table|json  output format (default: table)
   --list               list the experiment identifiers and exit
-  -h, --help           print this help";
+  -h, --help           print this help
+
+observability:
+  --trace-out PATH     instead of the experiments, record the canonical
+                       coloring fault-recovery cell into a binary trace
+                       at PATH and print its summary JSON to stdout
+  --trace-workload W   workload of the recorded cell (default ring(64))
+  --trace-seed N       seed of the recorded cell (default 118213)
+  --replay PATH        instead of the experiments, replay a recorded
+                       trace with step-by-step verification and print
+                       the (byte-identical) summary JSON to stdout
+  --metrics table|json enable runtime metrics and print the phase/fault/
+                       campaign report to stderr at exit (json is one
+                       line starting with {\"metrics\")
+  --progress           stream one line per completed campaign cell to
+                       stderr";
 
 /// Outcome of argument parsing: run the experiments, print the experiment
 /// list, or print usage and exit successfully (`--help` is not an error).
@@ -81,6 +106,12 @@ fn parse_args() -> Result<Parsed, String> {
         threads: None,
         step_workers: None,
         format: Format::Table,
+        trace_out: None,
+        replay: None,
+        trace_workload: None,
+        trace_seed: None,
+        metrics: None,
+        progress: false,
     };
     let mut iter = env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -145,10 +176,49 @@ fn parse_args() -> Result<Parsed, String> {
                     other => return Err(format!("unknown format {other}; expected table or json")),
                 };
             }
+            "--trace-out" => {
+                let path = iter.next().ok_or("--trace-out requires a file path")?;
+                args.trace_out = Some(PathBuf::from(path));
+            }
+            "--replay" => {
+                let path = iter.next().ok_or("--replay requires a trace file path")?;
+                args.replay = Some(PathBuf::from(path));
+            }
+            "--trace-workload" => {
+                let value = iter
+                    .next()
+                    .ok_or("--trace-workload requires a workload label (e.g. ring(64))")?;
+                args.trace_workload = Some(value.parse::<Workload>()?);
+            }
+            "--trace-seed" => {
+                let value = iter.next().ok_or("--trace-seed requires an integer")?;
+                let seed = value
+                    .parse::<u64>()
+                    .map_err(|err| format!("--trace-seed {value}: {err}"))?;
+                args.trace_seed = Some(seed);
+            }
+            "--metrics" => {
+                let value = iter
+                    .next()
+                    .ok_or("--metrics requires an argument (table or json)")?;
+                args.metrics = Some(match value.as_str() {
+                    "table" => Format::Table,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "unknown metrics format {other}; expected table or json"
+                        ))
+                    }
+                });
+            }
+            "--progress" => args.progress = true,
             "--list" => return Ok(Parsed::List),
             "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
+    }
+    if args.trace_out.is_some() && args.replay.is_some() {
+        return Err("--trace-out and --replay are mutually exclusive".to_string());
     }
     if let Some(only) = &args.only {
         let known: Vec<String> = experiments::registry()
@@ -187,6 +257,37 @@ fn render_json(config: &ExperimentConfig, tables: &[ExperimentTable]) -> String 
     out
 }
 
+/// Minimal JSON string escaping for paths and metadata.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a record/replay summary; the `stats` object is the part CI
+/// diffs between a recording and its replay, so its key set and
+/// formatting must not depend on the mode.
+fn trace_summary_json(mode: &str, path: &std::path::Path, summary: &TraceRunSummary) -> String {
+    format!(
+        "{{\n  \"mode\": \"{mode}\",\n  \"{mode}\": {{\"path\": \"{}\", \"bytes\": {}, \
+         \"verified\": true}},\n  \"stats\": {{\"steps\": {}, \"rounds\": {}, \
+         \"stats_digest\": \"{:016x}\", \"config_digest\": \"{:016x}\"}}\n}}",
+        json_escape(&path.display().to_string()),
+        summary.trace_bytes,
+        summary.steps,
+        summary.rounds,
+        summary.stats_digest,
+        summary.config_digest
+    )
+}
+
+/// Prints the metrics report to stderr when `--metrics` was given.
+fn emit_metrics(format: Option<Format>) {
+    match format {
+        Some(Format::Json) => eprintln!("{}", metrics_report::render_json()),
+        Some(Format::Table) => eprint!("{}", metrics_report::render_table()),
+        None => {}
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(Parsed::Run(args)) => args,
@@ -205,6 +306,58 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.metrics.is_some() {
+        metrics::set_enabled(true);
+    }
+    if args.progress {
+        campaign::set_progress_streaming(true);
+    }
+    if let Some(path) = &args.trace_out {
+        let mut spec = TraceCellSpec::default();
+        if let Some(workload) = args.trace_workload {
+            spec.workload = workload;
+        }
+        if let Some(seed) = args.trace_seed {
+            spec.seed = seed;
+        }
+        let code = match tracecell::record(&spec, path) {
+            Ok(summary) => {
+                println!("{}", trace_summary_json("record", path, &summary));
+                eprintln!(
+                    "recorded {} steps ({} bytes) to {}",
+                    summary.steps,
+                    summary.trace_bytes,
+                    path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("trace recording failed: {err}");
+                ExitCode::FAILURE
+            }
+        };
+        emit_metrics(args.metrics);
+        return code;
+    }
+    if let Some(path) = &args.replay {
+        let code = match tracecell::replay(path) {
+            Ok(summary) => {
+                println!("{}", trace_summary_json("replay", path, &summary));
+                eprintln!(
+                    "replayed {} steps from {} without divergence",
+                    summary.steps,
+                    path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("replay failed: {err}");
+                ExitCode::FAILURE
+            }
+        };
+        emit_metrics(args.metrics);
+        return code;
+    }
     let mut config = if args.quick {
         ExperimentConfig::quick()
     } else {
@@ -268,6 +421,7 @@ fn main() -> ExitCode {
         elapsed.as_secs_f64(),
         config.threads
     );
+    emit_metrics(args.metrics);
     if failures == 0 {
         ExitCode::SUCCESS
     } else {

@@ -43,13 +43,15 @@
 //! and debug.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use selfstab_graph::Graph;
 use selfstab_runtime::scheduler::{
     CentralRandom, CentralRoundRobin, DistributedRandom, LocallyCentral, Scheduler, Synchronous,
 };
+use selfstab_runtime::telemetry::metrics;
 use selfstab_runtime::{BallCenter, FaultLoad, FaultModel, FaultPlan};
 
 use crate::experiments::ExperimentConfig;
@@ -60,6 +62,44 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Whether campaigns stream one progress line per completed cell to
+/// stderr (process-global, off by default; the `experiments` binary's
+/// `--progress` flag turns it on).
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Raw per-cell wall-time samples in seconds, kept only while metrics
+/// collection is enabled. The exact samples complement the log-bucketed
+/// [`metrics`] histogram: the metrics report summarizes them with
+/// [`crate::stats`]'s quantiles at full resolution.
+static CELL_SAMPLES: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+
+/// Turns per-cell progress streaming on or off process-wide.
+pub fn set_progress_streaming(enabled: bool) {
+    PROGRESS.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether per-cell progress streaming is enabled.
+pub fn progress_streaming() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the raw per-cell duration samples (seconds) collected
+/// while metrics were enabled, in completion order.
+pub fn cell_duration_samples() -> Vec<f64> {
+    CELL_SAMPLES
+        .lock()
+        .expect("cell samples lock poisoned")
+        .clone()
+}
+
+/// Drops all collected per-cell duration samples.
+pub fn clear_cell_duration_samples() {
+    CELL_SAMPLES
+        .lock()
+        .expect("cell samples lock poisoned")
+        .clear();
 }
 
 /// A declarative experiment grid: every point crossed with every seed.
@@ -195,11 +235,42 @@ impl<P> CampaignSpec<P> {
     {
         let total = self.cell_count();
         let threads = threads.clamp(1, total.max(1));
+        // Observability wrapper around the pure cell function: when metrics
+        // or progress streaming are on, each cell is timed and reported;
+        // when both are off this adds two relaxed loads per cell and the
+        // engine behaves exactly as before (results never depend on it).
+        let completed = AtomicUsize::new(0);
+        let run_one = |index: usize| -> R {
+            let observing = metrics::enabled() || progress_streaming();
+            if !observing {
+                return cell_fn(self.cell(index));
+            }
+            let started = Instant::now();
+            let value = cell_fn(self.cell(index));
+            let elapsed = started.elapsed();
+            if let Some(registry) = metrics::active() {
+                registry.record_campaign_cell(elapsed);
+                CELL_SAMPLES
+                    .lock()
+                    .expect("cell samples lock poisoned")
+                    .push(elapsed.as_secs_f64());
+            }
+            if progress_streaming() {
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                let cell = self.cell(index);
+                eprintln!(
+                    "campaign cell {done}/{total}: point {}/{} seed {} ({:.2} ms)",
+                    cell.point_index + 1,
+                    self.points.len(),
+                    cell.seed,
+                    elapsed.as_secs_f64() * 1e3
+                );
+            }
+            value
+        };
         let slots: Vec<Option<R>> = if threads == 1 {
             // Inline fast path: no pool, no locks, trivially debuggable.
-            (0..total)
-                .map(|index| Some(cell_fn(self.cell(index))))
-                .collect()
+            (0..total).map(|index| Some(run_one(index))).collect()
         } else {
             let cursor = AtomicUsize::new(0);
             let results: Mutex<Vec<Option<R>>> = Mutex::new((0..total).map(|_| None).collect());
@@ -213,7 +284,7 @@ impl<P> CampaignSpec<P> {
                             }
                             // The cell runs outside the lock; only the O(1)
                             // slot store is serialized.
-                            let value = cell_fn(self.cell(index));
+                            let value = run_one(index);
                             results.lock().expect("results lock poisoned")[index] = Some(value);
                         })
                     })
@@ -524,6 +595,25 @@ mod tests {
         }
         assert_eq!(DaemonSpec::spanning_set().len(), 3);
         assert_eq!(DaemonSpec::ablation_set().len(), 4);
+    }
+
+    // Streaming and metrics are process-global observability switches;
+    // this test asserts they never change the engine's results and that
+    // timed cells leave raw samples behind (counts are `>=` because other
+    // tests in the binary may run campaigns concurrently).
+    #[test]
+    fn observability_does_not_disturb_results() {
+        let spec = CampaignSpec::new(vec![1u64, 2], vec![0, 1, 2]);
+        let plain = spec.run(2, |cell| *cell.point * 100 + cell.seed);
+        set_progress_streaming(true);
+        metrics::set_enabled(true);
+        clear_cell_duration_samples();
+        let observed = spec.run(2, |cell| *cell.point * 100 + cell.seed);
+        metrics::set_enabled(false);
+        set_progress_streaming(false);
+        assert!(!progress_streaming());
+        assert_eq!(plain, observed);
+        assert!(cell_duration_samples().len() >= spec.cell_count());
     }
 
     #[test]

@@ -32,14 +32,23 @@
 //! sets the worker count, `--format json` emits one machine-readable
 //! document, `--list` shows the identifiers); the criterion benches in
 //! `selfstab-bench` time the same workloads.
+//!
+//! The binary is also the observability entry point: `--trace-out` /
+//! `--replay` record and verify the canonical [`tracecell`] through the
+//! runtime's compact binary trace format, `--metrics table|json` prints
+//! the [`metrics_report`] over the runtime's phase/fault/campaign
+//! registry, and `--progress` streams one line per completed campaign
+//! cell to stderr.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod experiments;
+pub mod metrics_report;
 pub mod stats;
 pub mod table;
+pub mod tracecell;
 pub mod workloads;
 
 pub use campaign::{CampaignSpec, CellOutcome, DaemonSpec, FaultPlanSpec};

@@ -1,0 +1,82 @@
+//! Acceptance test for the telemetry layer's headline guarantees, at the
+//! scale the issue pinned: a 10⁴-process COLORING fault-recovery run
+//! (1) records into the binary trace container, (2) replays to a
+//! byte-identical [`RunStats`](selfstab_runtime::RunStats) and final
+//! configuration, and (3) the binary container is at least 10× smaller
+//! than the same execution serialized as trace JSON.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_analysis::tracecell::{self, TraceCellSpec, DAEMON_PROBABILITY};
+use selfstab_analysis::Workload;
+use selfstab_core::coloring::Coloring;
+use selfstab_runtime::faults::{run_fault_plan, FaultInjector};
+use selfstab_runtime::scheduler::DistributedRandom;
+use selfstab_runtime::{SimOptions, Simulation};
+
+#[test]
+fn ten_thousand_node_trace_replays_byte_identically_and_beats_json_tenfold() {
+    let spec = TraceCellSpec {
+        workload: Workload::Ring(10_000),
+        seed: 0x1CDC5,
+        max_steps: 20_000,
+    };
+    let path =
+        std::env::temp_dir().join(format!("sstb_acceptance_10k_{}.trace", std::process::id()));
+
+    let recorded = tracecell::record(&spec, &path).expect("records the 10k cell");
+    assert!(
+        recorded.recovered,
+        "the cell must re-stabilize within its budget (ran {} steps)",
+        recorded.steps
+    );
+    assert!(recorded.steps > 0);
+
+    let replayed = tracecell::replay(&path).expect("replays without divergence");
+    assert_eq!(replayed.steps, recorded.steps, "step count");
+    assert_eq!(replayed.rounds, recorded.rounds, "round count");
+    assert_eq!(
+        replayed.stats_digest, recorded.stats_digest,
+        "RunStats must replay byte-identically"
+    );
+    assert_eq!(
+        replayed.config_digest, recorded.config_digest,
+        "the final configuration must replay byte-identically"
+    );
+
+    // Rerun the identical scenario with the in-memory trace retained
+    // (recording does not perturb execution, so this is the same run) and
+    // compare the container against its JSON serialization.
+    let graph = spec.workload.build(spec.seed);
+    let mut sim = Simulation::new(
+        &graph,
+        Coloring::new(&graph),
+        DistributedRandom::new(DAEMON_PROBABILITY),
+        spec.seed,
+        SimOptions::default().with_trace(),
+    );
+    let mut injector = FaultInjector::new(&graph);
+    // The cell's fault RNG: the spec seed XOR the salt `tracecell` uses.
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xFA17);
+    run_fault_plan(
+        &mut sim,
+        &spec.plan(),
+        &mut injector,
+        &mut rng,
+        spec.max_steps,
+    );
+    assert_eq!(
+        sim.steps(),
+        recorded.steps,
+        "the JSON-comparison run must be the same execution"
+    );
+    let json = sim.trace().expect("trace retained").to_json();
+    assert!(
+        recorded.trace_bytes.saturating_mul(10) <= json.len() as u64,
+        "binary trace must be >= 10x smaller than JSON: {} * 10 > {}",
+        recorded.trace_bytes,
+        json.len()
+    );
+
+    std::fs::remove_file(&path).ok();
+}

@@ -31,7 +31,8 @@ use rand::SeedableRng;
 use selfstab_core::mis::{Membership, Mis, MisState};
 use selfstab_graph::{generators, Graph, NodeId, Port};
 use selfstab_runtime::scheduler::{CentralRandom, Scheduler, Synchronous};
-use selfstab_runtime::{SimOptions, Simulation};
+use selfstab_runtime::telemetry::TraceHeader;
+use selfstab_runtime::{FileSink, MemorySink, NullSink, SimOptions, Simulation};
 
 const TOPOLOGIES: [&str; 3] = ["ring", "grid", "barabasi-albert"];
 
@@ -165,6 +166,90 @@ fn bench_repair_wave(c: &mut Criterion, workloads: &[Workload]) {
     group.finish();
 }
 
+/// Per-step cost of the telemetry sinks against the tracing-off baseline.
+///
+/// Two shapes: the central random daemon selects one process per step
+/// (records are a handful of bytes — the sparse-daemon shape), and the
+/// synchronous daemon selects every process (records carry `n`
+/// activations — the worst-case shape). `off` runs with no sink at all;
+/// `null-sink` must match it, because `is_recording() == false` makes
+/// the executor skip record construction; `memory-sink` and `file-sink`
+/// pay record building plus varint encoding (plus buffered I/O).
+fn bench_tracing(c: &mut Criterion, workloads: &[Workload]) {
+    let mut group = c.benchmark_group("hot_path/tracing");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(150));
+    group.measurement_time(Duration::from_millis(400));
+
+    let sparse = workloads
+        .iter()
+        .find(|w| w.label == "ring-10000")
+        .expect("ring-10000 exists in every mode");
+    let trace_path =
+        std::env::temp_dir().join(format!("sstb_bench_tracing_{}.trace", std::process::id()));
+    let header = TraceHeader {
+        node_count: sparse.graph.node_count() as u64,
+        seed: 0xFEED,
+        meta: String::from("bench=hot_path/tracing"),
+    };
+
+    let mut sim = stepping_sim(sparse, CentralRandom::new());
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("{}/central-random/off", sparse.label)),
+        &sparse.graph,
+        |b, _| b.iter(|| sim.step().comm_changed),
+    );
+    let mut sim = stepping_sim(sparse, CentralRandom::new());
+    sim.attach_trace_sink(Box::new(NullSink));
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("{}/central-random/null-sink", sparse.label)),
+        &sparse.graph,
+        |b, _| b.iter(|| sim.step().comm_changed),
+    );
+    let mut sim = stepping_sim(sparse, CentralRandom::new());
+    sim.attach_trace_sink(Box::new(MemorySink::new()));
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("{}/central-random/memory-sink", sparse.label)),
+        &sparse.graph,
+        |b, _| b.iter(|| sim.step().comm_changed),
+    );
+    let mut sim = stepping_sim(sparse, CentralRandom::new());
+    let sink = FileSink::create(&trace_path, &header).expect("temp trace file");
+    sim.attach_trace_sink(Box::new(sink));
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("{}/central-random/file-sink", sparse.label)),
+        &sparse.graph,
+        |b, _| b.iter(|| sim.step().comm_changed),
+    );
+
+    // Worst-case record width: every process selected every step.
+    let dense = workloads
+        .iter()
+        .find(|w| w.label == "ring-1000")
+        .expect("ring-1000 exists in every mode");
+    let mut sim = stepping_sim(dense, Synchronous);
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("{}/synchronous/off", dense.label)),
+        &dense.graph,
+        |b, _| b.iter(|| sim.step().comm_changed),
+    );
+    let mut sim = stepping_sim(dense, Synchronous);
+    let header = TraceHeader {
+        node_count: dense.graph.node_count() as u64,
+        seed: 0xFEED,
+        meta: String::from("bench=hot_path/tracing"),
+    };
+    let sink = FileSink::create(&trace_path, &header).expect("temp trace file");
+    sim.attach_trace_sink(Box::new(sink));
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("{}/synchronous/file-sink", dense.label)),
+        &dense.graph,
+        |b, _| b.iter(|| sim.step().comm_changed),
+    );
+    group.finish();
+    std::fs::remove_file(&trace_path).ok();
+}
+
 /// Size of the sharded-executor tier: one million processes (the scale
 /// the intra-step parallelism exists for); `--quick` drops to 10⁵ so the
 /// CI smoke run still exercises the threaded dispatch path without paying
@@ -271,6 +356,7 @@ fn bench_hot_path(c: &mut Criterion) {
     let workloads = workloads();
     bench_silent_stepping(c, &workloads);
     bench_repair_wave(c, &workloads);
+    bench_tracing(c, &workloads);
     bench_sharded(c);
 }
 

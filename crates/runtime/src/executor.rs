@@ -76,6 +76,8 @@ use crate::enabled::EnabledSet;
 use crate::protocol::Protocol;
 use crate::scheduler::{Scheduler, SchedulerContext};
 use crate::stats::{RunStats, StatsShard};
+use crate::telemetry::metrics::{self, StepPhase};
+use crate::telemetry::sink::TraceSink;
 use crate::trace::{ActivationRecord, StepRecord, Trace};
 use crate::view::NeighborView;
 
@@ -229,6 +231,12 @@ pub struct Simulation<'g, P: Protocol, S: Scheduler> {
     config: Vec<P::State>,
     stats: RunStats,
     trace: Option<Trace>,
+    /// Attached telemetry sink, if any: the executor hands it every
+    /// step's record unless it reports
+    /// [`is_recording`](TraceSink::is_recording)` == false` (the
+    /// [`NullSink`](crate::telemetry::NullSink)), in which case the hot
+    /// path is byte-identical to running with no sink at all.
+    sink: Option<Box<dyn TraceSink>>,
     options: SimOptions,
     step: u64,
     rounds: u64,
@@ -390,6 +398,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             config,
             stats: RunStats::new(&degrees),
             trace,
+            sink: None,
             options,
             step: 0,
             rounds: 0,
@@ -487,6 +496,32 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         self.trace.as_ref()
     }
 
+    /// Attaches a telemetry sink; every subsequent step's record is
+    /// streamed into it (replacing any previously attached sink).
+    ///
+    /// Attaching a [`NullSink`](crate::telemetry::NullSink) — or any
+    /// sink whose [`TraceSink::is_recording`] returns `false` — leaves
+    /// the hot path byte-identical to running with no sink: the executor
+    /// checks once per step and skips record construction entirely.
+    pub fn attach_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the telemetry sink, returning it so the owner can seal
+    /// the stream ([`TraceSink::finish`]) with the run's digests.
+    pub fn detach_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Mutable access to the scheduler.
+    ///
+    /// Exists for drivers that feed the scheduler between steps — the
+    /// trace replay driver stages each recorded selection through this
+    /// before stepping ([`crate::telemetry::replay()`]).
+    pub fn scheduler_mut(&mut self) -> &mut S {
+        &mut self.scheduler
+    }
+
     /// Total steps executed so far.
     pub fn steps(&self) -> u64 {
         self.step
@@ -569,6 +604,11 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         if total_dirty == 0 {
             return;
         }
+        // Phase-A metrics: recorded only when the refresh drained work,
+        // so the silent steady state pays one relaxed load and nothing
+        // else.
+        let metrics = metrics::active();
+        let phase_started = metrics.map(|_| std::time::Instant::now());
         let ctx = StepContext {
             graph: self.graph,
             protocol: &self.protocol,
@@ -630,6 +670,10 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         }
         self.guard_evaluations += evaluations;
         self.enabled.apply_count_delta(delta);
+        if let (Some(m), Some(started)) = (metrics, phase_started) {
+            m.phase(StepPhase::GuardRefresh)
+                .record(total_dirty as u64, started.elapsed());
+        }
     }
 
     /// Recomputes the enabled flags of every process from scratch
@@ -691,7 +735,12 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         #[cfg(debug_assertions)]
         self.debug_check_enabled_invariant();
 
+        // One relaxed load per step; `None` (the default) keeps every
+        // phase free of clock reads and metric writes.
+        let metrics = metrics::active();
+
         self.selected_scratch.clear();
+        let phase_started = metrics.map(|_| std::time::Instant::now());
         let ctx = SchedulerContext {
             step: self.step,
             enabled: &self.enabled,
@@ -707,20 +756,26 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             "scheduler {} violated the sorted/duplicate-free selection contract",
             self.scheduler.name()
         );
+        if let (Some(m), Some(started)) = (metrics, phase_started) {
+            m.phase(StepPhase::Selection)
+                .record(self.selected_scratch.len() as u64, started.elapsed());
+        }
 
         // Phase: activation staging, per shard. Every worker evaluates its
         // slice of the selection against the shared pre-step snapshot and
         // stages the resulting updates in its own scratch; nothing global
         // is mutated until the merge below.
-        let tracing = self.options.record_trace;
+        let tracing =
+            self.options.record_trace || self.sink.as_ref().is_some_and(|sink| sink.is_recording());
         // Trace records are the one intentional per-step allocation: the
-        // trace retains them for the lifetime of the simulation, so there
-        // is no buffer to reuse. Off by default.
+        // trace (or an attached sink) consumes them, so there is no
+        // buffer to reuse. Off by default.
         let mut records: Vec<ActivationRecord> = Vec::new();
         if tracing {
             records.reserve(self.selected_scratch.len());
         }
         let step = self.step;
+        let phase_started = metrics.map(|_| std::time::Instant::now());
         let ctx = StepContext {
             graph: self.graph,
             protocol: &self.protocol,
@@ -792,6 +847,11 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
                 comm_changes_delta += task.stats.comm_changes;
             }
         }
+        if let (Some(m), Some(started)) = (metrics, phase_started) {
+            m.phase(StepPhase::Activation)
+                .record(self.selected_scratch.len() as u64, started.elapsed());
+        }
+        let phase_started = metrics.map(|_| std::time::Instant::now());
         // Merge phase, sequential and in shard order — deterministic
         // regardless of which worker ran which shard when. Apply all staged
         // updates simultaneously, maintaining the communication cache and
@@ -831,11 +891,26 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
                 records.append(&mut self.shards[s].records);
             }
         }
-        if let Some(trace) = &mut self.trace {
-            trace.push(StepRecord {
+        // Phase-D metrics fold here, at the same barrier where the
+        // per-shard stats deltas were merged above: the phase counters
+        // observe the same deterministic merge point as `RunStats`.
+        if let (Some(m), Some(started)) = (metrics, phase_started) {
+            m.phase(StepPhase::Merge)
+                .record(self.executed_scratch.len() as u64, started.elapsed());
+        }
+        if tracing {
+            let record = StepRecord {
                 step: self.step,
                 activations: records,
-            });
+            };
+            if let Some(sink) = &mut self.sink {
+                if sink.is_recording() {
+                    sink.record_step(&record);
+                }
+            }
+            if let Some(trace) = &mut self.trace {
+                trace.push(record);
+            }
         }
 
         self.step += 1;

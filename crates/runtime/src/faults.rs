@@ -532,7 +532,12 @@ where
         let offset = sim.steps() - start_step;
         while next_event < plan.events.len() && plan.events[next_event].at_step <= offset {
             let model = plan.events[next_event].model;
+            let metrics = crate::telemetry::metrics::active();
+            let injection_started = metrics.map(|_| std::time::Instant::now());
             let victims = injector.inject(sim, model, rng).len();
+            if let (Some(m), Some(started)) = (metrics, injection_started) {
+                m.record_fault_injection(victims as u64, started.elapsed());
+            }
             telemetry.injections.push(InjectionRecord {
                 step: sim.steps(),
                 round: sim.rounds(),

@@ -23,7 +23,11 @@
 //!   configuration and maintains the [`EnabledSet`]
 //!   across steps, re-evaluating a guard only when the process or a
 //!   neighbor changed — `O(changes·Δ)` per step instead of `O(n·Δ)` (see
-//!   the [`executor`] module documentation).
+//!   the [`executor`] module documentation),
+//! * [`telemetry`] streams per-step records to disk in a compact binary
+//!   format, replays recorded runs with step-by-step verification, and
+//!   exposes per-phase runtime metrics — all strictly
+//!   pay-for-what-you-use.
 //!
 //! # Example
 //!
@@ -99,6 +103,7 @@ pub mod probes;
 pub mod protocol;
 pub mod scheduler;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod view;
 
@@ -110,5 +115,9 @@ pub use faults::{
 pub use protocol::Protocol;
 pub use scheduler::Scheduler;
 pub use stats::RunStats;
+pub use telemetry::{
+    FileSink, MemorySink, NullSink, ReplayScheduler, TraceFileReader, TraceFooter, TraceHeader,
+    TraceSink,
+};
 pub use trace::{StepRecord, Trace};
 pub use view::NeighborView;

@@ -315,6 +315,51 @@ impl RunStats {
     pub fn last_comm_change_step(&self) -> Option<u64> {
         self.latest_comm_change_step
     }
+
+    /// A platform-independent 64-bit digest of every field, stored in
+    /// trace footers so a replay in another process can check
+    /// byte-identity without the recording run's memory (in-process
+    /// comparisons just use `==`).
+    ///
+    /// Two stats stores compare equal iff they digest equal (modulo FNV
+    /// collisions): the digest folds every scalar, every CSR offset and
+    /// every port flag in a canonical order, with `Option`s encoded as a
+    /// presence bit before the value.
+    pub fn digest(&self) -> u64 {
+        let mut fnv = crate::telemetry::Fnv64::new();
+        let write_opt = |fnv: &mut crate::telemetry::Fnv64, value: Option<u64>| {
+            fnv.write_bool(value.is_some());
+            fnv.write_u64(value.unwrap_or(0));
+        };
+        fnv.write_u64(self.steps);
+        fnv.write_u64(self.rounds);
+        write_opt(&mut fnv, self.suffix_marker_step);
+        fnv.write_u64(self.total_reads);
+        fnv.write_u64(self.total_comm_change_count);
+        write_opt(&mut fnv, self.latest_comm_change_step);
+        fnv.write_usize(self.per_process.len());
+        for stats in &self.per_process {
+            fnv.write_u64(stats.selections);
+            fnv.write_u64(stats.activations);
+            fnv.write_usize(stats.max_reads_per_activation);
+            fnv.write_u64(stats.total_read_operations);
+            fnv.write_u64(stats.read_operations_since_marker);
+            fnv.write_u64(stats.selections_since_marker);
+            fnv.write_usize(stats.max_reads_per_activation_since_marker);
+            fnv.write_u64(stats.comm_changes);
+            write_opt(&mut fnv, stats.last_comm_change_step);
+        }
+        for &offset in &self.port_offsets {
+            fnv.write_u64(u64::from(offset));
+        }
+        for &flag in &self.ports_read_ever {
+            fnv.write_bool(flag);
+        }
+        for &flag in &self.ports_read_since_marker {
+            fnv.write_bool(flag);
+        }
+        fnv.finish()
+    }
 }
 
 /// A splitter handing out disjoint per-shard recording windows over a

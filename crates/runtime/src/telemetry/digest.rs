@@ -1,0 +1,80 @@
+//! Order-sensitive 64-bit digests for replay verification.
+//!
+//! Record/replay equality is checked twice: in memory via `PartialEq` on
+//! [`RunStats`](crate::stats::RunStats) and the configuration, and across
+//! process boundaries (a trace file replayed by a later invocation) via
+//! the digests stored in the trace footer. The digest is FNV-1a over a
+//! canonical little-endian byte stream, so it is platform-independent
+//! and stable across runs — but it is *not* cryptographic; it detects
+//! divergence, not tampering.
+
+/// Incremental FNV-1a hasher over a canonical `u64` stream.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// Creates a hasher in the standard FNV-1a offset state.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Folds one `u64` into the digest as 8 little-endian bytes.
+    pub fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `usize` (canonicalized to `u64`).
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Folds a boolean as 0 or 1.
+    pub fn write_bool(&mut self, value: bool) {
+        self.write_u64(u64::from(value));
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_sensitive_and_deterministic() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Fnv64::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn empty_digest_is_the_fnv_offset() {
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,47 @@
+//! Observability: compact binary trace capture/replay and runtime
+//! metrics.
+//!
+//! The in-memory [`Trace`](crate::trace::Trace) retains every record it
+//! sees, which caps it at runs that fit in RAM; this module scales the
+//! same per-step observability to million-node, million-step runs:
+//!
+//! * [`wire`] — the delta-encoded, varint-packed binary format for
+//!   [`StepRecord`](crate::trace::StepRecord)s (a few bytes per
+//!   activation instead of tens of JSON bytes).
+//! * [`sink`] — the [`TraceSink`] trait the executor streams records
+//!   into, with [`NullSink`] (zero-cost default), [`MemorySink`],
+//!   [`FileSink`] and the matching [`TraceFileReader`].
+//! * [`replay()`] — drives a fresh [`Simulation`](crate::Simulation) by a
+//!   recorded step stream and verifies every step against the
+//!   recording; divergence is a reportable artifact, byte-identical
+//!   [`RunStats`](crate::stats::RunStats) and configuration are the
+//!   acceptance check.
+//! * [`metrics`] — process-global lock-free counters and log-bucketed
+//!   duration histograms for the four executor phases, fault
+//!   injections and campaign cells.
+//! * [`digest`] — the FNV-1a digests stored in trace footers so a
+//!   replay in another process can verify without the original run's
+//!   memory.
+//!
+//! Capture is strictly pay-for-what-you-use: with no sink attached (or
+//! the [`NullSink`]) and metrics disabled, the executor's hot path is
+//! unchanged — zero steady-state allocations, no record construction,
+//! one relaxed atomic load per step (enforced by the `zero_alloc`
+//! integration test and the `hot_path` bench group).
+
+pub mod digest;
+pub mod metrics;
+pub mod replay;
+pub mod sink;
+pub mod wire;
+
+pub use digest::Fnv64;
+pub use metrics::{MetricsRegistry, StepPhase};
+pub use replay::{
+    replay, replay_with, DivergenceKind, ReplayDivergence, ReplayOutcome, ReplayScheduler,
+};
+pub use sink::{
+    FileSink, MemorySink, NullSink, TraceFileReader, TraceFooter, TraceHeader, TraceReadError,
+    TraceSink,
+};
+pub use wire::WireError;

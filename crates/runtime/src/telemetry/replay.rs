@@ -1,0 +1,286 @@
+//! Trace replay: drive a fresh [`Simulation`] by a recorded step stream
+//! and verify that the execution reproduces step by step.
+//!
+//! # Determinism guarantee
+//!
+//! A simulation's observable execution is a pure function of `(graph,
+//! protocol, construction seed, options, scheduler decisions, external
+//! state writes)`. A trace records the scheduler decisions (the selected
+//! set of every step); [`replay_with`] re-runs the simulation with a
+//! [`ReplayScheduler`] that emits exactly those selections, and the
+//! caller-supplied hook reproduces external writes (fault injections)
+//! keyed on the step counter. Everything else — activation RNG streams
+//! (derived from `(seed, step, process)`), guard evaluation, the merge
+//! order — is deterministic, so the replayed run must match the
+//! recording in every observable: executed sets, comm-change flags,
+//! [`RunStats`], final configuration. Any mismatch is reported as a
+//! [`ReplayDivergence`] naming the first step that differed — a
+//! shareable anomaly artifact rather than a silent wrong answer.
+
+use selfstab_graph::{Graph, NodeId};
+
+use crate::executor::{SimOptions, Simulation};
+use crate::protocol::Protocol;
+use crate::scheduler::{Scheduler, SchedulerContext};
+use crate::stats::RunStats;
+use crate::trace::StepRecord;
+
+/// Scheduler that replays recorded selections staged one step at a time.
+///
+/// The replay driver stages each record's selection before stepping; a
+/// step without a staged selection panics (it would mean the driver and
+/// the executor disagree about how many steps remain).
+#[derive(Debug, Default)]
+pub struct ReplayScheduler {
+    staged: Vec<NodeId>,
+}
+
+impl ReplayScheduler {
+    /// Creates a scheduler with no staged selection.
+    pub fn new() -> Self {
+        ReplayScheduler::default()
+    }
+
+    /// Stages the selection for the next step.
+    pub fn stage(&mut self, selection: &[NodeId]) {
+        self.staged.clear();
+        self.staged.extend_from_slice(selection);
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn select(
+        &mut self,
+        _ctx: &SchedulerContext<'_>,
+        _rng: &mut dyn rand::RngCore,
+        out: &mut Vec<NodeId>,
+    ) {
+        assert!(
+            !self.staged.is_empty(),
+            "ReplayScheduler stepped without a staged selection \
+             (drive it through telemetry::replay, not run_until_silent)"
+        );
+        out.append(&mut self.staged);
+    }
+}
+
+/// How a replayed step differed from its recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// The record's step index does not match the simulation's counter.
+    StepIndex,
+    /// The recorded selection violates the scheduler contract (empty,
+    /// unsorted, duplicated, or out of range) — a corrupt trace.
+    Selection,
+    /// The set of processes that executed differs.
+    Executed,
+    /// The step's comm-changed flag differs.
+    CommChanged,
+    /// The full step record differs (deep comparison, only performed
+    /// when the replay simulation records its own trace).
+    TraceRecord,
+}
+
+impl DivergenceKind {
+    /// Stable snake_case name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DivergenceKind::StepIndex => "step_index",
+            DivergenceKind::Selection => "selection",
+            DivergenceKind::Executed => "executed",
+            DivergenceKind::CommChanged => "comm_changed",
+            DivergenceKind::TraceRecord => "trace_record",
+        }
+    }
+}
+
+/// First observed mismatch between a recording and its replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayDivergence {
+    /// Step index (the recording's) at which the mismatch was observed.
+    pub step: u64,
+    /// What differed.
+    pub kind: DivergenceKind,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ReplayDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "replay diverged at step {} ({}): {}",
+            self.step,
+            self.kind.name(),
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for ReplayDivergence {}
+
+/// Result of a successful replay.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome<State> {
+    /// The replayed run's aggregated statistics.
+    pub stats: RunStats,
+    /// The replayed run's final configuration.
+    pub config: Vec<State>,
+    /// Number of steps replayed.
+    pub steps: u64,
+}
+
+/// Replays `records` through a fresh simulation, with a `hook` invoked
+/// before every step (and once more after the last) to reproduce
+/// external state writes — fault injections keyed on
+/// [`Simulation::steps`].
+///
+/// `graph`, `protocol`, `seed` and `options` must match the recorded
+/// run's construction, and the trace must have been recorded from the
+/// run's first step (the first record must carry step index 0). Each
+/// step is verified against its record (executed set and comm-changed
+/// flag; additionally the full record when `options.record_trace` is
+/// set); the first mismatch aborts the replay with a
+/// [`ReplayDivergence`]. The final-state checks ([`RunStats`] equality
+/// or digest, configuration equality or digest) are the caller's: this
+/// driver returns both in the [`ReplayOutcome`].
+pub fn replay_with<'g, P, I, F>(
+    graph: &'g Graph,
+    protocol: P,
+    seed: u64,
+    options: SimOptions,
+    records: I,
+    mut hook: F,
+) -> Result<ReplayOutcome<P::State>, Box<ReplayDivergence>>
+where
+    P: Protocol,
+    I: IntoIterator<Item = StepRecord>,
+    F: FnMut(&mut Simulation<'g, P, ReplayScheduler>),
+{
+    let mut sim = Simulation::new(graph, protocol, ReplayScheduler::new(), seed, options);
+    let n = graph.node_count();
+    for record in records {
+        if record.step != sim.steps() {
+            return Err(Box::new(ReplayDivergence {
+                step: record.step,
+                kind: DivergenceKind::StepIndex,
+                detail: format!(
+                    "record carries step {} but the simulation is at step {}",
+                    record.step,
+                    sim.steps()
+                ),
+            }));
+        }
+        if let Some(detail) = selection_contract_violation(&record, n) {
+            return Err(Box::new(ReplayDivergence {
+                step: record.step,
+                kind: DivergenceKind::Selection,
+                detail,
+            }));
+        }
+
+        hook(&mut sim);
+
+        let selection: Vec<NodeId> = record.activations.iter().map(|a| a.process).collect();
+        sim.scheduler_mut().stage(&selection);
+        let outcome = sim.step();
+
+        let recorded_executed = record
+            .activations
+            .iter()
+            .filter(|a| a.executed)
+            .map(|a| a.process);
+        if !recorded_executed
+            .clone()
+            .eq(sim.last_executed().iter().copied())
+        {
+            return Err(Box::new(ReplayDivergence {
+                step: record.step,
+                kind: DivergenceKind::Executed,
+                detail: format!(
+                    "recorded executed set {:?} but the replay executed {:?}",
+                    recorded_executed.collect::<Vec<_>>(),
+                    sim.last_executed()
+                ),
+            }));
+        }
+        if outcome.comm_changed != record.any_comm_changed() {
+            return Err(Box::new(ReplayDivergence {
+                step: record.step,
+                kind: DivergenceKind::CommChanged,
+                detail: format!(
+                    "recorded comm_changed={} but the replay observed {}",
+                    record.any_comm_changed(),
+                    outcome.comm_changed
+                ),
+            }));
+        }
+        if let Some(trace) = sim.trace() {
+            let replayed = trace.steps().last().expect("trace holds the step just run");
+            if *replayed != record {
+                return Err(Box::new(ReplayDivergence {
+                    step: record.step,
+                    kind: DivergenceKind::TraceRecord,
+                    detail: format!(
+                        "recorded step record {record:?} but the replay produced {replayed:?}"
+                    ),
+                }));
+            }
+        }
+    }
+    // One trailing hook call: a recording may end with an external write
+    // (e.g. a fault injected right before the run went silent or hit its
+    // step budget) that is part of the final configuration.
+    hook(&mut sim);
+
+    let steps = sim.steps();
+    let (config, stats, _) = sim.into_parts();
+    Ok(ReplayOutcome {
+        stats,
+        config,
+        steps,
+    })
+}
+
+/// [`replay_with`] for recordings without external state writes.
+pub fn replay<P, I>(
+    graph: &Graph,
+    protocol: P,
+    seed: u64,
+    options: SimOptions,
+    records: I,
+) -> Result<ReplayOutcome<P::State>, Box<ReplayDivergence>>
+where
+    P: Protocol,
+    I: IntoIterator<Item = StepRecord>,
+{
+    replay_with(graph, protocol, seed, options, records, |_| {})
+}
+
+/// Checks a record's selection against the scheduler contract; returns a
+/// description of the first violation.
+fn selection_contract_violation(record: &StepRecord, node_count: usize) -> Option<String> {
+    if record.activations.is_empty() {
+        return Some("recorded selection is empty".to_string());
+    }
+    let mut prev: Option<NodeId> = None;
+    for activation in &record.activations {
+        let p = activation.process;
+        if p.index() >= node_count {
+            return Some(format!(
+                "recorded selection names process {p} but the graph has {node_count} processes"
+            ));
+        }
+        if prev.is_some_and(|q| q >= p) {
+            return Some(format!(
+                "recorded selection is not strictly increasing at process {p}"
+            ));
+        }
+        prev = Some(p);
+    }
+    None
+}

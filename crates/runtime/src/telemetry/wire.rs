@@ -1,0 +1,539 @@
+//! Compact binary wire format for step records.
+//!
+//! One [`StepRecord`] is encoded as:
+//!
+//! ```text
+//! step      : zigzag varint delta from the previous record's step
+//!             (the first record in a stream encodes its step absolutely)
+//! count     : varint, number of activations
+//! processes : `count` zigzag varint deltas between consecutive process
+//!             ids (first absolute); the executor emits selections in
+//!             strictly increasing id order, so gaps are small and
+//!             usually one byte
+//! executed  : ceil(count / 8) bytes, bit i = activation i executed
+//! comm      : ceil(count / 8) bytes, bit i = activation i changed its
+//!             communication state
+//! reads     : per activation, a varint tag followed by the payload:
+//!             tag = 1            — no reads
+//!             tag = 2 * m (m>0)  — port bitmap of `m` bytes (used only
+//!                                  when the reads are strictly
+//!                                  ascending, so decoding preserves
+//!                                  the recorded order)
+//!             tag = 2 * r + 1    — list of `r` ports as zigzag varint
+//!                                  deltas (first absolute), preserving
+//!                                  first-read order
+//! ```
+//!
+//! The codec is lossless for *arbitrary* records (steps may go backwards,
+//! processes may repeat, reads may arrive in any order): delta encoding
+//! uses wrapping zigzag differences, and the bitmap form is only chosen
+//! when it is both valid (strictly ascending reads) and smaller than the
+//! list form. Encoding a record produced by the executor therefore costs
+//! a handful of bytes per activation instead of the tens of bytes of its
+//! JSON rendering.
+
+use selfstab_graph::{NodeId, Port};
+
+use crate::trace::{ActivationRecord, StepRecord};
+
+/// Decoding error: the input is truncated or structurally malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended in the middle of a record.
+    UnexpectedEof {
+        /// Byte offset at which more input was expected.
+        offset: usize,
+    },
+    /// A varint ran past 10 bytes or a field held an impossible value.
+    Malformed {
+        /// Byte offset of the offending field.
+        offset: usize,
+        /// What the decoder was reading.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnexpectedEof { offset } => {
+                write!(f, "trace stream truncated at byte {offset}")
+            }
+            WireError::Malformed { offset, what } => {
+                write!(f, "malformed {what} at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends `value` to `buf` as an LEB128 varint (7 bits per byte, low
+/// bits first, high bit of each byte marks continuation).
+pub fn put_varint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `input` at `*pos`, advancing the cursor.
+pub fn read_varint(input: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let start = *pos;
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = input
+            .get(*pos)
+            .ok_or(WireError::UnexpectedEof { offset: *pos })?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(WireError::Malformed {
+                offset: start,
+                what: "varint (overflows u64)",
+            });
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::Malformed {
+                offset: start,
+                what: "varint (longer than 10 bytes)",
+            });
+        }
+    }
+}
+
+/// Maps a signed delta onto an unsigned varint-friendly value
+/// (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...).
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends the wrapping difference `to - from` as a zigzag varint.
+fn put_delta(buf: &mut Vec<u8>, from: u64, to: u64) {
+    put_varint(buf, zigzag(to.wrapping_sub(from) as i64));
+}
+
+/// Reads a zigzag varint delta and applies it to `from` (wrapping).
+fn read_delta(input: &[u8], pos: &mut usize, from: u64) -> Result<u64, WireError> {
+    let delta = read_varint(input, pos)?;
+    Ok(from.wrapping_add(unzigzag(delta) as u64))
+}
+
+/// Number of bytes the zigzag varint of `to - from` occupies.
+fn delta_len(from: u64, to: u64) -> usize {
+    let v = zigzag(to.wrapping_sub(from) as i64);
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7)
+}
+
+/// Returns `Some(bitmap_bytes)` when `reads` is strictly ascending, i.e.
+/// eligible for the bitmap form (the bitmap's natural decode order is
+/// ascending, so only then does it reproduce the recorded order).
+fn bitmap_len(reads: &[Port]) -> Option<usize> {
+    let mut prev: Option<usize> = None;
+    for port in reads {
+        if prev.is_some_and(|p| p >= port.index()) {
+            return None;
+        }
+        prev = Some(port.index());
+    }
+    prev.map(|max| max / 8 + 1)
+}
+
+/// Byte cost of the list form of `reads` (excluding the tag).
+fn list_len(reads: &[Port]) -> usize {
+    let mut prev = 0u64;
+    let mut total = 0;
+    for port in reads {
+        total += delta_len(prev, port.index() as u64);
+        prev = port.index() as u64;
+    }
+    total
+}
+
+/// Encodes `record` into `buf`, delta-coding the step index against
+/// `prev_step` (`None` for the first record of a stream).
+pub fn encode_step(buf: &mut Vec<u8>, prev_step: Option<u64>, record: &StepRecord) {
+    match prev_step {
+        None => put_varint(buf, record.step),
+        Some(prev) => put_delta(buf, prev, record.step),
+    }
+    put_varint(buf, record.activations.len() as u64);
+
+    let mut prev_process = 0u64;
+    for activation in &record.activations {
+        put_delta(buf, prev_process, activation.process.index() as u64);
+        prev_process = activation.process.index() as u64;
+    }
+
+    push_bitset(buf, record.activations.iter().map(|a| a.executed));
+    push_bitset(buf, record.activations.iter().map(|a| a.comm_changed));
+
+    for activation in &record.activations {
+        encode_reads(buf, &activation.reads);
+    }
+}
+
+/// Packs a sequence of flags into bytes, 8 flags per byte, LSB first.
+fn push_bitset(buf: &mut Vec<u8>, flags: impl Iterator<Item = bool>) {
+    let mut byte = 0u8;
+    let mut filled = 0u8;
+    for flag in flags {
+        byte |= u8::from(flag) << filled;
+        filled += 1;
+        if filled == 8 {
+            buf.push(byte);
+            byte = 0;
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        buf.push(byte);
+    }
+}
+
+/// Encodes one activation's read set: bitmap when ascending *and*
+/// smaller, varint delta list otherwise.
+fn encode_reads(buf: &mut Vec<u8>, reads: &[Port]) {
+    if reads.is_empty() {
+        put_varint(buf, 1);
+        return;
+    }
+    let list = list_len(reads);
+    if let Some(bitmap) = bitmap_len(reads) {
+        // Compare full costs (tag included) and prefer the bitmap on
+        // ties: it decodes without per-port varint work.
+        let bitmap_cost = delta_len(0, 2 * bitmap as u64) + bitmap;
+        let list_cost = delta_len(0, (2 * reads.len() + 1) as u64) + list;
+        if bitmap_cost <= list_cost {
+            put_varint(buf, 2 * bitmap as u64);
+            let start = buf.len();
+            buf.resize(start + bitmap, 0);
+            for port in reads {
+                buf[start + port.index() / 8] |= 1 << (port.index() % 8);
+            }
+            return;
+        }
+    }
+    put_varint(buf, (2 * reads.len() + 1) as u64);
+    let mut prev = 0u64;
+    for port in reads {
+        put_delta(buf, prev, port.index() as u64);
+        prev = port.index() as u64;
+    }
+}
+
+/// Decodes one step record from `input` at `*pos`, advancing the cursor.
+///
+/// `prev_step` must be the step index of the previously decoded record
+/// (`None` for the first), mirroring [`encode_step`].
+pub fn decode_step(
+    input: &[u8],
+    pos: &mut usize,
+    prev_step: Option<u64>,
+) -> Result<StepRecord, WireError> {
+    let step = match prev_step {
+        None => read_varint(input, pos)?,
+        Some(prev) => read_delta(input, pos, prev)?,
+    };
+    let count_offset = *pos;
+    let count = read_varint(input, pos)? as usize;
+    // Each activation costs at least 2 bytes (process delta + reads tag)
+    // plus its bitset bits; reject counts the input cannot possibly hold
+    // before allocating.
+    if count > input.len().saturating_sub(*pos) {
+        return Err(WireError::Malformed {
+            offset: count_offset,
+            what: "activation count (exceeds remaining input)",
+        });
+    }
+
+    let mut activations = Vec::with_capacity(count);
+    let mut prev_process = 0u64;
+    for _ in 0..count {
+        let offset = *pos;
+        let id = read_delta(input, pos, prev_process)?;
+        prev_process = id;
+        if id > NodeId::MAX_INDEX as u64 {
+            return Err(WireError::Malformed {
+                offset,
+                what: "process id (exceeds NodeId::MAX_INDEX)",
+            });
+        }
+        activations.push(ActivationRecord {
+            process: NodeId::new(id as usize),
+            executed: false,
+            reads: Vec::new(),
+            comm_changed: false,
+        });
+    }
+
+    read_bitset(input, pos, count, |i, flag| activations[i].executed = flag)?;
+    read_bitset(input, pos, count, |i, flag| {
+        activations[i].comm_changed = flag;
+    })?;
+
+    for activation in &mut activations {
+        activation.reads = decode_reads(input, pos)?;
+    }
+
+    Ok(StepRecord { step, activations })
+}
+
+/// Reads a `count`-bit bitset written by [`push_bitset`].
+fn read_bitset(
+    input: &[u8],
+    pos: &mut usize,
+    count: usize,
+    mut apply: impl FnMut(usize, bool),
+) -> Result<(), WireError> {
+    let bytes = count.div_ceil(8);
+    let slice = input
+        .get(*pos..*pos + bytes)
+        .ok_or(WireError::UnexpectedEof {
+            offset: input.len(),
+        })?;
+    for i in 0..count {
+        apply(i, slice[i / 8] >> (i % 8) & 1 == 1);
+    }
+    *pos += bytes;
+    Ok(())
+}
+
+/// Decodes one activation's read set written by `encode_reads`.
+fn decode_reads(input: &[u8], pos: &mut usize) -> Result<Vec<Port>, WireError> {
+    let tag_offset = *pos;
+    let tag = read_varint(input, pos)?;
+    if tag == 0 {
+        return Err(WireError::Malformed {
+            offset: tag_offset,
+            what: "reads tag (reserved value 0)",
+        });
+    }
+    if tag == 1 {
+        return Ok(Vec::new());
+    }
+    if tag % 2 == 0 {
+        // Bitmap form: `tag / 2` bytes, set bits are the port indices.
+        let bytes = (tag / 2) as usize;
+        let slice = input
+            .get(*pos..*pos + bytes)
+            .ok_or(WireError::UnexpectedEof {
+                offset: input.len(),
+            })?;
+        let mut reads = Vec::new();
+        for (i, &byte) in slice.iter().enumerate() {
+            let mut bits = byte;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                reads.push(Port::new(i * 8 + bit));
+                bits &= bits - 1;
+            }
+        }
+        *pos += bytes;
+        Ok(reads)
+    } else {
+        // List form: `(tag - 1) / 2` zigzag varint deltas.
+        let count_offset = tag_offset;
+        let count = ((tag - 1) / 2) as usize;
+        if count > input.len().saturating_sub(*pos) {
+            return Err(WireError::Malformed {
+                offset: count_offset,
+                what: "reads count (exceeds remaining input)",
+            });
+        }
+        let mut reads = Vec::with_capacity(count);
+        let mut prev = 0u64;
+        for _ in 0..count {
+            let offset = *pos;
+            let port = read_delta(input, pos, prev)?;
+            prev = port;
+            if port > usize::MAX as u64 {
+                return Err(WireError::Malformed {
+                    offset,
+                    what: "port index (exceeds usize)",
+                });
+            }
+            reads.push(Port::new(port as usize));
+        }
+        Ok(reads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, value);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Ok(value));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert!(matches!(
+            read_varint(&[0x80], &mut pos),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        // 10 continuation bytes followed by a value overflowing bit 63.
+        let overlong = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut pos = 0;
+        assert!(matches!(
+            read_varint(&overlong, &mut pos),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    fn record(step: u64, entries: &[(usize, bool, &[usize], bool)]) -> StepRecord {
+        StepRecord {
+            step,
+            activations: entries
+                .iter()
+                .map(|&(p, executed, reads, comm_changed)| ActivationRecord {
+                    process: NodeId::new(p),
+                    executed,
+                    reads: reads.iter().map(|&r| Port::new(r)).collect(),
+                    comm_changed,
+                })
+                .collect(),
+        }
+    }
+
+    fn round_trip(records: &[StepRecord]) {
+        let mut buf = Vec::new();
+        let mut prev = None;
+        for r in records {
+            encode_step(&mut buf, prev, r);
+            prev = Some(r.step);
+        }
+        let mut pos = 0;
+        let mut prev = None;
+        for r in records {
+            let decoded = decode_step(&buf, &mut pos, prev).expect("decodes");
+            assert_eq!(&decoded, r);
+            prev = Some(decoded.step);
+        }
+        assert_eq!(pos, buf.len(), "decoder consumed the whole stream");
+    }
+
+    #[test]
+    fn step_round_trip_covers_both_read_forms() {
+        round_trip(&[
+            record(0, &[]),
+            record(1, &[(0, true, &[], false)]),
+            // Ascending wide read set: dense enough for the bitmap form.
+            record(2, &[(3, true, &[0, 1, 2, 3, 4, 5, 6, 7, 9, 10, 11], true)]),
+            // Out-of-order reads must stay in first-read order.
+            record(3, &[(7, false, &[5, 2, 9, 0], false)]),
+            // Sparse ascending reads: list form wins over a wide bitmap.
+            record(4, &[(2, true, &[1, 900], true)]),
+        ]);
+    }
+
+    #[test]
+    fn step_round_trip_u32_boundary_ids_and_step_jumps() {
+        round_trip(&[
+            record(u64::MAX - 1, &[(NodeId::MAX_INDEX, true, &[0], true)]),
+            // Step index goes *backwards*; zigzag wrapping handles it.
+            record(
+                3,
+                &[
+                    (0, false, &[], false),
+                    (NodeId::MAX_INDEX, true, &[1], false),
+                ],
+            ),
+            record(u64::MAX, &[]),
+        ]);
+    }
+
+    #[test]
+    fn executor_shaped_records_cost_a_few_bytes_per_activation() {
+        // 64 consecutive processes, 1 read each: the shape a silent
+        // synchronous step produces under a 1-efficient protocol.
+        let entries: Vec<(usize, bool, Vec<usize>, bool)> =
+            (0..64).map(|p| (p, false, vec![0usize], false)).collect();
+        let borrowed: Vec<(usize, bool, &[usize], bool)> = entries
+            .iter()
+            .map(|(p, e, r, c)| (*p, *e, r.as_slice(), *c))
+            .collect();
+        let rec = record(17, &borrowed);
+        let mut buf = Vec::new();
+        encode_step(&mut buf, Some(16), &rec);
+        assert!(
+            buf.len() <= 4 * rec.activations.len(),
+            "expected a few bytes per activation, got {} bytes for {}",
+            buf.len(),
+            rec.activations.len()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_implausible_activation_count() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 0); // step
+        put_varint(&mut buf, u32::MAX as u64); // absurd count, no payload
+        let mut pos = 0;
+        assert!(matches!(
+            decode_step(&buf, &mut pos, None),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_process_id() {
+        let rec = record(0, &[(0, true, &[], false)]);
+        let mut buf = Vec::new();
+        encode_step(&mut buf, None, &rec);
+        // Patch the process delta to encode u32::MAX + 1.
+        let mut patched = Vec::new();
+        put_varint(&mut patched, 0); // step
+        put_varint(&mut patched, 1); // count
+        put_varint(&mut patched, zigzag((NodeId::MAX_INDEX as i64) + 1));
+        patched.push(0); // executed bitset
+        patched.push(0); // comm bitset
+        put_varint(&mut patched, 1); // empty reads
+        let mut pos = 0;
+        assert!(matches!(
+            decode_step(&patched, &mut pos, None),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests over the telemetry wire format and the trace
+//! accumulators.
+//!
+//! * Arbitrary [`StepRecord`] sequences — empty steps, backwards step
+//!   jumps, duplicate and unsorted process ids, maximum-degree read
+//!   lists, `u32`-boundary node ids — must round-trip byte-exactly
+//!   through [`MemorySink`]'s delta/varint encoding.
+//! * [`Trace::stable_process_count`]'s single-pass accumulation must
+//!   agree with the original per-process re-scan (reimplemented naively
+//!   here) on arbitrary traces.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selfstab_graph::{NodeId, Port};
+use selfstab_runtime::trace::{ActivationRecord, StepRecord, Trace};
+use selfstab_runtime::MemorySink;
+use selfstab_runtime::TraceSink;
+
+/// Builds a deterministic, deliberately adversarial record sequence from
+/// one sampled seed. The shapes this must cover (the proptest stub only
+/// supports range strategies, so the structure comes from an inner RNG):
+///
+/// * empty steps (no activations),
+/// * step indices that jump backwards and forwards (zigzag deltas),
+/// * unsorted, duplicated process ids (including `NodeId::MAX_INDEX`),
+/// * ascending read lists (bitmap encoding) and shuffled/duplicated read
+///   lists (delta-list encoding), up to max-degree width.
+fn arbitrary_records(seed: u64, steps: usize) -> Vec<StepRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut step = rng.gen_range(0..1_000u64);
+    let mut records = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        // Jump forwards usually, backwards sometimes, occasionally to an
+        // extreme index.
+        step = match rng.gen_range(0..10u32) {
+            0 => step.wrapping_sub(rng.gen_range(0..50u64)),
+            1 => u64::MAX - rng.gen_range(0..3u64),
+            _ => step.wrapping_add(rng.gen_range(0..9u64)),
+        };
+        let activation_count = match rng.gen_range(0..8u32) {
+            0 | 1 => 0, // empty steps are common under sparse daemons
+            2 => rng.gen_range(1..40usize),
+            _ => rng.gen_range(1..6usize),
+        };
+        let mut activations = Vec::with_capacity(activation_count);
+        for _ in 0..activation_count {
+            let process = match rng.gen_range(0..12u32) {
+                0 => NodeId::MAX_INDEX,
+                1 => NodeId::MAX_INDEX - rng.gen_range(1..4usize),
+                2 if !activations.is_empty() => {
+                    // Duplicate an earlier process id (unsorted repeat).
+                    let prev: &ActivationRecord = &activations[0];
+                    prev.process.index()
+                }
+                _ => rng.gen_range(0..64usize),
+            };
+            let reads = match rng.gen_range(0..6u32) {
+                // Strictly ascending → bitmap-eligible.
+                0 => {
+                    let len = rng.gen_range(0..16usize);
+                    let mut port = 0usize;
+                    (0..len)
+                        .map(|_| {
+                            port += rng.gen_range(1..5usize);
+                            Port::new(port)
+                        })
+                        .collect()
+                }
+                // Max-degree wide, descending first-touch order.
+                1 => {
+                    let degree = rng.gen_range(200..600usize);
+                    (0..degree).rev().map(Port::new).collect()
+                }
+                // Short list with duplicates, arbitrary order.
+                2 | 3 => {
+                    let len = rng.gen_range(1..10usize);
+                    (0..len)
+                        .map(|_| Port::new(rng.gen_range(0..7usize)))
+                        .collect()
+                }
+                _ => Vec::new(),
+            };
+            activations.push(ActivationRecord {
+                process: NodeId::new(process),
+                executed: rng.gen_bool(0.5),
+                reads,
+                comm_changed: rng.gen_bool(0.3),
+            });
+        }
+        records.push(StepRecord { step, activations });
+    }
+    records
+}
+
+/// The historical `stable_process_count`: rebuild each process's suffix
+/// read set independently with a linear `contains` probe, then count.
+fn naive_stable_process_count(trace: &Trace, n: usize, k: usize, from_step: u64) -> usize {
+    (0..n)
+        .filter(|&p| {
+            let mut ports: Vec<Port> = Vec::new();
+            for record in trace.steps() {
+                if record.step < from_step {
+                    continue;
+                }
+                for activation in &record.activations {
+                    if activation.process.index() != p {
+                        continue;
+                    }
+                    for &port in &activation.reads {
+                        if !ports.contains(&port) {
+                            ports.push(port);
+                        }
+                    }
+                }
+            }
+            ports.len() <= k
+        })
+        .count()
+}
+
+/// Builds a trace whose activations stay within `n` processes *except*
+/// for a few out-of-range ids, which `stable_process_count` must skip.
+fn arbitrary_trace(seed: u64, steps: usize, n: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Trace::new();
+    for step in 0..steps as u64 {
+        let activation_count = rng.gen_range(0..4usize);
+        let activations = (0..activation_count)
+            .map(|_| {
+                let reads_len = rng.gen_range(0..5usize);
+                ActivationRecord {
+                    // n + 3 occasionally lands out of range — those
+                    // activations must not contribute to any count.
+                    process: NodeId::new(rng.gen_range(0..n + 3)),
+                    executed: rng.gen_bool(0.7),
+                    reads: (0..reads_len)
+                        .map(|_| Port::new(rng.gen_range(0..6usize)))
+                        .collect(),
+                    comm_changed: rng.gen_bool(0.2),
+                }
+            })
+            .collect();
+        trace.push(StepRecord { step, activations });
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_round_trips_arbitrary_record_sequences(
+        seed in 0u64..1_000_000,
+        steps in 0usize..40,
+    ) {
+        let records = arbitrary_records(seed, steps);
+        let mut sink = MemorySink::new();
+        for record in &records {
+            sink.record_step(record);
+        }
+        prop_assert_eq!(sink.steps(), records.len() as u64);
+        let decoded = sink.decode_all().expect("generated streams are well-formed");
+        prop_assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn stable_process_count_matches_naive_rescan(
+        seed in 0u64..1_000_000,
+        steps in 0usize..30,
+        n in 1usize..12,
+        k in 0usize..8,
+        from_step in 0u64..20,
+    ) {
+        let trace = arbitrary_trace(seed, steps, n);
+        prop_assert_eq!(
+            trace.stable_process_count(n, k, from_step),
+            naive_stable_process_count(&trace, n, k, from_step)
+        );
+    }
+}

@@ -10,7 +10,11 @@
 //!
 //! The one deliberate exception is trace recording (`record_trace`), which
 //! retains per-step records and therefore allocates by design; it stays off
-//! here, as it is in every large-scale experiment.
+//! here, as it is in every large-scale experiment. The telemetry layer's
+//! default configuration — a [`NullSink`] attached, metrics disabled — is
+//! part of the enforced regime: the sink's `is_recording() == false` makes
+//! the executor skip record construction entirely, so attaching it must be
+//! indistinguishable from attaching nothing.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -239,6 +243,55 @@ fn assert_zero_alloc_steady_state<S: Scheduler>(graph: &Graph, scheduler: S, dae
     );
 }
 
+/// The telemetry default regime: a [`NullSink`] attached and metrics
+/// disabled must leave the steady state allocation-free — the sink
+/// reports `is_recording() == false`, so the executor never builds step
+/// records, and the disabled metrics registry costs one relaxed load.
+fn assert_zero_alloc_with_null_sink(graph: &Graph) {
+    assert!(
+        !selfstab_runtime::telemetry::metrics::enabled(),
+        "this binary never enables metrics; the regime below relies on it"
+    );
+    let mut sim = Simulation::new(
+        graph,
+        MinValue,
+        DistributedRandom::new(0.3),
+        42,
+        SimOptions::default(),
+    );
+    // The attach itself boxes the sink — that single allocation happens
+    // here, before the measured window.
+    sim.attach_trace_sink(Box::new(selfstab_runtime::NullSink));
+
+    let report = sim.run_until_silent(500_000);
+    assert!(report.silent, "null-sink: MinValue must stabilize");
+    for round in 0..5u32 {
+        sim.set_state(
+            NodeId::new((7 * round as usize + 1) % graph.node_count()),
+            0,
+        );
+        sim.run_steps(100);
+    }
+
+    let before = allocation_count();
+    sim.run_steps(2_000);
+    for round in 0..10u32 {
+        sim.set_state(
+            NodeId::new((3 * round as usize + 2) % graph.node_count()),
+            0,
+        );
+        sim.run_steps(50);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "null-sink steady state allocated {} times (the executor must skip \
+         record construction when the sink is not recording)",
+        after - before
+    );
+}
+
 /// Drives the sharded executor with `workers > 1` through the steady-state
 /// regimes and asserts that **worker threads** never allocate.
 ///
@@ -325,6 +378,9 @@ fn steady_state_step_performs_zero_heap_allocations() {
     );
     let locally_central = LocallyCentral::new(&grid, 0.4);
     assert_zero_alloc_steady_state(&grid, locally_central, "locally-central/grid");
+
+    // Telemetry default configuration: NullSink attached, metrics off.
+    assert_zero_alloc_with_null_sink(&ring);
 
     // Parallel steady-state regime: the sharded executor with k > 1
     // workers must keep its worker threads allocation-free. A bigger ring
