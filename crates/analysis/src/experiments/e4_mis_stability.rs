@@ -61,7 +61,7 @@ pub fn cell(
                 return CellOutcome::Timeout;
             }
             let dominated = sim
-                .config()
+                .config_vec()
                 .iter()
                 .filter(|s| s.status == Membership::Dominated)
                 .count();

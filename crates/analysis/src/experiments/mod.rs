@@ -55,6 +55,12 @@ pub struct ExperimentConfig {
     /// tests set it to `0` so that even the small quick-suite graphs run
     /// the threaded path; outcomes are identical either way.
     pub parallel_work_threshold: usize,
+    /// Store per-node state in the struct-of-arrays layout
+    /// ([`SimOptions::with_soa_layout`](selfstab_runtime::SimOptions::with_soa_layout)).
+    /// Observably identical to the default rows — like `step_workers`, this
+    /// only changes footprint and wall-clock time, so tables stay
+    /// byte-identical with the flag on or off.
+    pub soa_layout: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -67,6 +73,7 @@ impl Default for ExperimentConfig {
             step_workers: 1,
             parallel_work_threshold: selfstab_runtime::SimOptions::default()
                 .parallel_work_threshold,
+            soa_layout: false,
         }
     }
 }
@@ -108,14 +115,26 @@ impl ExperimentConfig {
         self
     }
 
+    /// Switches every simulation to the struct-of-arrays state store.
+    #[must_use]
+    pub fn with_soa_layout(mut self) -> Self {
+        self.soa_layout = true;
+        self
+    }
+
     /// The [`SimOptions`](selfstab_runtime::SimOptions) every experiment
     /// cell starts from: defaults plus this configuration's intra-step
     /// parallelism knobs. Experiments layer their own settings (check
     /// interval, read restrictions) on top with the usual builder methods.
     pub fn sim_options(&self) -> selfstab_runtime::SimOptions {
-        selfstab_runtime::SimOptions::default()
+        let options = selfstab_runtime::SimOptions::default()
             .with_step_workers(self.step_workers)
-            .with_parallel_work_threshold(self.parallel_work_threshold)
+            .with_parallel_work_threshold(self.parallel_work_threshold);
+        if self.soa_layout {
+            options.with_soa_layout()
+        } else {
+            options
+        }
     }
 }
 

@@ -350,14 +350,138 @@ fn bench_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+/// Size tiers of the struct-of-arrays comparison: the scales the columnar
+/// layout exists for. `--quick` drops to 10⁵ so the CI smoke run still
+/// walks both layouts without stabilizing ten-million-process systems.
+fn soa_sizes() -> &'static [usize] {
+    if criterion::quick_mode() {
+        &[100_000]
+    } else {
+        &[1_000_000, 10_000_000]
+    }
+}
+
+/// Array-of-structs vs struct-of-arrays at n ∈ {10⁶, 10⁷} on ring
+/// (constant degree) and Barabási–Albert (heavy-tailed degrees).
+///
+/// Each workload is stabilized once; both layouts then step the identical
+/// pre-silent configuration, so the `layout=aos` and `layout=soa` rows
+/// time the same observable work (`soa_step_equivalence` pins the
+/// executions byte-identical). The measured per-node heap footprint of
+/// each layout is printed to stderr — `MisState`/`MisComm` decompose into
+/// one `u32` column plus one bit per node, an 8× reduction over the
+/// padded 16-byte structs.
+fn bench_soa(c: &mut Criterion) {
+    let mut workloads = Vec::new();
+    for topo in ["ring", "barabasi-albert"] {
+        for &n in soa_sizes() {
+            let graph = topology(topo, n);
+            let mut sim = Simulation::new(
+                &graph,
+                Mis::with_greedy_coloring(&graph),
+                Synchronous,
+                0xC0FFEE,
+                SimOptions::default(),
+            );
+            let report = sim.run_until_silent(10_000 + 200 * graph.node_count() as u64);
+            assert!(report.silent, "MIS must stabilize before the benchmark");
+            let (config, _, _) = sim.into_parts();
+            workloads.push(Workload {
+                label: format!("{topo}-{n}"),
+                graph,
+                config,
+            });
+        }
+    }
+
+    let layouts = [
+        ("aos", SimOptions::default()),
+        ("soa", SimOptions::default().with_soa_layout()),
+    ];
+
+    let mut group = c.benchmark_group("hot_path/soa_stepping");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(150));
+    group.measurement_time(Duration::from_millis(400));
+    for workload in &workloads {
+        for (layout, options) in &layouts {
+            let mut sim = Simulation::with_config(
+                &workload.graph,
+                Mis::with_greedy_coloring(&workload.graph),
+                Synchronous,
+                workload.config.clone(),
+                0xFEED,
+                options.clone(),
+            );
+            let n = workload.graph.node_count() as f64;
+            let (state_bytes, comm_bytes) = sim.store_heap_bytes();
+            eprintln!(
+                "soa-footprint {}/layout={layout}: state {:.2} B/node, comm {:.2} B/node",
+                workload.label,
+                state_bytes as f64 / n,
+                comm_bytes as f64 / n,
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!(
+                    "{}/synchronous/layout={layout}",
+                    workload.label
+                )),
+                &workload.graph,
+                |b, _| b.iter(|| sim.step().comm_changed),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hot_path/soa_repair_wave");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(150));
+    group.measurement_time(Duration::from_millis(400));
+    for workload in &workloads {
+        for (layout, options) in &layouts {
+            let mut sim = Simulation::with_config(
+                &workload.graph,
+                Mis::with_greedy_coloring(&workload.graph),
+                CentralRandom::enabled_only(),
+                workload.config.clone(),
+                0xFEED,
+                options.clone(),
+            );
+            let victim = NodeId::new(workload.graph.node_count() / 2);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{}/layout={layout}", workload.label)),
+                &workload.graph,
+                |b, _| {
+                    b.iter(|| {
+                        sim.set_state(
+                            victim,
+                            MisState {
+                                status: Membership::Dominator,
+                                cur: Port::new(0),
+                            },
+                        );
+                        for _ in 0..8 {
+                            sim.step();
+                        }
+                        sim.steps()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Entry point: stabilize every workload once, then run both scenarios
-/// over the shared configurations, then the million-node sharded tier.
+/// over the shared configurations, then the million-node sharded tier,
+/// then the layout comparison at the 10⁶/10⁷ tiers.
 fn bench_hot_path(c: &mut Criterion) {
     let workloads = workloads();
     bench_silent_stepping(c, &workloads);
     bench_repair_wave(c, &workloads);
     bench_tracing(c, &workloads);
     bench_sharded(c);
+    bench_soa(c);
 }
 
 criterion_group!(benches, bench_hot_path);

@@ -24,6 +24,7 @@ use rand::RngCore;
 use selfstab_graph::{verify, Graph, NodeId, Port};
 use selfstab_runtime::protocol::{bits_for_domain, Protocol};
 use selfstab_runtime::view::NeighborView;
+use selfstab_runtime::StateStore;
 use serde::{Deserialize, Serialize};
 
 /// Full state of a process running [`Coloring`].
@@ -155,6 +156,26 @@ impl Protocol for Coloring {
     // closed, and once it holds action 1 is never enabled again, so the
     // communication variables are fixed). The default implementation of
     // `is_silent_config` is therefore exact.
+
+    fn is_legitimate_store(&self, graph: &Graph, config: &StateStore<ColoringState>) -> bool {
+        match config.as_slice() {
+            Some(rows) => self.is_legitimate(graph, rows),
+            // Streaming mirror of `verify::is_proper_coloring` over the
+            // columns: no 10⁷-row materialization per check.
+            None => {
+                config.len() == graph.node_count()
+                    && graph.edges().all(|(p, q)| {
+                        config.with_row(p.index(), |a| a.color)
+                            != config.with_row(q.index(), |b| b.color)
+                    })
+            }
+        }
+    }
+
+    fn is_silent_store(&self, graph: &Graph, config: &StateStore<ColoringState>) -> bool {
+        // Silent ⇔ legitimate (Lemma 1), in either layout.
+        self.is_legitimate_store(graph, config)
+    }
 }
 
 /// The paper's communication-complexity figure for `COLORING`

@@ -1,0 +1,620 @@
+//! Struct-of-arrays column layouts for the core protocol state types.
+//!
+//! Every `Protocol::State` / `Protocol::Comm` in this crate implements
+//! [`SoaState`], naming a [`StateColumns`] decomposition used when a
+//! simulation opts into the columnar store
+//! (`SimOptions::with_soa_layout`). The decompositions narrow each field to
+//! its actual domain:
+//!
+//! * `usize` counters bounded by `n`, `Δ + 1` or the distance cap become
+//!   `Vec<u32>` (4 bytes instead of 8),
+//! * [`Port`] pointers become `Vec<u32>` (a port index never exceeds the
+//!   degree),
+//! * `Option<Port>` becomes `Vec<u32>` with `u32::MAX` as the `None`
+//!   sentinel,
+//! * `bool` and two-variant enums ([`Membership`]) become a [`BitColumn`]
+//!   (one bit per node).
+//!
+//! Narrowing panics if a value ever exceeds the `u32` range — impossible for
+//! in-domain states (ports and distances are bounded by `n < 2³²`) and loud
+//! rather than silent for corrupted ones. The struct types remain the only
+//! API: rows are decoded at the access site and encoded back on write, so
+//! the protocols themselves are layout-oblivious.
+
+use selfstab_graph::{BitColumn, Port};
+use selfstab_runtime::{SoaState, StateColumns};
+
+use crate::baselines::matching::BaselineMatchingState;
+use crate::coloring::ColoringState;
+use crate::matching::{MatchingComm, MatchingState};
+use crate::mis::{Membership, MisComm, MisState};
+use crate::spanning::bfs_tree::BfsState;
+use crate::spanning::leader_election::{LeaderComm, LeaderElectionState};
+use crate::transformer::CheckerState;
+
+/// Narrows a `usize` field to its `u32` column cell.
+fn narrow(value: usize) -> u32 {
+    u32::try_from(value).expect("column value exceeds the u32 range")
+}
+
+/// Encodes a [`Port`] into a `u32` column cell.
+fn port_cell(port: Port) -> u32 {
+    narrow(port.index())
+}
+
+/// Encodes an `Option<Port>` into a `u32` cell; `u32::MAX` is `None`.
+fn opt_port_cell(port: Option<Port>) -> u32 {
+    match port {
+        Some(port) => {
+            let cell = port_cell(port);
+            assert_ne!(cell, u32::MAX, "port index collides with the None sentinel");
+            cell
+        }
+        None => u32::MAX,
+    }
+}
+
+/// Decodes an `Option<Port>` from its sentinel encoding.
+fn opt_port_row(cell: u32) -> Option<Port> {
+    (cell != u32::MAX).then(|| Port::new(cell as usize))
+}
+
+fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
+/// Columns of [`ColoringState`]: `color` (`usize` → u32) and `cur`
+/// (`Port` → u32). 8 bytes per node instead of 16.
+#[derive(Debug, Clone)]
+pub struct ColoringColumns {
+    color: Vec<u32>,
+    cur: Vec<u32>,
+}
+
+impl StateColumns<ColoringState> for ColoringColumns {
+    fn from_slice(rows: &[ColoringState]) -> Self {
+        ColoringColumns {
+            color: rows.iter().map(|s| narrow(s.color)).collect(),
+            cur: rows.iter().map(|s| port_cell(s.cur)).collect(),
+        }
+    }
+    fn len(&self) -> usize {
+        self.color.len()
+    }
+    fn get(&self, i: usize) -> ColoringState {
+        ColoringState {
+            color: self.color[i] as usize,
+            cur: Port::new(self.cur[i] as usize),
+        }
+    }
+    fn set(&mut self, i: usize, value: &ColoringState) {
+        self.color[i] = narrow(value.color);
+        self.cur[i] = port_cell(value.cur);
+    }
+    fn heap_bytes(&self) -> usize {
+        vec_bytes(&self.color) + vec_bytes(&self.cur)
+    }
+}
+
+impl SoaState for ColoringState {
+    type Columns = ColoringColumns;
+    const COLUMNAR: bool = true;
+}
+
+/// Column of bare [`Membership`] values (the baseline MIS state): one bit
+/// per node, `Dominator` = 1.
+#[derive(Debug, Clone)]
+pub struct MembershipColumn {
+    status: BitColumn,
+}
+
+fn membership_bit(status: Membership) -> bool {
+    status == Membership::Dominator
+}
+
+fn membership_row(bit: bool) -> Membership {
+    if bit {
+        Membership::Dominator
+    } else {
+        Membership::Dominated
+    }
+}
+
+impl StateColumns<Membership> for MembershipColumn {
+    fn from_slice(rows: &[Membership]) -> Self {
+        MembershipColumn {
+            status: BitColumn::from_fn(rows.len(), |i| membership_bit(rows[i])),
+        }
+    }
+    fn len(&self) -> usize {
+        self.status.len()
+    }
+    fn get(&self, i: usize) -> Membership {
+        membership_row(self.status.get(i))
+    }
+    fn set(&mut self, i: usize, value: &Membership) {
+        self.status.set(i, membership_bit(*value));
+    }
+    fn heap_bytes(&self) -> usize {
+        self.status.heap_bytes()
+    }
+}
+
+impl SoaState for Membership {
+    type Columns = MembershipColumn;
+    const COLUMNAR: bool = true;
+}
+
+/// Columns of [`MisState`]: `status` (1 bit) and `cur` (u32) — 4 bytes plus
+/// one bit per node instead of 16 bytes.
+#[derive(Debug, Clone)]
+pub struct MisStateColumns {
+    status: BitColumn,
+    cur: Vec<u32>,
+}
+
+impl StateColumns<MisState> for MisStateColumns {
+    fn from_slice(rows: &[MisState]) -> Self {
+        MisStateColumns {
+            status: BitColumn::from_fn(rows.len(), |i| membership_bit(rows[i].status)),
+            cur: rows.iter().map(|s| port_cell(s.cur)).collect(),
+        }
+    }
+    fn len(&self) -> usize {
+        self.cur.len()
+    }
+    fn get(&self, i: usize) -> MisState {
+        MisState {
+            status: membership_row(self.status.get(i)),
+            cur: Port::new(self.cur[i] as usize),
+        }
+    }
+    fn set(&mut self, i: usize, value: &MisState) {
+        self.status.set(i, membership_bit(value.status));
+        self.cur[i] = port_cell(value.cur);
+    }
+    fn heap_bytes(&self) -> usize {
+        self.status.heap_bytes() + vec_bytes(&self.cur)
+    }
+}
+
+impl SoaState for MisState {
+    type Columns = MisStateColumns;
+    const COLUMNAR: bool = true;
+}
+
+/// Columns of [`MisComm`]: `status` (1 bit) and the color constant (u32).
+#[derive(Debug, Clone)]
+pub struct MisCommColumns {
+    status: BitColumn,
+    color: Vec<u32>,
+}
+
+impl StateColumns<MisComm> for MisCommColumns {
+    fn from_slice(rows: &[MisComm]) -> Self {
+        MisCommColumns {
+            status: BitColumn::from_fn(rows.len(), |i| membership_bit(rows[i].status)),
+            color: rows.iter().map(|s| narrow(s.color)).collect(),
+        }
+    }
+    fn len(&self) -> usize {
+        self.color.len()
+    }
+    fn get(&self, i: usize) -> MisComm {
+        MisComm {
+            status: membership_row(self.status.get(i)),
+            color: self.color[i] as usize,
+        }
+    }
+    fn set(&mut self, i: usize, value: &MisComm) {
+        self.status.set(i, membership_bit(value.status));
+        self.color[i] = narrow(value.color);
+    }
+    fn heap_bytes(&self) -> usize {
+        self.status.heap_bytes() + vec_bytes(&self.color)
+    }
+}
+
+impl SoaState for MisComm {
+    type Columns = MisCommColumns;
+    const COLUMNAR: bool = true;
+}
+
+/// Columns of [`MatchingState`]: `married` (1 bit), `pr`
+/// (`Option<Port>` → u32 with `u32::MAX` = `None`), `cur` (u32).
+#[derive(Debug, Clone)]
+pub struct MatchingStateColumns {
+    married: BitColumn,
+    pr: Vec<u32>,
+    cur: Vec<u32>,
+}
+
+impl StateColumns<MatchingState> for MatchingStateColumns {
+    fn from_slice(rows: &[MatchingState]) -> Self {
+        MatchingStateColumns {
+            married: BitColumn::from_fn(rows.len(), |i| rows[i].married),
+            pr: rows.iter().map(|s| opt_port_cell(s.pr)).collect(),
+            cur: rows.iter().map(|s| port_cell(s.cur)).collect(),
+        }
+    }
+    fn len(&self) -> usize {
+        self.cur.len()
+    }
+    fn get(&self, i: usize) -> MatchingState {
+        MatchingState {
+            married: self.married.get(i),
+            pr: opt_port_row(self.pr[i]),
+            cur: Port::new(self.cur[i] as usize),
+        }
+    }
+    fn set(&mut self, i: usize, value: &MatchingState) {
+        self.married.set(i, value.married);
+        self.pr[i] = opt_port_cell(value.pr);
+        self.cur[i] = port_cell(value.cur);
+    }
+    fn heap_bytes(&self) -> usize {
+        self.married.heap_bytes() + vec_bytes(&self.pr) + vec_bytes(&self.cur)
+    }
+}
+
+impl SoaState for MatchingState {
+    type Columns = MatchingStateColumns;
+    const COLUMNAR: bool = true;
+}
+
+/// Columns of [`MatchingComm`]: `married` (1 bit), `pr` (sentinel u32) and
+/// the color constant (u32).
+#[derive(Debug, Clone)]
+pub struct MatchingCommColumns {
+    married: BitColumn,
+    pr: Vec<u32>,
+    color: Vec<u32>,
+}
+
+impl StateColumns<MatchingComm> for MatchingCommColumns {
+    fn from_slice(rows: &[MatchingComm]) -> Self {
+        MatchingCommColumns {
+            married: BitColumn::from_fn(rows.len(), |i| rows[i].married),
+            pr: rows.iter().map(|s| opt_port_cell(s.pr)).collect(),
+            color: rows.iter().map(|s| narrow(s.color)).collect(),
+        }
+    }
+    fn len(&self) -> usize {
+        self.color.len()
+    }
+    fn get(&self, i: usize) -> MatchingComm {
+        MatchingComm {
+            married: self.married.get(i),
+            pr: opt_port_row(self.pr[i]),
+            color: self.color[i] as usize,
+        }
+    }
+    fn set(&mut self, i: usize, value: &MatchingComm) {
+        self.married.set(i, value.married);
+        self.pr[i] = opt_port_cell(value.pr);
+        self.color[i] = narrow(value.color);
+    }
+    fn heap_bytes(&self) -> usize {
+        self.married.heap_bytes() + vec_bytes(&self.pr) + vec_bytes(&self.color)
+    }
+}
+
+impl SoaState for MatchingComm {
+    type Columns = MatchingCommColumns;
+    const COLUMNAR: bool = true;
+}
+
+/// Columns of [`BfsState`]: `dist` (bounded by the cap `n`) and `parent`
+/// port, both u32 — 8 bytes per node instead of 16.
+#[derive(Debug, Clone)]
+pub struct BfsColumns {
+    dist: Vec<u32>,
+    parent: Vec<u32>,
+}
+
+impl StateColumns<BfsState> for BfsColumns {
+    fn from_slice(rows: &[BfsState]) -> Self {
+        BfsColumns {
+            dist: rows.iter().map(|s| narrow(s.dist)).collect(),
+            parent: rows.iter().map(|s| port_cell(s.parent)).collect(),
+        }
+    }
+    fn len(&self) -> usize {
+        self.dist.len()
+    }
+    fn get(&self, i: usize) -> BfsState {
+        BfsState {
+            dist: self.dist[i] as usize,
+            parent: Port::new(self.parent[i] as usize),
+        }
+    }
+    fn set(&mut self, i: usize, value: &BfsState) {
+        self.dist[i] = narrow(value.dist);
+        self.parent[i] = port_cell(value.parent);
+    }
+    fn heap_bytes(&self) -> usize {
+        vec_bytes(&self.dist) + vec_bytes(&self.parent)
+    }
+}
+
+impl SoaState for BfsState {
+    type Columns = BfsColumns;
+    const COLUMNAR: bool = true;
+}
+
+/// Columns of [`LeaderElectionState`]: the 64-bit leader claim plus three
+/// u32 columns — 20 bytes per node instead of 32.
+#[derive(Debug, Clone)]
+pub struct LeaderStateColumns {
+    leader: Vec<u64>,
+    dist: Vec<u32>,
+    parent: Vec<u32>,
+    cur: Vec<u32>,
+}
+
+impl StateColumns<LeaderElectionState> for LeaderStateColumns {
+    fn from_slice(rows: &[LeaderElectionState]) -> Self {
+        LeaderStateColumns {
+            leader: rows.iter().map(|s| s.leader).collect(),
+            dist: rows.iter().map(|s| narrow(s.dist)).collect(),
+            parent: rows.iter().map(|s| port_cell(s.parent)).collect(),
+            cur: rows.iter().map(|s| port_cell(s.cur)).collect(),
+        }
+    }
+    fn len(&self) -> usize {
+        self.leader.len()
+    }
+    fn get(&self, i: usize) -> LeaderElectionState {
+        LeaderElectionState {
+            leader: self.leader[i],
+            dist: self.dist[i] as usize,
+            parent: Port::new(self.parent[i] as usize),
+            cur: Port::new(self.cur[i] as usize),
+        }
+    }
+    fn set(&mut self, i: usize, value: &LeaderElectionState) {
+        self.leader[i] = value.leader;
+        self.dist[i] = narrow(value.dist);
+        self.parent[i] = port_cell(value.parent);
+        self.cur[i] = port_cell(value.cur);
+    }
+    fn heap_bytes(&self) -> usize {
+        vec_bytes(&self.leader)
+            + vec_bytes(&self.dist)
+            + vec_bytes(&self.parent)
+            + vec_bytes(&self.cur)
+    }
+}
+
+impl SoaState for LeaderElectionState {
+    type Columns = LeaderStateColumns;
+    const COLUMNAR: bool = true;
+}
+
+/// Columns of [`LeaderComm`]: two 64-bit identifier columns plus the u32
+/// distance claim — 20 bytes per node instead of 24.
+#[derive(Debug, Clone)]
+pub struct LeaderCommColumns {
+    id: Vec<u64>,
+    leader: Vec<u64>,
+    dist: Vec<u32>,
+}
+
+impl StateColumns<LeaderComm> for LeaderCommColumns {
+    fn from_slice(rows: &[LeaderComm]) -> Self {
+        LeaderCommColumns {
+            id: rows.iter().map(|s| s.id).collect(),
+            leader: rows.iter().map(|s| s.leader).collect(),
+            dist: rows.iter().map(|s| narrow(s.dist)).collect(),
+        }
+    }
+    fn len(&self) -> usize {
+        self.id.len()
+    }
+    fn get(&self, i: usize) -> LeaderComm {
+        LeaderComm {
+            id: self.id[i],
+            leader: self.leader[i],
+            dist: self.dist[i] as usize,
+        }
+    }
+    fn set(&mut self, i: usize, value: &LeaderComm) {
+        self.id[i] = value.id;
+        self.leader[i] = value.leader;
+        self.dist[i] = narrow(value.dist);
+    }
+    fn heap_bytes(&self) -> usize {
+        vec_bytes(&self.id) + vec_bytes(&self.leader) + vec_bytes(&self.dist)
+    }
+}
+
+impl SoaState for LeaderComm {
+    type Columns = LeaderCommColumns;
+    const COLUMNAR: bool = true;
+}
+
+/// Columns of [`CheckerState`]: the output's own columns plus the u32
+/// round-robin pointer. Columnar exactly when the output type is.
+#[derive(Debug, Clone)]
+pub struct CheckerColumns<O: SoaState> {
+    output: O::Columns,
+    cur: Vec<u32>,
+}
+
+impl<O> StateColumns<CheckerState<O>> for CheckerColumns<O>
+where
+    O: SoaState + std::fmt::Debug + PartialEq,
+{
+    fn from_slice(rows: &[CheckerState<O>]) -> Self {
+        let outputs: Vec<O> = rows.iter().map(|s| s.output.clone()).collect();
+        CheckerColumns {
+            output: O::Columns::from_slice(&outputs),
+            cur: rows.iter().map(|s| port_cell(s.cur)).collect(),
+        }
+    }
+    fn len(&self) -> usize {
+        self.cur.len()
+    }
+    fn get(&self, i: usize) -> CheckerState<O> {
+        CheckerState {
+            output: self.output.get(i),
+            cur: Port::new(self.cur[i] as usize),
+        }
+    }
+    fn set(&mut self, i: usize, value: &CheckerState<O>) {
+        self.output.set(i, &value.output);
+        self.cur[i] = port_cell(value.cur);
+    }
+    fn heap_bytes(&self) -> usize {
+        self.output.heap_bytes() + vec_bytes(&self.cur)
+    }
+}
+
+impl<O> SoaState for CheckerState<O>
+where
+    O: SoaState + std::fmt::Debug + PartialEq,
+{
+    type Columns = CheckerColumns<O>;
+    const COLUMNAR: bool = O::COLUMNAR;
+}
+
+// The Δ-efficient baseline matching state has no hot-path use at columnar
+// scale; it keeps row storage under either layout (the documented fallback).
+selfstab_runtime::aos_state!(BaselineMatchingState);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfstab_runtime::StateStore;
+
+    #[test]
+    fn coloring_columns_roundtrip() {
+        let rows: Vec<ColoringState> = (0..130)
+            .map(|i| ColoringState {
+                color: i % 7,
+                cur: Port::new(i % 3),
+            })
+            .collect();
+        let store = StateStore::from_vec(rows.clone(), true);
+        assert!(store.is_soa());
+        assert_eq!(store.to_vec(), rows);
+        assert!(store.heap_bytes() <= rows.len() * 8 + 64);
+    }
+
+    #[test]
+    fn matching_columns_roundtrip_with_sentinel() {
+        let rows: Vec<MatchingState> = (0..97)
+            .map(|i| MatchingState {
+                married: i % 3 == 0,
+                pr: (i % 2 == 0).then(|| Port::new(i % 5)),
+                cur: Port::new(i % 4),
+            })
+            .collect();
+        let mut store = StateStore::from_vec(rows.clone(), true);
+        assert!(store.is_soa());
+        assert_eq!(store.to_vec(), rows);
+        let flipped = MatchingState {
+            married: true,
+            pr: None,
+            cur: Port::new(1),
+        };
+        store.set(42, &flipped);
+        assert_eq!(store.get(42), flipped);
+    }
+
+    #[test]
+    fn mis_and_membership_columns_roundtrip() {
+        let rows: Vec<MisState> = (0..70)
+            .map(|i| MisState {
+                status: if i % 3 == 0 {
+                    Membership::Dominator
+                } else {
+                    Membership::Dominated
+                },
+                cur: Port::new(i % 6),
+            })
+            .collect();
+        let store = StateStore::from_vec(rows.clone(), true);
+        assert_eq!(store.to_vec(), rows);
+
+        let statuses: Vec<Membership> = rows.iter().map(|s| s.status).collect();
+        let store = StateStore::from_vec(statuses.clone(), true);
+        assert!(store.is_soa());
+        assert_eq!(store.to_vec(), statuses);
+
+        let comms: Vec<MisComm> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, s)| MisComm {
+                status: s.status,
+                color: i % 4,
+            })
+            .collect();
+        let store = StateStore::from_vec(comms.clone(), true);
+        assert_eq!(store.to_vec(), comms);
+    }
+
+    #[test]
+    fn spanning_columns_roundtrip() {
+        let bfs: Vec<BfsState> = (0..50)
+            .map(|i| BfsState {
+                dist: i * 2,
+                parent: Port::new(i % 3),
+            })
+            .collect();
+        let store = StateStore::from_vec(bfs.clone(), true);
+        assert_eq!(store.to_vec(), bfs);
+
+        let leaders: Vec<LeaderElectionState> = (0..50)
+            .map(|i| LeaderElectionState {
+                leader: i as u64 * 31,
+                dist: i,
+                parent: Port::new(i % 2),
+                cur: Port::new(i % 5),
+            })
+            .collect();
+        let store = StateStore::from_vec(leaders.clone(), true);
+        assert_eq!(store.to_vec(), leaders);
+
+        let comms: Vec<LeaderComm> = (0..50)
+            .map(|i| LeaderComm {
+                id: i as u64,
+                leader: (i / 2) as u64,
+                dist: i,
+            })
+            .collect();
+        let store = StateStore::from_vec(comms.clone(), true);
+        assert_eq!(store.to_vec(), comms);
+    }
+
+    #[test]
+    fn checker_columns_follow_the_output_layout() {
+        let rows: Vec<CheckerState<usize>> = (0..40)
+            .map(|i| CheckerState {
+                output: i * 3,
+                cur: Port::new(i % 2),
+            })
+            .collect();
+        let store = StateStore::from_vec(rows.clone(), true);
+        assert!(store.is_soa(), "usize outputs are columnar");
+        assert_eq!(store.to_vec(), rows);
+
+        // Non-columnar output type keeps rows.
+        let rows: Vec<CheckerState<(usize, bool)>> = vec![CheckerState {
+            output: (1, true),
+            cur: Port::new(0),
+        }];
+        let store = StateStore::from_vec(rows.clone(), true);
+        assert!(!store.is_soa());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 range")]
+    fn narrowing_a_corrupt_value_panics() {
+        let rows = vec![ColoringState {
+            color: u32::MAX as usize + 1,
+            cur: Port::new(0),
+        }];
+        let _ = ColoringColumns::from_slice(&rows);
+    }
+}

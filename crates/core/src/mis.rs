@@ -31,6 +31,7 @@ use selfstab_graph::coloring::LocalColoring;
 use selfstab_graph::{longest_path, verify, Graph, NodeId, Port};
 use selfstab_runtime::protocol::{bits_for_domain, Protocol};
 use selfstab_runtime::view::NeighborView;
+use selfstab_runtime::StateStore;
 use serde::{Deserialize, Serialize};
 
 /// The membership communication variable `S.p`.
@@ -238,20 +239,58 @@ impl Protocol for Mis {
     }
 
     fn is_silent_config(&self, graph: &Graph, config: &[MisState]) -> bool {
-        // A configuration is silent iff no continuation can ever change an
-        // S variable:
-        //  * a Dominator must have no Dominator neighbor (its round-robin
-        //    scan would otherwise eventually trigger action 1 on one of the
-        //    two),
-        //  * a dominated process must currently point at a Dominator of
-        //    smaller color (otherwise action 2 is enabled right now).
+        self.silent_by(graph, |i| config[i])
+    }
+
+    fn is_legitimate_store(&self, graph: &Graph, config: &StateStore<MisState>) -> bool {
+        match config.as_slice() {
+            Some(rows) => self.is_legitimate(graph, rows),
+            // Streaming mirror of `verify::is_maximal_independent_set` over
+            // the columns: no edge joins two Dominators, and every Dominated
+            // process has a Dominator neighbor.
+            None => {
+                let status = |i: usize| config.with_row(i, |s| s.status);
+                config.len() == graph.node_count()
+                    && graph.edges().all(|(p, q)| {
+                        !(status(p.index()) == Membership::Dominator
+                            && status(q.index()) == Membership::Dominator)
+                    })
+                    && graph.nodes().all(|p| {
+                        status(p.index()) == Membership::Dominator
+                            || graph
+                                .neighbors(p)
+                                .any(|q| status(q.index()) == Membership::Dominator)
+                    })
+            }
+        }
+    }
+
+    fn is_silent_store(&self, graph: &Graph, config: &StateStore<MisState>) -> bool {
+        match config.as_slice() {
+            Some(rows) => self.is_silent_config(graph, rows),
+            None => self.silent_by(graph, |i| config.get(i)),
+        }
+    }
+}
+
+impl Mis {
+    /// The silence predicate, reading rows through `get` so slices and
+    /// columnar stores share one implementation.
+    ///
+    /// A configuration is silent iff no continuation can ever change an
+    /// S variable:
+    /// * a Dominator must have no Dominator neighbor (its round-robin scan
+    ///   would otherwise eventually trigger action 1 on one of the two),
+    /// * a dominated process must currently point at a Dominator of smaller
+    ///   color (otherwise action 2 is enabled right now).
+    fn silent_by(&self, graph: &Graph, get: impl Fn(usize) -> MisState) -> bool {
         for p in graph.nodes() {
-            let state = &config[p.index()];
+            let state = get(p.index());
             match state.status {
                 Membership::Dominator => {
                     if graph
                         .neighbors(p)
-                        .any(|q| config[q.index()].status == Membership::Dominator)
+                        .any(|q| get(q.index()).status == Membership::Dominator)
                     {
                         return false;
                     }
@@ -263,7 +302,7 @@ impl Protocol for Mis {
                     }
                     let cur = state.cur.clamp_to_degree(degree);
                     let q = graph.neighbor(p, cur);
-                    let justified = config[q.index()].status == Membership::Dominator
+                    let justified = get(q.index()).status == Membership::Dominator
                         && self.color(q) < self.color(p);
                     if !justified {
                         return false;

@@ -75,11 +75,12 @@ use serde::{Deserialize, Serialize};
 use crate::enabled::EnabledSet;
 use crate::protocol::Protocol;
 use crate::scheduler::{Scheduler, SchedulerContext};
+use crate::soa::StateStore;
 use crate::stats::{RunStats, StatsShard};
 use crate::telemetry::metrics::{self, StepPhase};
 use crate::telemetry::sink::TraceSink;
 use crate::trace::{ActivationRecord, StepRecord, Trace};
-use crate::view::NeighborView;
+use crate::view::{GatherBuffer, NeighborView};
 
 /// Options controlling a [`Simulation`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,6 +115,16 @@ pub struct SimOptions {
     /// exercise the parallel path). Outcomes are identical either way; the
     /// threshold only moves work between threads.
     pub parallel_work_threshold: usize,
+    /// Store per-node state and communication state in the struct-of-arrays
+    /// layout ([`StateStore::Soa`]): one dense typed column per field
+    /// instead of a `Vec` of heterogeneous structs. Shrinks the footprint
+    /// and improves locality at n = 10⁶–10⁷; honored only for types with a
+    /// columnar [`SoaState`](crate::SoaState) decomposition. The observable
+    /// execution is byte-identical in either layout (pinned by the
+    /// `soa_step_equivalence` differential test), but the borrowed
+    /// slice accessors [`Simulation::config`] / [`Simulation::comm_config`]
+    /// are unavailable — use the by-value and store accessors instead.
+    pub soa_layout: bool,
 }
 
 impl Default for SimOptions {
@@ -125,6 +136,7 @@ impl Default for SimOptions {
             full_recompute: false,
             step_workers: 1,
             parallel_work_threshold: 256,
+            soa_layout: false,
         }
     }
 }
@@ -171,6 +183,14 @@ impl SimOptions {
     #[must_use]
     pub fn with_parallel_work_threshold(mut self, threshold: usize) -> Self {
         self.parallel_work_threshold = threshold;
+        self
+    }
+
+    /// Selects the struct-of-arrays state layout (see
+    /// [`SimOptions::soa_layout`]).
+    #[must_use]
+    pub fn with_soa_layout(mut self) -> Self {
+        self.soa_layout = true;
         self
     }
 }
@@ -228,7 +248,9 @@ pub struct Simulation<'g, P: Protocol, S: Scheduler> {
     protocol: P,
     scheduler: S,
     rng: StdRng,
-    config: Vec<P::State>,
+    /// Per-process full states, in the layout selected by
+    /// [`SimOptions::soa_layout`] (array-of-structs rows by default).
+    config: StateStore<P::State>,
     stats: RunStats,
     trace: Option<Trace>,
     /// Attached telemetry sink, if any: the executor hands it every
@@ -246,8 +268,9 @@ pub struct Simulation<'g, P: Protocol, S: Scheduler> {
     /// per-step scan; the equivalence is `debug_assert`ed).
     unselected_remaining: usize,
     /// Cached `comm(p, config[p])` for every process, kept current across
-    /// steps (the seed executor recomputed this clone every step).
-    comm_cache: Vec<P::Comm>,
+    /// steps (the seed executor recomputed this clone every step), stored
+    /// in the same layout as `config`.
+    comm_cache: StateStore<P::Comm>,
     /// Maintained enabled set; valid for the current configuration once
     /// `refresh_enabled` has drained `dirty`.
     enabled: EnabledSet,
@@ -283,6 +306,12 @@ pub struct Simulation<'g, P: Protocol, S: Scheduler> {
     /// integration test runs in debug mode).
     #[cfg_attr(not(debug_assertions), allow(dead_code))]
     debug_enabled_scratch: Vec<bool>,
+    /// Scratch for the debug invariant check under the SoA layout: the
+    /// reference recomputation needs a contiguous communication snapshot,
+    /// materialized into this persistent buffer (capacity survives, so the
+    /// sampled check stays allocation-free in steady state).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    debug_comm_scratch: Vec<P::Comm>,
 }
 
 impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
@@ -363,10 +392,12 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         let degrees: Vec<usize> = graph.nodes().map(|p| graph.degree(p)).collect();
         let trace = options.record_trace.then(Trace::new);
         let n = graph.node_count();
-        let comm_cache: Vec<P::Comm> = graph
+        let comm_rows: Vec<P::Comm> = graph
             .nodes()
             .map(|p| protocol.comm(p, &config[p.index()]))
             .collect();
+        let comm_cache = StateStore::from_vec(comm_rows, options.soa_layout);
+        let config = StateStore::from_vec(config, options.soa_layout);
         let step_workers = options.step_workers.max(1);
         let partition = NodePartition::new(graph, step_workers);
         let max_degree = graph.max_degree();
@@ -388,6 +419,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
                 read_log: Vec::new(),
                 distinct_reads: Vec::with_capacity(max_degree),
                 records: Vec::new(),
+                gather: GatherBuffer::new(max_degree),
             })
             .collect();
         Simulation {
@@ -419,6 +451,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             selected_scratch: Vec::with_capacity(n),
             executed_scratch: Vec::with_capacity(n),
             debug_enabled_scratch: Vec::new(),
+            debug_comm_scratch: Vec::new(),
         }
     }
 
@@ -443,15 +476,67 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     }
 
     /// The current configuration (one state per process).
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`SimOptions::with_soa_layout`]: a columnar store has no
+    /// contiguous row slice to borrow. Use [`Simulation::state_of`],
+    /// [`Simulation::config_vec`] or [`Simulation::state_store`] there.
     pub fn config(&self) -> &[P::State] {
-        &self.config
+        self.config.as_slice().expect(
+            "Simulation::config() needs the array-of-structs layout; under \
+             SimOptions::with_soa_layout use state_of()/config_vec()/state_store()",
+        )
     }
 
     /// The current communication configuration (one communication state per
     /// process), served **by reference** from the maintained cache (the
     /// seed executor cloned the whole cache on every call).
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`SimOptions::with_soa_layout`] (see
+    /// [`Simulation::config`]); use [`Simulation::comm_of`] or
+    /// [`Simulation::comm_store`] there.
     pub fn comm_config(&self) -> &[P::Comm] {
+        self.comm_cache.as_slice().expect(
+            "Simulation::comm_config() needs the array-of-structs layout; under \
+             SimOptions::with_soa_layout use comm_of()/comm_store()",
+        )
+    }
+
+    /// The state of process `p`, by value — works in either layout.
+    pub fn state_of(&self, p: NodeId) -> P::State {
+        self.config.get(p.index())
+    }
+
+    /// The cached communication state of process `p`, by value — works in
+    /// either layout.
+    pub fn comm_of(&self, p: NodeId) -> P::Comm {
+        self.comm_cache.get(p.index())
+    }
+
+    /// The full configuration materialized into a fresh `Vec` (decodes the
+    /// columns under the SoA layout; use [`Simulation::config`] when rows
+    /// are known to exist).
+    pub fn config_vec(&self) -> Vec<P::State> {
+        self.config.to_vec()
+    }
+
+    /// The layout-aware state store.
+    pub fn state_store(&self) -> &StateStore<P::State> {
+        &self.config
+    }
+
+    /// The layout-aware communication store.
+    pub fn comm_store(&self) -> &StateStore<P::Comm> {
         &self.comm_cache
+    }
+
+    /// Heap bytes owned by the (state, communication) stores — the
+    /// bytes-per-node accounting the SoA benchmarks report.
+    pub fn store_heap_bytes(&self) -> (usize, usize) {
+        (self.config.heap_bytes(), self.comm_cache.heap_bytes())
     }
 
     /// The processes selected in the most recent step, in increasing id
@@ -535,13 +620,13 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     /// Evaluates the protocol's legitimacy predicate on the current
     /// configuration.
     pub fn is_legitimate(&self) -> bool {
-        self.protocol.is_legitimate(self.graph, &self.config)
+        self.protocol.is_legitimate_store(self.graph, &self.config)
     }
 
     /// Evaluates the protocol's silence predicate on the current
     /// configuration.
     pub fn is_silent(&self) -> bool {
-        self.protocol.is_silent_config(self.graph, &self.config)
+        self.protocol.is_silent_store(self.graph, &self.config)
     }
 
     /// Places the suffix marker for ♦-stability measurements at the current
@@ -560,8 +645,9 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     ///
     /// Panics if `p` is out of range.
     pub fn set_state(&mut self, p: NodeId, state: P::State) {
-        self.config[p.index()] = state;
-        self.comm_cache[p.index()] = self.protocol.comm(p, &self.config[p.index()]);
+        let comm = self.protocol.comm(p, &state);
+        self.config.set(p.index(), &state);
+        self.comm_cache.set(p.index(), &comm);
         // Conservatively dirty the neighborhood even when the communication
         // state happens to be unchanged: fault injection is rare and cold,
         // and the unconditional form keeps the invariant obviously safe.
@@ -614,6 +700,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             protocol: &self.protocol,
             config: &self.config,
             comm_cache: &self.comm_cache,
+            comm_slice: self.comm_cache.as_slice(),
             read_restriction: self.options.read_restriction.as_deref(),
             step: self.step,
             salt: self.activation_salt,
@@ -624,11 +711,13 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         if self.shards.len() == 1 {
             // Sequential fast path: one stack-allocated task over the full
             // arrays, no task list to build.
+            let shard = &mut self.shards[0];
             let mut task = GuardTask {
                 node_base: 0,
-                queue: &mut self.shards[0].dirty_queue,
+                queue: &mut shard.dirty_queue,
                 dirty: &mut self.dirty,
                 enabled: self.enabled.flags_mut(),
+                gather: &mut shard.gather,
                 guard_evaluations: 0,
                 enabled_delta: 0,
             };
@@ -650,6 +739,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
                     queue: &mut scratch.dirty_queue,
                     dirty,
                     enabled,
+                    gather: &mut scratch.gather,
                     guard_evaluations: 0,
                     enabled_delta: 0,
                 });
@@ -682,12 +772,21 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     /// allocating form is kept for tests.
     #[cfg_attr(not(test), allow(dead_code))]
     fn recompute_enabled_reference(&self) -> Vec<bool> {
+        let materialized;
+        let comm_slice: &[P::Comm] = match self.comm_cache.as_slice() {
+            Some(rows) => rows,
+            None => {
+                materialized = self.comm_cache.to_vec();
+                &materialized
+            }
+        };
         self.graph
             .nodes()
             .map(|p| {
-                let view = self.untracked_view(p, &self.comm_cache);
-                self.protocol
-                    .is_enabled(self.graph, p, &self.config[p.index()], &view)
+                let view = self.untracked_view(p, comm_slice);
+                self.config.with_row(p.index(), |state| {
+                    self.protocol.is_enabled(self.graph, p, state, &view)
+                })
             })
             .collect()
     }
@@ -698,18 +797,29 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         // so debug test runs stay fast while still covering long executions.
         let sampled = self.graph.node_count() <= 64 || self.step.is_multiple_of(101);
         if sampled {
-            // Recompute into a persistent scratch: even the debug invariant
-            // machinery must not allocate in steady state.
+            // Recompute into persistent scratch buffers: even the debug
+            // invariant machinery must not allocate in steady state. Under
+            // the SoA layout the reference views need a contiguous
+            // communication snapshot, decoded into `debug_comm_scratch`
+            // (whose capacity also survives across checks).
             let mut reference = std::mem::take(&mut self.debug_enabled_scratch);
+            let mut comm_rows = std::mem::take(&mut self.debug_comm_scratch);
             reference.clear();
+            let comm_slice: &[P::Comm] = match self.comm_cache.as_slice() {
+                Some(rows) => rows,
+                None => {
+                    comm_rows.clear();
+                    for i in 0..self.comm_cache.len() {
+                        comm_rows.push(self.comm_cache.get(i));
+                    }
+                    &comm_rows
+                }
+            };
             for p in self.graph.nodes() {
-                let view = self.untracked_view(p, &self.comm_cache);
-                reference.push(self.protocol.is_enabled(
-                    self.graph,
-                    p,
-                    &self.config[p.index()],
-                    &view,
-                ));
+                let view = self.untracked_view(p, comm_slice);
+                reference.push(self.config.with_row(p.index(), |state| {
+                    self.protocol.is_enabled(self.graph, p, state, &view)
+                }));
             }
             debug_assert_eq!(
                 self.enabled.as_flags(),
@@ -718,6 +828,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
                 self.step
             );
             self.debug_enabled_scratch = reference;
+            self.debug_comm_scratch = comm_rows;
         }
     }
 
@@ -781,6 +892,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             protocol: &self.protocol,
             config: &self.config,
             comm_cache: &self.comm_cache,
+            comm_slice: self.comm_cache.as_slice(),
             read_restriction: self.options.read_restriction.as_deref(),
             step,
             salt: self.activation_salt,
@@ -793,12 +905,13 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             // Sequential fast path: one stack-allocated task over the full
             // arrays and the whole selection.
             let mut splitter = self.stats.sharded();
+            let len = self.config.len();
             let mut task = ActivationTask {
                 node_base: 0,
                 selected: &self.selected_scratch,
                 selected_this_round: &mut self.selected_this_round,
                 scratch: &mut self.shards[0],
-                stats: splitter.take(0..self.config.len()),
+                stats: splitter.take(0..len),
                 newly_selected: 0,
             };
             run_activation_task(&mut task, &ctx);
@@ -877,10 +990,10 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             // persists across steps (mark_dirty below needs `&mut self`).
             let mut staged = std::mem::take(&mut self.shards[s].staged);
             for (p, state, comm, comm_changed) in staged.drain(..) {
-                self.config[p.index()] = state;
+                self.config.set(p.index(), &state);
                 self.mark_dirty(p);
                 if comm_changed {
-                    self.comm_cache[p.index()] = comm;
+                    self.comm_cache.set(p.index(), &comm);
                     for q in graph.neighbors(p) {
                         self.mark_dirty(q);
                     }
@@ -1056,9 +1169,10 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     }
 
     /// Consumes the simulation and returns its final configuration, stats
-    /// and optional trace.
+    /// and optional trace (the configuration is decoded out of the columns
+    /// under the SoA layout).
     pub fn into_parts(self) -> (Vec<P::State>, RunStats, Option<Trace>) {
-        (self.config, self.stats, self.trace)
+        (self.config.into_vec(), self.stats, self.trace)
     }
 
     /// Mutable access to the RNG, for fault injection helpers that want to
@@ -1087,14 +1201,28 @@ struct ShardScratch<P: Protocol> {
     /// Trace records staged by this shard (tracing only — the deliberate
     /// per-activation allocation documented on [`Simulation::step`]).
     records: Vec<ActivationRecord>,
+    /// Lazy neighbor-decode scratch for views over a columnar communication
+    /// store (unused — and empty — in the array-of-structs layout).
+    gather: GatherBuffer<P::Comm>,
 }
 
 /// The shared read-only snapshot every shard task evaluates against.
+///
+/// Both stores are **read-only for the whole parallel span of a step**:
+/// activations stage their writes in shard-private buffers and the
+/// sequential merge phase applies them afterwards. Columnar stores
+/// therefore need no mutable splitting — workers read disjoint contiguous
+/// column windows (their [`NodePartition`] shard, plus neighbor cells
+/// through the views), which is what makes the SoA layout and the sharded
+/// executor compose without any new synchronization.
 struct StepContext<'a, P: Protocol> {
     graph: &'a Graph,
     protocol: &'a P,
-    config: &'a [P::State],
-    comm_cache: &'a [P::Comm],
+    config: &'a StateStore<P::State>,
+    comm_cache: &'a StateStore<P::Comm>,
+    /// Cached `comm_cache.as_slice()`: `Some` selects the borrowed-slice
+    /// views (AoS), `None` the lazily gathered views (SoA).
+    comm_slice: Option<&'a [P::Comm]>,
     read_restriction: Option<&'a [Vec<Port>]>,
     step: u64,
     salt: u64,
@@ -1107,8 +1235,11 @@ impl<'a, P: Protocol> StepContext<'a, P> {
             .map(|restriction| restriction[p.index()].as_slice())
     }
 
-    fn untracked_view(&self, p: NodeId) -> NeighborView<'a, P::Comm> {
-        let view = NeighborView::from_snapshot(self.graph, p, self.comm_cache, false);
+    fn restrict<'v>(
+        &self,
+        p: NodeId,
+        view: NeighborView<'v, P::Comm>,
+    ) -> NeighborView<'v, P::Comm> {
         match self.allowed_ports(p) {
             Some(allowed) => view.restricted_to(allowed),
             None => view,
@@ -1118,24 +1249,43 @@ impl<'a, P: Protocol> StepContext<'a, P> {
 
 /// One shard's guard-refresh work item: drain the shard's dirty queue
 /// against its disjoint windows of the dirty and enabled-flag arrays.
-struct GuardTask<'a> {
+struct GuardTask<'a, C> {
     node_base: usize,
     queue: &'a mut Vec<NodeId>,
     dirty: &'a mut [bool],
     enabled: &'a mut [bool],
+    /// Neighbor-decode scratch for the columnar layout (the owning shard's).
+    gather: &'a mut GatherBuffer<C>,
     guard_evaluations: u64,
     enabled_delta: isize,
 }
 
-fn run_guard_task<P: Protocol>(task: &mut GuardTask<'_>, ctx: &StepContext<'_, P>) {
+fn run_guard_task<P: Protocol>(task: &mut GuardTask<'_, P::Comm>, ctx: &StepContext<'_, P>) {
     for i in 0..task.queue.len() {
         let p = task.queue[i];
         let local = p.index() - task.node_base;
         task.dirty[local] = false;
-        let view = ctx.untracked_view(p);
-        let now_enabled = ctx
-            .protocol
-            .is_enabled(ctx.graph, p, &ctx.config[p.index()], &view);
+        let now_enabled = match ctx.comm_slice {
+            Some(comm) => {
+                let view = ctx.restrict(p, NeighborView::from_snapshot(ctx.graph, p, comm, false));
+                ctx.config.with_row(p.index(), |state| {
+                    ctx.protocol.is_enabled(ctx.graph, p, state, &view)
+                })
+            }
+            None => {
+                let fetch = |q: NodeId| ctx.comm_cache.get(q.index());
+                let view = ctx.restrict(
+                    p,
+                    NeighborView::gathered(ctx.graph, p, task.gather, &fetch, false),
+                );
+                let enabled = ctx.config.with_row(p.index(), |state| {
+                    ctx.protocol.is_enabled(ctx.graph, p, state, &view)
+                });
+                drop(view);
+                task.gather.reset();
+                enabled
+            }
+        };
         task.guard_evaluations += 1;
         let flag = &mut task.enabled[local];
         if *flag != now_enabled {
@@ -1172,32 +1322,49 @@ fn run_activation_task<P: Protocol>(task: &mut ActivationTask<'_, P>, ctx: &Step
             task.newly_selected += 1;
         }
         let log_buffer = std::mem::take(&mut task.scratch.read_log);
-        let view = {
-            let view =
-                NeighborView::with_log_buffer(ctx.graph, p, ctx.comm_cache, true, log_buffer);
-            match ctx.allowed_ports(p) {
-                Some(allowed) => view.restricted_to(allowed),
-                None => view,
-            }
+        let fetch = |q: NodeId| ctx.comm_cache.get(q.index());
+        let view = match ctx.comm_slice {
+            Some(comm) => NeighborView::with_log_buffer(ctx.graph, p, comm, true, log_buffer),
+            None => NeighborView::gathered_with_log_buffer(
+                ctx.graph,
+                p,
+                &task.scratch.gather,
+                &fetch,
+                true,
+                log_buffer,
+            ),
         };
+        let view = ctx.restrict(p, view);
         // A private, deterministically derived RNG per activation: the
         // stream depends only on (seed, step, process), never on which
         // worker runs the activation or in what order.
         let mut rng = activation_rng(ctx.salt, ctx.step, p);
-        let new_state =
-            ctx.protocol
-                .activate(ctx.graph, p, &ctx.config[p.index()], &view, &mut rng);
-        view.collect_distinct_reads(&mut task.scratch.distinct_reads);
+        let new_state = ctx.config.with_row(p.index(), |state| {
+            ctx.protocol.activate(ctx.graph, p, state, &view, &mut rng)
+        });
         let read_operations = view.read_operations();
+        // The distinct-read set: collected into the shard's persistent
+        // scratch normally, or — when tracing — straight into the
+        // exactly-sized `Vec` the `ActivationRecord` will own, so the one
+        // documented trace allocation is also the only scan (the seed
+        // executor deduplicated into the scratch and then cloned it).
+        let mut traced_reads = Vec::new();
+        let reads_buf: &mut Vec<Port> = if ctx.tracing {
+            traced_reads.reserve_exact(read_operations.min(ctx.graph.degree(p)));
+            &mut traced_reads
+        } else {
+            &mut task.scratch.distinct_reads
+        };
+        view.collect_distinct_reads(reads_buf);
         task.scratch.read_log = view.into_log_buffer();
+        task.scratch.gather.reset();
         let did_execute = new_state.is_some();
         let mut comm_changed = false;
         if let Some(new_state) = new_state {
             let new_comm = ctx.protocol.comm(p, &new_state);
-            comm_changed = new_comm != ctx.comm_cache[p.index()];
+            comm_changed = ctx.comm_cache.with_row(p.index(), |old| new_comm != *old);
             task.scratch.executed.push(p);
-            task.stats
-                .record_activation(p, &task.scratch.distinct_reads, read_operations);
+            task.stats.record_activation(p, reads_buf, read_operations);
             if comm_changed {
                 task.stats.record_comm_change(p, ctx.step);
             }
@@ -1208,14 +1375,13 @@ fn run_activation_task<P: Protocol>(task: &mut ActivationTask<'_, P>, ctx: &Step
             // A disabled selected process does nothing, but its guard
             // evaluation is still an activation for accounting purposes
             // when it read something.
-            task.stats
-                .record_activation(p, &task.scratch.distinct_reads, read_operations);
+            task.stats.record_activation(p, reads_buf, read_operations);
         }
         if ctx.tracing {
             task.scratch.records.push(ActivationRecord {
                 process: p,
                 executed: did_execute,
-                reads: task.scratch.distinct_reads.clone(),
+                reads: traced_reads,
                 comm_changed,
             });
         }

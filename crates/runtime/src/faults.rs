@@ -217,6 +217,10 @@ pub struct FaultInjector {
     /// graph, computed lazily on the first degree-targeted selection so
     /// periodic hub plans pay the `O(n log n)` sort once, not per event.
     by_degree: Vec<NodeId>,
+    /// Scratch for [`FaultInjector::last_victims_distinct`]: sorted and
+    /// deduplicated in place so distinctness checks stay allocation-free
+    /// once warm.
+    distinct_scratch: Vec<NodeId>,
 }
 
 impl FaultInjector {
@@ -229,12 +233,25 @@ impl FaultInjector {
             dist: vec![u32::MAX; n],
             queue: Vec::with_capacity(n),
             by_degree: Vec::new(),
+            distinct_scratch: Vec::with_capacity(n),
         }
     }
 
     /// The victims of the most recent injection, in selection order.
     pub fn last_victims(&self) -> &[NodeId] {
         &self.victims
+    }
+
+    /// Whether the most recent selection hit pairwise-distinct processes —
+    /// an invariant of every fault model (checked by `debug_assert!` after
+    /// each selection). Uses a persistent sort-and-dedup scratch, so the
+    /// check never allocates once warm.
+    pub fn last_victims_distinct(&mut self) -> bool {
+        self.distinct_scratch.clear();
+        self.distinct_scratch.extend_from_slice(&self.victims);
+        self.distinct_scratch.sort_unstable();
+        self.distinct_scratch.dedup();
+        self.distinct_scratch.len() == self.victims.len()
     }
 
     /// Selects the victims of `model` on `graph` into the internal buffer
@@ -315,6 +332,10 @@ impl FaultInjector {
                 }
             }
         }
+        debug_assert!(
+            self.last_victims_distinct(),
+            "fault models must select pairwise-distinct victims"
+        );
         &self.victims
     }
 
@@ -676,10 +697,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let victims = inject_random_faults(&mut sim, 100, &mut rng);
         assert_eq!(victims.len(), 4);
-        let mut unique = victims.clone();
-        unique.sort();
-        unique.dedup();
-        assert_eq!(unique.len(), 4, "victims are distinct");
+
+        // Distinctness via the injector's own allocation-free check.
+        let mut injector = FaultInjector::new(&graph);
+        injector.select_victims(&graph, FaultModel::Uniform(FaultLoad::Count(100)), &mut rng);
+        assert_eq!(injector.last_victims().len(), 4);
+        assert!(injector.last_victims_distinct(), "victims are distinct");
     }
 
     #[test]

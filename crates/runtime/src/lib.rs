@@ -102,6 +102,7 @@ pub mod guarded;
 pub mod probes;
 pub mod protocol;
 pub mod scheduler;
+pub mod soa;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;
@@ -114,10 +115,11 @@ pub use faults::{
 };
 pub use protocol::Protocol;
 pub use scheduler::Scheduler;
+pub use soa::{SoaState, StateColumns, StateStore};
 pub use stats::RunStats;
 pub use telemetry::{
     FileSink, MemorySink, NullSink, ReplayScheduler, TraceFileReader, TraceFooter, TraceHeader,
     TraceSink,
 };
 pub use trace::{StepRecord, Trace};
-pub use view::NeighborView;
+pub use view::{GatherBuffer, NeighborView};

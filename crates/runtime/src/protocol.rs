@@ -5,6 +5,7 @@ use std::fmt;
 use rand::RngCore;
 use selfstab_graph::{Graph, NodeId};
 
+use crate::soa::{SoaState, StateStore};
 use crate::view::NeighborView;
 
 /// A distributed protocol in the paper's locally shared memory model.
@@ -45,9 +46,16 @@ use crate::view::NeighborView;
 /// exclude interior mutability, which the contract above already forbids.
 pub trait Protocol: Sync {
     /// Full per-process state: communication plus internal variables.
-    type State: Clone + fmt::Debug + PartialEq + Send + Sync;
+    ///
+    /// The [`SoaState`] bound names the type's struct-of-arrays column
+    /// layout, used when the simulation opts into the columnar state store
+    /// ([`SimOptions::with_soa_layout`](crate::SimOptions::with_soa_layout)).
+    /// Scalar types are covered by blanket impls; compound types without a
+    /// hand-written decomposition can use [`aos_state!`](crate::aos_state).
+    type State: Clone + fmt::Debug + PartialEq + Send + Sync + SoaState;
     /// Communication state: the projection of the state neighbors can read.
-    type Comm: Clone + fmt::Debug + PartialEq + Send + Sync;
+    /// Same [`SoaState`] requirement as [`Protocol::State`].
+    type Comm: Clone + fmt::Debug + PartialEq + Send + Sync + SoaState;
 
     /// Short human-readable protocol name (used in reports and traces).
     fn name(&self) -> &'static str;
@@ -112,6 +120,29 @@ pub trait Protocol: Sync {
     /// notions differ.
     fn is_silent_config(&self, graph: &Graph, config: &[Self::State]) -> bool {
         self.is_legitimate(graph, config)
+    }
+
+    /// Legitimacy predicate over a [`StateStore`] in either layout.
+    ///
+    /// The default delegates to [`Protocol::is_legitimate`]: zero-cost when
+    /// the store has contiguous rows, but a full materialization when it is
+    /// columnar. Protocols intended for million-node SoA runs should override
+    /// this with a streaming check that reads rows through
+    /// [`StateStore::with_row`] / [`StateStore::get`] (the core protocols do).
+    fn is_legitimate_store(&self, graph: &Graph, config: &StateStore<Self::State>) -> bool {
+        match config.as_slice() {
+            Some(rows) => self.is_legitimate(graph, rows),
+            None => self.is_legitimate(graph, &config.to_vec()),
+        }
+    }
+
+    /// Silence predicate over a [`StateStore`] in either layout; same
+    /// default-vs-override structure as [`Protocol::is_legitimate_store`].
+    fn is_silent_store(&self, graph: &Graph, config: &StateStore<Self::State>) -> bool {
+        match config.as_slice() {
+            Some(rows) => self.is_silent_config(graph, rows),
+            None => self.is_silent_config(graph, &config.to_vec()),
+        }
     }
 
     /// Number of bits `log2(ceil)` helper for describing variable domains.

@@ -1,0 +1,274 @@
+//! Struct-of-arrays storage for per-node protocol state.
+//!
+//! The executor keeps one state value and one communication value per node.
+//! For small graphs an array of structs (`Vec<P::State>`) is ideal, but at
+//! n = 10⁶–10⁷ the padding and width of heterogeneous rows dominate the
+//! footprint and thrash the cache. This module lets each protocol opt into a
+//! **struct-of-arrays** layout: the [`SoaState`] trait names a [`StateColumns`]
+//! implementation that decomposes the struct into dense typed columns
+//! (`Vec<u32>`, [`BitColumn`](selfstab_graph::columns::BitColumn), …), and
+//! [`StateStore`] holds either layout behind one accessor surface.
+//!
+//! The existing struct types stay the API: protocols still receive `&State`
+//! and return `State`; columns are decoded to a stack-local row at the access
+//! site ([`StateStore::with_row`]) and encoded back field-by-field on write
+//! ([`StateStore::set`]). Layout choice is per-simulation
+//! ([`SimOptions::with_soa_layout`](crate::SimOptions::with_soa_layout)) and
+//! never changes observable behavior — a differential test pins SoA executions
+//! byte-identical to the array-of-structs executor at every worker count.
+//!
+//! Types without a hand-written column decomposition set
+//! [`SoaState::COLUMNAR`]`= false` (usually via the blanket `Vec<Self>`
+//! columns); the store then keeps rows even when SoA is requested, so the
+//! trait bound is never a functionality cliff.
+
+use std::fmt;
+
+/// Columnar backing storage for rows of type `T`.
+///
+/// Implementations own one dense column per field of `T`. Row access is by
+/// value: `get` decodes a stack-local `T` from the columns, `set` encodes a
+/// `T` back. All columns must stay the same length.
+pub trait StateColumns<T>: fmt::Debug + Clone + Send + Sync {
+    /// Builds the columns from a slice of rows.
+    fn from_slice(rows: &[T]) -> Self;
+    /// Number of rows.
+    fn len(&self) -> usize;
+    /// Whether the store holds zero rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Decodes row `i`.
+    fn get(&self, i: usize) -> T;
+    /// Encodes `value` into row `i`.
+    fn set(&mut self, i: usize, value: &T);
+    /// Heap bytes owned by the columns (for bytes-per-node accounting).
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Rows of `Clone` values can always fall back to plain `Vec` storage.
+impl<T: Clone + Send + Sync + fmt::Debug> StateColumns<T> for Vec<T> {
+    fn from_slice(rows: &[T]) -> Self {
+        rows.to_vec()
+    }
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+    fn get(&self, i: usize) -> T {
+        self[i].clone()
+    }
+    fn set(&mut self, i: usize, value: &T) {
+        self[i] = value.clone();
+    }
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+/// A per-node state (or communication) type that names its columnar layout.
+///
+/// Every `Protocol::State` and `Protocol::Comm` must implement this. Types
+/// with a genuine field decomposition set [`COLUMNAR`](Self::COLUMNAR) to
+/// `true` and point `Columns` at a hand-written struct-of-arrays type; plain
+/// scalar types use `Vec<Self>` columns (dense already); compound types
+/// without a decomposition use [`aos_state!`](crate::aos_state) to keep row
+/// storage under either layout.
+pub trait SoaState: Clone + Send + Sync + Sized {
+    /// The struct-of-arrays backing storage for rows of this type.
+    type Columns: StateColumns<Self>;
+    /// Whether `Columns` is a genuine columnar layout. When `false`, a
+    /// [`StateStore`] keeps array-of-structs rows even if SoA was requested,
+    /// so `as_slice` stays available and views stay zero-cost.
+    const COLUMNAR: bool;
+}
+
+/// Implements [`SoaState`] with plain row storage (`Vec<Self>` columns) for
+/// types that have no columnar decomposition. The simulation then always uses
+/// array-of-structs rows for that type, even when the SoA layout is requested.
+#[macro_export]
+macro_rules! aos_state {
+    ($($t:ty),* $(,)?) => {$(
+        impl $crate::soa::SoaState for $t {
+            type Columns = ::std::vec::Vec<$t>;
+            const COLUMNAR: bool = false;
+        }
+    )*};
+}
+
+/// Scalar types are already dense: a `Vec` of them *is* the column.
+/// `COLUMNAR = true` so requesting SoA routes access through the columnar
+/// code path (exercised by the runtime's own test protocols).
+macro_rules! scalar_soa_state {
+    ($($t:ty),* $(,)?) => {$(
+        impl SoaState for $t {
+            type Columns = Vec<$t>;
+            const COLUMNAR: bool = true;
+        }
+    )*};
+}
+
+scalar_soa_state!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+/// Pairs fall back to row storage (used by guarded-protocol tests and quick
+/// prototypes; write a dedicated `Columns` type for anything hot).
+impl<A, B> SoaState for (A, B)
+where
+    A: Clone + Send + Sync + fmt::Debug,
+    B: Clone + Send + Sync + fmt::Debug,
+{
+    type Columns = Vec<(A, B)>;
+    const COLUMNAR: bool = false;
+}
+
+/// Per-node state storage in either layout.
+///
+/// `Aos` is the default: a plain `Vec` of rows, zero-cost slice access.
+/// `Soa` holds the type's [`StateColumns`] and decodes rows on demand.
+#[derive(Debug, Clone)]
+pub enum StateStore<T: SoaState> {
+    /// Array-of-structs rows.
+    Aos(Vec<T>),
+    /// Struct-of-arrays columns.
+    Soa(T::Columns),
+}
+
+impl<T: SoaState> StateStore<T> {
+    /// Builds a store from rows. `soa = true` selects the columnar layout —
+    /// honored only when the type actually has one (`T::COLUMNAR`); otherwise
+    /// rows are kept, which is the identical memory layout anyway.
+    #[must_use]
+    pub fn from_vec(rows: Vec<T>, soa: bool) -> Self {
+        if soa && T::COLUMNAR {
+            StateStore::Soa(T::Columns::from_slice(&rows))
+        } else {
+            StateStore::Aos(rows)
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            StateStore::Aos(rows) => rows.len(),
+            StateStore::Soa(cols) => cols.len(),
+        }
+    }
+
+    /// Whether the store holds zero rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this store is in the columnar layout.
+    #[must_use]
+    pub fn is_soa(&self) -> bool {
+        matches!(self, StateStore::Soa(_))
+    }
+
+    /// Reads row `i` by value (clone in AoS, column decode in SoA).
+    #[must_use]
+    pub fn get(&self, i: usize) -> T {
+        match self {
+            StateStore::Aos(rows) => rows[i].clone(),
+            StateStore::Soa(cols) => cols.get(i),
+        }
+    }
+
+    /// Writes row `i`.
+    pub fn set(&mut self, i: usize, value: &T) {
+        match self {
+            StateStore::Aos(rows) => rows[i] = value.clone(),
+            StateStore::Soa(cols) => cols.set(i, value),
+        }
+    }
+
+    /// Applies `f` to row `i` without copying in the AoS layout (the SoA
+    /// layout decodes a stack-local row first). This is the hot-path accessor:
+    /// guard evaluation and activation read through it.
+    pub fn with_row<R>(&self, i: usize, f: impl FnOnce(&T) -> R) -> R {
+        match self {
+            StateStore::Aos(rows) => f(&rows[i]),
+            StateStore::Soa(cols) => {
+                let row = cols.get(i);
+                f(&row)
+            }
+        }
+    }
+
+    /// The contiguous row slice, when rows exist (`None` in the SoA layout).
+    #[must_use]
+    pub fn as_slice(&self) -> Option<&[T]> {
+        match self {
+            StateStore::Aos(rows) => Some(rows),
+            StateStore::Soa(_) => None,
+        }
+    }
+
+    /// Materializes all rows into a `Vec` (allocates in the SoA layout).
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<T> {
+        match self {
+            StateStore::Aos(rows) => rows.clone(),
+            StateStore::Soa(cols) => (0..cols.len()).map(|i| cols.get(i)).collect(),
+        }
+    }
+
+    /// Consumes the store into rows.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<T> {
+        match self {
+            StateStore::Aos(rows) => rows,
+            StateStore::Soa(cols) => (0..cols.len()).map(|i| cols.get(i)).collect(),
+        }
+    }
+
+    /// Heap bytes owned by the backing storage.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            StateStore::Aos(rows) => rows.capacity() * std::mem::size_of::<T>(),
+            StateStore::Soa(cols) => cols.heap_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_store_roundtrips_in_both_layouts() {
+        let rows: Vec<u32> = (0..257).map(|i| i * 7).collect();
+        for soa in [false, true] {
+            let mut store = StateStore::from_vec(rows.clone(), soa);
+            assert_eq!(store.is_soa(), soa);
+            assert_eq!(store.len(), 257);
+            assert!(!store.is_empty());
+            assert_eq!(store.to_vec(), rows);
+            assert_eq!(store.get(13), 91);
+            store.set(13, &999);
+            assert_eq!(store.get(13), 999);
+            assert_eq!(store.with_row(13, |v| *v + 1), 1000);
+            assert_eq!(store.as_slice().is_some(), !soa);
+            assert!(store.heap_bytes() >= 257 * 4);
+        }
+    }
+
+    #[test]
+    fn non_columnar_types_stay_aos() {
+        let rows: Vec<(usize, bool)> = vec![(1, true), (2, false)];
+        let store = StateStore::from_vec(rows.clone(), true);
+        assert!(!store.is_soa());
+        assert_eq!(store.as_slice(), Some(rows.as_slice()));
+        assert_eq!(store.into_vec(), rows);
+    }
+
+    #[test]
+    fn vec_columns_report_heap_bytes() {
+        let cols = <Vec<u64> as StateColumns<u64>>::from_slice(&[1, 2, 3]);
+        assert_eq!(StateColumns::len(&cols), 3);
+        assert!(!StateColumns::is_empty(&cols));
+        assert!(cols.heap_bytes() >= 24);
+    }
+}

@@ -359,6 +359,82 @@ fn assert_zero_worker_alloc_steady_state<S: Scheduler>(
     );
 }
 
+/// The struct-of-arrays regime: a columnar state store
+/// (`SimOptions::with_soa_layout`; `u32` state is columnar) must preserve
+/// the zero-allocation steady state. With `workers == 1` the process-global
+/// counter must stay flat — row decode/encode works on stack locals, and
+/// the debug invariant's communication materialization reuses a persistent
+/// scratch. With `workers > 1` the coordinator may allocate its per-step
+/// task list but worker threads must not (gather buffers are per-shard
+/// scratch).
+fn assert_zero_alloc_soa_steady_state(graph: &Graph, workers: usize, daemon: &str) {
+    let mut options = SimOptions::default().with_soa_layout();
+    if workers > 1 {
+        options = options
+            .with_step_workers(workers)
+            .with_parallel_work_threshold(0);
+    }
+    let mut sim = Simulation::new(graph, MinValue, DistributedRandom::new(0.3), 42, options);
+    assert!(
+        sim.state_store().is_soa(),
+        "{daemon}: store must be columnar"
+    );
+
+    // Warm up: converge (silence checks may allocate here — they are not
+    // part of the steady state), then fault/repair cycles to grow every
+    // scratch buffer, including the SoA gather buffers and debug scratch.
+    let report = sim.run_until_silent(500_000);
+    assert!(report.silent, "{daemon}: MinValue must stabilize");
+    sim.run_steps(300);
+    for round in 0..5u32 {
+        sim.set_state(
+            NodeId::new((7 * round as usize + 1) % graph.node_count()),
+            0,
+        );
+        sim.run_steps(100);
+    }
+
+    let counter: fn() -> u64 = if workers == 1 {
+        allocation_count
+    } else {
+        worker_allocation_count
+    };
+    let scope = if workers == 1 {
+        ""
+    } else {
+        " on worker threads"
+    };
+
+    // Regime 1: silent stepping through the columnar store.
+    let before = counter();
+    sim.run_steps(1_000);
+    let after = counter();
+    assert_eq!(
+        after - before,
+        0,
+        "{daemon}/workers={workers}: SoA silent stepping allocated {} times{scope}",
+        after - before
+    );
+
+    // Regime 2: fault injection + repair stepping (column encode on merge,
+    // lazy gather on guard re-evaluation).
+    let before = counter();
+    for round in 0..10u32 {
+        sim.set_state(
+            NodeId::new((3 * round as usize + 2) % graph.node_count()),
+            0,
+        );
+        sim.run_steps(50);
+    }
+    let after = counter();
+    assert_eq!(
+        after - before,
+        0,
+        "{daemon}/workers={workers}: SoA fault/repair stepping allocated {} times{scope}",
+        after - before
+    );
+}
+
 #[test]
 fn steady_state_step_performs_zero_heap_allocations() {
     // One test function only: the counter is process-global, and a second
@@ -394,6 +470,12 @@ fn steady_state_step_performs_zero_heap_allocations() {
         "distributed-random/ring512",
     );
     assert_zero_worker_alloc_steady_state(&grid, CentralRoundRobin::new(), 2, "round-robin/grid");
+
+    // Struct-of-arrays regimes: the columnar store preserves the
+    // zero-allocation steady state, sequentially and under the sharded
+    // executor.
+    assert_zero_alloc_soa_steady_state(&ring, 1, "soa/ring");
+    assert_zero_alloc_soa_steady_state(&big_ring, 4, "soa/ring512");
 
     // Sanity check that the counter actually works: an explicit allocation
     // must register.

@@ -1,0 +1,70 @@
+//! Memory-footprint smoke for the struct-of-arrays state layout.
+//!
+//! Stabilizes MIS on a ring of 10⁶ processes under the synchronous daemon
+//! with the columnar (`--soa-layout`, the default here) store, drives a
+//! short silent-stepping burst, and prints the measured per-node heap
+//! footprint of the state and communication stores. CI runs the prebuilt
+//! release binary under `/usr/bin/time -v` and asserts the peak RSS
+//! against a committed ceiling, so layout regressions that re-inflate
+//! per-node memory fail the build.
+//!
+//! ```text
+//! cargo build --release --example soa_footprint
+//! /usr/bin/time -v ./target/release/examples/soa_footprint
+//! ```
+//!
+//! Pass `--aos` to measure the array-of-structs baseline instead.
+
+use selfstab::prelude::*;
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`, the
+/// same counter `time -v` reports as "Maximum resident set size").
+/// Returns 0 where procfs is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                line.strip_prefix("VmHWM:")?
+                    .trim()
+                    .trim_end_matches(" kB")
+                    .parse()
+                    .ok()
+            })
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let aos = std::env::args().any(|a| a == "--aos");
+    let n = 1_000_000usize;
+    let graph = generators::ring(n);
+    let options = if aos {
+        SimOptions::default()
+    } else {
+        SimOptions::default().with_soa_layout()
+    };
+    let mut sim = Simulation::new(
+        &graph,
+        Mis::with_greedy_coloring(&graph),
+        Synchronous,
+        0xC0FFEE,
+        options,
+    );
+    let report = sim.run_until_silent(10_000);
+    assert!(report.silent, "MIS must stabilize on the ring");
+    // A short silent burst so the peak covers the steady-state step path,
+    // not just stabilization.
+    for _ in 0..64 {
+        sim.step();
+    }
+    let (state_bytes, comm_bytes) = sim.store_heap_bytes();
+    println!(
+        "layout={} n={n} steps-to-silence={} state={:.2}B/node comm={:.2}B/node peak-rss={}kB",
+        if aos { "aos" } else { "soa" },
+        report.total_steps,
+        state_bytes as f64 / n as f64,
+        comm_bytes as f64 / n as f64,
+        peak_rss_kb(),
+    );
+}
