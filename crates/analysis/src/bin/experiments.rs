@@ -49,6 +49,7 @@ struct Args {
     threads: Option<usize>,
     step_workers: Option<usize>,
     soa: bool,
+    guard_kernels: bool,
     format: Format,
     trace_out: Option<PathBuf>,
     replay: Option<PathBuf>,
@@ -74,6 +75,10 @@ options:
   --soa                store per-node state as struct-of-arrays columns
                        (lower footprint at large n; tables are
                        byte-identical with or without the flag)
+  --guard-kernels      route large dirty batches through the protocols'
+                       word-parallel bulk guard kernels (columnar layouts
+                       only — pair with --soa; tables are byte-identical
+                       with or without the flag)
   --format table|json  output format (default: table)
   --list               list the experiment identifiers and exit
   -h, --help           print this help
@@ -110,6 +115,7 @@ fn parse_args() -> Result<Parsed, String> {
         threads: None,
         step_workers: None,
         soa: false,
+        guard_kernels: false,
         format: Format::Table,
         trace_out: None,
         replay: None,
@@ -172,6 +178,7 @@ fn parse_args() -> Result<Parsed, String> {
                 args.step_workers = Some(workers);
             }
             "--soa" => args.soa = true,
+            "--guard-kernels" => args.guard_kernels = true,
             "--format" => {
                 let value = iter
                     .next()
@@ -248,13 +255,14 @@ fn render_json(config: &ExperimentConfig, tables: &[ExperimentTable]) -> String 
     let mut out = String::from("{\n  \"config\": {");
     out.push_str(&format!(
         "\"runs\": {}, \"max_steps\": {}, \"base_seed\": {}, \"threads\": {}, \
-         \"step_workers\": {}, \"soa_layout\": {}",
+         \"step_workers\": {}, \"soa_layout\": {}, \"guard_kernels\": {}",
         config.runs,
         config.max_steps,
         config.base_seed,
         config.threads,
         config.step_workers,
-        config.soa_layout
+        config.soa_layout,
+        config.guard_kernels
     ));
     out.push_str("},\n  \"tables\": [\n");
     for (i, table) in tables.iter().enumerate() {
@@ -385,6 +393,9 @@ fn main() -> ExitCode {
     }
     if args.soa {
         config.soa_layout = true;
+    }
+    if args.guard_kernels {
+        config.guard_kernels = true;
     }
     if args.format == Format::Table {
         println!(

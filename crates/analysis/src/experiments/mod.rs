@@ -61,6 +61,13 @@ pub struct ExperimentConfig {
     /// only changes footprint and wall-clock time, so tables stay
     /// byte-identical with the flag on or off.
     pub soa_layout: bool,
+    /// Route large dirty batches through the protocols' word-parallel bulk
+    /// guard kernels
+    /// ([`SimOptions::with_guard_kernels`](selfstab_runtime::SimOptions::with_guard_kernels)).
+    /// Only effective together with `soa_layout` (the kernels read the
+    /// columnar store); observably identical to the scalar guard walk, so
+    /// tables stay byte-identical with the flag on or off.
+    pub guard_kernels: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -74,6 +81,7 @@ impl Default for ExperimentConfig {
             parallel_work_threshold: selfstab_runtime::SimOptions::default()
                 .parallel_work_threshold,
             soa_layout: false,
+            guard_kernels: false,
         }
     }
 }
@@ -122,19 +130,29 @@ impl ExperimentConfig {
         self
     }
 
+    /// Enables the word-parallel bulk guard kernels (columnar layouts
+    /// only; a no-op for protocols without a kernel).
+    #[must_use]
+    pub fn with_guard_kernels(mut self) -> Self {
+        self.guard_kernels = true;
+        self
+    }
+
     /// The [`SimOptions`](selfstab_runtime::SimOptions) every experiment
     /// cell starts from: defaults plus this configuration's intra-step
     /// parallelism knobs. Experiments layer their own settings (check
     /// interval, read restrictions) on top with the usual builder methods.
     pub fn sim_options(&self) -> selfstab_runtime::SimOptions {
-        let options = selfstab_runtime::SimOptions::default()
+        let mut options = selfstab_runtime::SimOptions::default()
             .with_step_workers(self.step_workers)
             .with_parallel_work_threshold(self.parallel_work_threshold);
         if self.soa_layout {
-            options.with_soa_layout()
-        } else {
-            options
+            options = options.with_soa_layout();
         }
+        if self.guard_kernels {
+            options = options.with_guard_kernels();
+        }
+        options
     }
 }
 

@@ -21,7 +21,9 @@
 //! to write `BENCH_hot_path.json` (in `crates/bench/` — cargo runs bench
 //! binaries with the package directory as cwd; see the vendored criterion
 //! stub docs). CI runs it with `--quick` and uploads the summary as an
-//! artifact.
+//! artifact. Set `HOT_PATH_GROUPS` (comma-separated subset of
+//! `base,sharded,soa,kernels`) to measure one group family without
+//! paying for the others' multi-minute large-tier stabilizations.
 
 use std::time::Duration;
 
@@ -361,17 +363,12 @@ fn soa_sizes() -> &'static [usize] {
     }
 }
 
-/// Array-of-structs vs struct-of-arrays at n ∈ {10⁶, 10⁷} on ring
-/// (constant degree) and Barabási–Albert (heavy-tailed degrees).
-///
-/// Each workload is stabilized once; both layouts then step the identical
-/// pre-silent configuration, so the `layout=aos` and `layout=soa` rows
-/// time the same observable work (`soa_step_equivalence` pins the
-/// executions byte-identical). The measured per-node heap footprint of
-/// each layout is printed to stderr — `MisState`/`MisComm` decompose into
-/// one `u32` column plus one bit per node, an 8× reduction over the
-/// padded 16-byte structs.
-fn bench_soa(c: &mut Criterion) {
+/// Builds the large-tier workloads shared by the layout and guard-kernel
+/// comparisons: ring (constant degree) and Barabási–Albert (heavy-tailed
+/// degrees) at the [`soa_sizes`] tiers, each stabilized **once** — the
+/// up-to-10⁷-process stabilization dominates setup and must not be paid
+/// per scenario group.
+fn soa_workloads() -> Vec<Workload> {
     let mut workloads = Vec::new();
     for topo in ["ring", "barabasi-albert"] {
         for &n in soa_sizes() {
@@ -393,7 +390,20 @@ fn bench_soa(c: &mut Criterion) {
             });
         }
     }
+    workloads
+}
 
+/// Array-of-structs vs struct-of-arrays at n ∈ {10⁶, 10⁷} on ring
+/// (constant degree) and Barabási–Albert (heavy-tailed degrees).
+///
+/// Each workload is stabilized once; both layouts then step the identical
+/// pre-silent configuration, so the `layout=aos` and `layout=soa` rows
+/// time the same observable work (`soa_step_equivalence` pins the
+/// executions byte-identical). The measured per-node heap footprint of
+/// each layout is printed to stderr — `MisState`/`MisComm` decompose into
+/// one `u32` column plus one bit per node, an 8× reduction over the
+/// padded 16-byte structs.
+fn bench_soa(c: &mut Criterion, workloads: &[Workload]) {
     let layouts = [
         ("aos", SimOptions::default()),
         ("soa", SimOptions::default().with_soa_layout()),
@@ -403,7 +413,7 @@ fn bench_soa(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(150));
     group.measurement_time(Duration::from_millis(400));
-    for workload in &workloads {
+    for workload in workloads {
         for (layout, options) in &layouts {
             let mut sim = Simulation::with_config(
                 &workload.graph,
@@ -437,7 +447,7 @@ fn bench_soa(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(150));
     group.measurement_time(Duration::from_millis(400));
-    for workload in &workloads {
+    for workload in workloads {
         for (layout, options) in &layouts {
             let mut sim = Simulation::with_config(
                 &workload.graph,
@@ -472,16 +482,181 @@ fn bench_soa(c: &mut Criterion) {
     group.finish();
 }
 
+/// The guard-kernel comparison: scalar guard walk (`aos`, `soa`) against
+/// the word-parallel bulk kernels (`soa+kernels`) on the shared
+/// large-tier workloads. Both scenarios hand the executor large dirty
+/// batches every iteration — the regime the kernels exist for (the
+/// threshold gate keeps sparse regimes on the scalar path, and the
+/// zero-cost of that gate in the silent steady state is pinned by the
+/// `soa_stepping` rows, whose phase A is identical with kernels on).
+///
+/// * `kernel_stepping` — mass-invalidation stepping: every 4th node is
+///   corrupted to a conflicting membership claim, then one step runs
+///   under the synchronous or central-random daemon. The corruption
+///   dirties ~3n/4 guards, so each step's phase A is a full-width bulk
+///   refresh; under central-random the iteration is refresh-dominated,
+///   under synchronous it adds the full activation sweep on top.
+/// * `kernel_repair_wave` — a stripe of ~1024 victims spread across the
+///   stabilized system is corrupted each iteration and a bounded repair
+///   burst follows under the enabled-only central daemon. Every refresh
+///   hands the executor dirty batches of thousands of nodes, far past
+///   the production threshold.
+///
+/// All three layouts run identical trajectories (`kernel_step_equivalence`
+/// pins them byte-identical), so each row times the same observable work.
+fn bench_kernels(c: &mut Criterion, workloads: &[Workload]) {
+    let layouts = [
+        ("aos", SimOptions::default()),
+        ("soa", SimOptions::default().with_soa_layout()),
+        (
+            "soa+kernels",
+            SimOptions::default().with_soa_layout().with_guard_kernels(),
+        ),
+    ];
+    let corrupted = MisState {
+        status: Membership::Dominator,
+        cur: Port::new(0),
+    };
+
+    let mut group = c.benchmark_group("hot_path/kernel_stepping");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(150));
+    group.measurement_time(Duration::from_millis(400));
+    for workload in workloads {
+        let n = workload.graph.node_count();
+        for (layout, options) in &layouts {
+            let mut sim = Simulation::with_config(
+                &workload.graph,
+                Mis::with_greedy_coloring(&workload.graph),
+                Synchronous,
+                workload.config.clone(),
+                0xFEED,
+                options.clone(),
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!(
+                    "{}/synchronous/layout={layout}",
+                    workload.label
+                )),
+                &workload.graph,
+                |b, _| {
+                    b.iter(|| {
+                        for victim in (0..n).step_by(4) {
+                            sim.set_state(NodeId::new(victim), corrupted);
+                        }
+                        sim.step().comm_changed
+                    })
+                },
+            );
+
+            let mut sim = Simulation::with_config(
+                &workload.graph,
+                Mis::with_greedy_coloring(&workload.graph),
+                CentralRandom::new(),
+                workload.config.clone(),
+                0xFEED,
+                options.clone(),
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!(
+                    "{}/central-random/layout={layout}",
+                    workload.label
+                )),
+                &workload.graph,
+                |b, _| {
+                    b.iter(|| {
+                        for victim in (0..n).step_by(4) {
+                            sim.set_state(NodeId::new(victim), corrupted);
+                        }
+                        sim.step().comm_changed
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hot_path/kernel_repair_wave");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(150));
+    group.measurement_time(Duration::from_millis(400));
+    for workload in workloads {
+        let n = workload.graph.node_count();
+        // ~1024 victims spread across the system: each corrupted
+        // neighborhood re-enters the dirty queue, so one refresh sees a
+        // batch of several thousand nodes.
+        let stride = (n / 1024).max(1);
+        for (layout, options) in &layouts {
+            let mut sim = Simulation::with_config(
+                &workload.graph,
+                Mis::with_greedy_coloring(&workload.graph),
+                CentralRandom::enabled_only(),
+                workload.config.clone(),
+                0xFEED,
+                options.clone(),
+            );
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{}/layout={layout}", workload.label)),
+                &workload.graph,
+                |b, _| {
+                    b.iter(|| {
+                        for victim in (0..n).step_by(stride) {
+                            sim.set_state(
+                                NodeId::new(victim),
+                                MisState {
+                                    status: Membership::Dominator,
+                                    cur: Port::new(0),
+                                },
+                            );
+                        }
+                        for _ in 0..8 {
+                            sim.step();
+                        }
+                        sim.steps()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Entry point: stabilize every workload once, then run both scenarios
 /// over the shared configurations, then the million-node sharded tier,
-/// then the layout comparison at the 10⁶/10⁷ tiers.
+/// then the layout and guard-kernel comparisons at the 10⁶/10⁷ tiers
+/// (sharing their stabilized workloads).
+///
+/// The vendored criterion stub has no `--filter` support, and the full
+/// run stabilizes up-to-10⁷-process systems before a single sample is
+/// taken, so `HOT_PATH_GROUPS` (comma-separated subset of
+/// `base,sharded,soa,kernels`) selects which group families run —
+/// workloads are only stabilized for the families actually selected.
+/// Unset means everything, which is what CI's `--quick` smoke measures.
 fn bench_hot_path(c: &mut Criterion) {
-    let workloads = workloads();
-    bench_silent_stepping(c, &workloads);
-    bench_repair_wave(c, &workloads);
-    bench_tracing(c, &workloads);
-    bench_sharded(c);
-    bench_soa(c);
+    let only = std::env::var("HOT_PATH_GROUPS").ok();
+    let run = |name: &str| {
+        only.as_deref()
+            .map_or(true, |list| list.split(',').any(|g| g.trim() == name))
+    };
+
+    if run("base") {
+        let workloads = workloads();
+        bench_silent_stepping(c, &workloads);
+        bench_repair_wave(c, &workloads);
+        bench_tracing(c, &workloads);
+    }
+    if run("sharded") {
+        bench_sharded(c);
+    }
+    if run("soa") || run("kernels") {
+        let large = soa_workloads();
+        if run("soa") {
+            bench_soa(c, &large);
+        }
+        if run("kernels") {
+            bench_kernels(c, &large);
+        }
+    }
 }
 
 criterion_group!(benches, bench_hot_path);

@@ -21,8 +21,8 @@
 //! API: rows are decoded at the access site and encoded back on write, so
 //! the protocols themselves are layout-oblivious.
 
-use selfstab_graph::{BitColumn, Port};
-use selfstab_runtime::{SoaState, StateColumns};
+use selfstab_graph::{BitColumn, Graph, NodeId, Port};
+use selfstab_runtime::{EnabledWriter, SoaState, StateColumns};
 
 use crate::baselines::matching::BaselineMatchingState;
 use crate::coloring::ColoringState;
@@ -481,6 +481,191 @@ where
 // The Δ-efficient baseline matching state has no hot-path use at columnar
 // scale; it keeps row storage under either layout (the documented fallback).
 selfstab_runtime::aos_state!(BaselineMatchingState);
+
+// ---------------------------------------------------------------------------
+// Bulk guard kernels.
+//
+// These back the protocols' `Protocol::refresh_guards_bulk` overrides: the
+// executor's phase A hands a whole dirty batch down here and each kernel
+// evaluates the guards straight off the raw columns — `BitColumn` bits
+// gathered 64 lanes at a time into words the guard algebra combines with
+// single AND/OR/XOR instructions, u32 cells read without decoding a row or
+// building a `NeighborView`. They live in this module because the column
+// structs keep their fields private; each kernel is the proven-equivalent
+// word form of the corresponding scalar `eval` (the derivations are inlined
+// below, and the `kernel_step_equivalence` / `prop_soa` suites diff the two
+// paths byte-for-byte). None of them allocates: lane buffers are fixed
+// 64-entry stack arrays, honoring the zero-allocation steady-state envelope.
+
+/// Word width of one kernel batch: one bit lane per dirty node.
+const LANES: usize = 64;
+
+/// Bulk MIS guard over [`MisStateColumns`] / [`MisCommColumns`].
+///
+/// Scalar guard (from `Mis::eval`, with `own = S.p`, `nb = S.(cur.p)` and
+/// the colors from the communication constants):
+///
+/// * degree 0: enabled ⇔ `own = Dominated` (the promotion action) — as a
+///   bit, `!own`;
+/// * degree > 0: action 3 fires whenever `own = Dominator`, action 2
+///   whenever `own = Dominated ∧ (nb = Dominated ∨ C.p ≺ C.(cur.p))`, and
+///   action 1 is subsumed by action 3's guard, so
+///   `enabled = own ∨ ¬nb ∨ (C.p < C.(cur.p))`.
+///
+/// The kernel gathers the own and checked-neighbor membership bits into two
+/// words and applies that formula to all 64 lanes at once.
+pub(crate) fn mis_guard_kernel(
+    graph: &Graph,
+    state: &MisStateColumns,
+    comm: &MisCommColumns,
+    dirty: &[NodeId],
+    out: &mut EnabledWriter<'_>,
+) {
+    let mut own_idx = [0usize; LANES];
+    let mut nb_idx = [0usize; LANES];
+    for chunk in dirty.chunks(LANES) {
+        let lanes = chunk.len();
+        let mut deg0 = 0u64;
+        let mut color_lt = 0u64;
+        for (j, &p) in chunk.iter().enumerate() {
+            let i = p.index();
+            own_idx[j] = i;
+            let degree = graph.degree(p);
+            if degree == 0 {
+                deg0 |= 1 << j;
+                nb_idx[j] = i; // dummy lane, masked out below
+                continue;
+            }
+            let cur = state.cur[i] as usize % degree;
+            let q = graph.neighbor(p, Port::new(cur)).index();
+            nb_idx[j] = q;
+            if comm.color[i] < comm.color[q] {
+                color_lt |= 1 << j;
+            }
+        }
+        let own = state.status.gather_word(&own_idx[..lanes]);
+        let nb = comm.status.gather_word(&nb_idx[..lanes]);
+        let enabled = (!deg0 & (own | !nb | color_lt)) | (deg0 & !own);
+        for (j, &p) in chunk.iter().enumerate() {
+            out.write(p, enabled >> j & 1 == 1);
+        }
+    }
+}
+
+/// Streaming conflict scan over the raw coloring color column: `true` iff
+/// no edge joins two equal colors (the columnar arm of
+/// `Coloring::is_legitimate_store`). Reads each adjacency once through
+/// [`Graph::neighbor_slice`] with no row decoding.
+pub(crate) fn coloring_conflict_free(graph: &Graph, cols: &ColoringColumns) -> bool {
+    graph.nodes().all(|p| {
+        let color = cols.color[p.index()];
+        graph
+            .neighbor_slice(p)
+            .iter()
+            .all(|q| cols.color[q.index()] != color)
+    })
+}
+
+/// Bulk MATCHING guard over [`MatchingStateColumns`] / [`MatchingCommColumns`].
+///
+/// The six guards of `Matching::eval` (plus the pointer-renormalisation
+/// action) reduce to boolean algebra over per-lane condition bits, with the
+/// `Option<Port>` fields read directly in their `u32::MAX`-sentinel cell
+/// encoding:
+///
+/// * `has_pr = pr ≠ MAX`, `prcur = has_pr ∧ (pr mod δ) = cur`,
+/// * `npb` (PR.(cur.p) points back at p) checked in O(1) against the CSR
+///   adjacency instead of `port_to`'s scan: the graph is simple, so
+///   `PR.q = port_to(q, p)` ⇔ `PR.q` is an in-range port of `q` whose
+///   neighbor is `p`,
+/// * `PRmarried = prcur ∧ npb`, and the guard disjunction becomes
+///   `a1|a2|a3|a4|a5|a6|norm` with `a2 = M.p ⊕ PRmarried` etc.,
+/// * degree 0: enabled ⇔ `M.p ∨ has_pr` (the sanitation action).
+///
+/// The married bits ride in `BitColumn` gather words; everything else is
+/// per-lane u32 arithmetic with no row decode.
+pub(crate) fn matching_guard_kernel(
+    graph: &Graph,
+    state: &MatchingStateColumns,
+    comm: &MatchingCommColumns,
+    dirty: &[NodeId],
+    out: &mut EnabledWriter<'_>,
+) {
+    let mut own_idx = [0usize; LANES];
+    let mut nb_idx = [0usize; LANES];
+    for chunk in dirty.chunks(LANES) {
+        let lanes = chunk.len();
+        let mut deg0 = 0u64;
+        let mut has_pr = 0u64;
+        let mut prcur = 0u64; // has_pr ∧ clamped pr = cur
+        let mut npb = 0u64; // checked neighbor's PR points back at p
+        let mut nb_has_pr = 0u64;
+        let mut my_lt_nb = 0u64; // C.p ≺ C.(cur.p)
+        let mut nb_lt_my = 0u64; // C.(cur.p) ≺ C.p
+        let mut norm = 0u64; // out-of-domain pr/cur must be re-normalised
+        for (j, &p) in chunk.iter().enumerate() {
+            let i = p.index();
+            own_idx[j] = i;
+            let bit = 1u64 << j;
+            let pr_c = state.pr[i];
+            if pr_c != u32::MAX {
+                has_pr |= bit;
+            }
+            let degree = graph.degree(p);
+            if degree == 0 {
+                deg0 |= bit;
+                nb_idx[j] = i; // dummy lane, masked out below
+                continue;
+            }
+            let cur_c = state.cur[i] as usize;
+            let cur = cur_c % degree;
+            let q = graph.neighbor(p, Port::new(cur));
+            let qi = q.index();
+            nb_idx[j] = qi;
+            if pr_c != u32::MAX {
+                if pr_c as usize % degree == cur {
+                    prcur |= bit;
+                }
+                if pr_c as usize >= degree {
+                    norm |= bit;
+                }
+            }
+            if cur_c >= degree {
+                norm |= bit;
+            }
+            let nb_pr_c = comm.pr[qi];
+            if nb_pr_c != u32::MAX {
+                nb_has_pr |= bit;
+                if (nb_pr_c as usize) < graph.degree(q)
+                    && graph.neighbor(q, Port::new(nb_pr_c as usize)) == p
+                {
+                    npb |= bit;
+                }
+            }
+            let my_color = comm.color[i];
+            let nb_color = comm.color[qi];
+            if my_color < nb_color {
+                my_lt_nb |= bit;
+            } else if nb_color < my_color {
+                nb_lt_my |= bit;
+            }
+        }
+        let own_married = state.married.gather_word(&own_idx[..lanes]);
+        let nb_married = comm.married.gather_word(&nb_idx[..lanes]);
+        let pr_married = prcur & npb;
+        let a1 = has_pr & !prcur;
+        let a2 = own_married ^ pr_married;
+        let a3 = !has_pr & npb;
+        let a4 = prcur & !npb & (nb_married | nb_lt_my);
+        let a5 = !has_pr & !nb_has_pr & my_lt_nb & !nb_married;
+        let a6 = !has_pr & (nb_has_pr | nb_lt_my | nb_married);
+        let positive = a1 | a2 | a3 | a4 | a5 | a6 | norm;
+        let enabled = (!deg0 & positive) | (deg0 & (own_married | has_pr));
+        for (j, &p) in chunk.iter().enumerate() {
+            out.write(p, enabled >> j & 1 == 1);
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

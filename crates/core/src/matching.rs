@@ -29,7 +29,7 @@ use selfstab_graph::coloring::LocalColoring;
 use selfstab_graph::{verify, Graph, NodeId, Port};
 use selfstab_runtime::protocol::{bits_for_domain, Protocol};
 use selfstab_runtime::view::NeighborView;
-use selfstab_runtime::StateStore;
+use selfstab_runtime::{EnabledWriter, StateStore};
 use serde::{Deserialize, Serialize};
 
 /// Full state of a process running [`Matching`].
@@ -342,6 +342,27 @@ impl Protocol for Matching {
             Some(rows) => self.is_silent_config(graph, rows),
             None => self.silent_by(graph, |i| config.get(i)),
         }
+    }
+
+    fn has_bulk_guard_kernel(&self) -> bool {
+        true
+    }
+
+    fn refresh_guards_bulk(
+        &self,
+        graph: &Graph,
+        config: &StateStore<MatchingState>,
+        comm: &StateStore<MatchingComm>,
+        dirty: &[NodeId],
+        out: &mut EnabledWriter<'_>,
+    ) -> bool {
+        // Columnar stores only; the executor falls back to the scalar
+        // guard for row layouts.
+        let (Some(state), Some(comm)) = (config.columns(), comm.columns()) else {
+            return false;
+        };
+        crate::columns::matching_guard_kernel(graph, state, comm, dirty, out);
+        true
     }
 }
 

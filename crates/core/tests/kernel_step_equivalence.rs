@@ -1,0 +1,378 @@
+//! Differential acceptance test for the columnar bulk guard kernels.
+//!
+//! Every protocol in this crate that declares a columnar layout also ships
+//! a word-parallel `refresh_guards_bulk` kernel. This test pins the
+//! acceptance criterion of the kernel path: for each real protocol, an
+//! execution with guard kernels enabled — sequential, 4-worker sharded,
+//! and threshold-mixed (small dirty batches fall back to the scalar walk
+//! mid-run) — is **byte-identical** to the array-of-structs scalar
+//! baseline at every observation point: step outcomes, executed lists,
+//! decoded configurations, maintained enabled sets, silence/legitimacy
+//! verdicts, statistics and final reports.
+//!
+//! The drive alternates structured fault injections with short step
+//! bursts, so the kernels are exercised on corrupted configurations,
+//! repair waves and the silent regime, not just clean convergence. A
+//! final case records a kernel-mode run into a trace file and replays it
+//! with deep per-step record comparison, proving the kernel path also
+//! survives the capture → replay round trip.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfstab_core::coloring::Coloring;
+use selfstab_core::matching::Matching;
+use selfstab_core::mis::{Membership, Mis, MisState};
+use selfstab_graph::{generators, Graph};
+use selfstab_runtime::faults::{
+    run_fault_plan, BallCenter, FaultEvent, FaultInjector, FaultLoad, FaultModel, FaultPlan,
+};
+use selfstab_runtime::scheduler::DistributedRandom;
+use selfstab_runtime::telemetry::{replay_with, Fnv64, TraceFileReader, TraceFooter, TraceHeader};
+use selfstab_runtime::{FileSink, Protocol, RunStats, SimOptions, Simulation};
+
+/// One executor lane: a simulation in some kernel/worker configuration plus
+/// its own (identically seeded) fault stream.
+struct Lane<'g, P: Protocol> {
+    label: &'static str,
+    sim: Simulation<'g, P, DistributedRandom>,
+    injector: FaultInjector,
+    fault_rng: StdRng,
+}
+
+fn models() -> [FaultModel; 3] {
+    [
+        FaultModel::Uniform(FaultLoad::Fraction(0.25)),
+        FaultModel::Ball {
+            center: BallCenter::Random,
+            radius: 1,
+        },
+        FaultModel::DegreeTargeted(FaultLoad::Count(3)),
+    ]
+}
+
+/// The kernel lanes under test, all columnar with `guard_kernels` on:
+/// sequential with the threshold forced to zero (every refresh takes the
+/// bulk path), 4-worker sharded, and sequential with a mid-range
+/// threshold so small repair tails drop back to the scalar walk while
+/// fault bursts go through the kernel.
+fn kernel_options() -> [(&'static str, SimOptions); 3] {
+    [
+        (
+            "kernel",
+            SimOptions::default()
+                .with_soa_layout()
+                .with_guard_kernels()
+                .with_guard_kernel_threshold(0),
+        ),
+        (
+            "kernel-w4",
+            SimOptions::default()
+                .with_soa_layout()
+                .with_guard_kernels()
+                .with_guard_kernel_threshold(0)
+                .with_step_workers(4)
+                .with_parallel_work_threshold(0),
+        ),
+        (
+            "kernel-mixed",
+            SimOptions::default()
+                .with_soa_layout()
+                .with_guard_kernels()
+                .with_guard_kernel_threshold(16),
+        ),
+    ]
+}
+
+/// Runs the AoS scalar baseline against the kernel lanes in lockstep
+/// through fault/repair cycles and asserts that no observable ever
+/// diverges.
+fn assert_kernel_equivalence<P: Protocol>(
+    graph: &Graph,
+    make: impl Fn() -> P,
+    seed: u64,
+    name: &str,
+) {
+    assert!(
+        make().has_bulk_guard_kernel(),
+        "{name}: protocol must advertise a bulk guard kernel"
+    );
+    let lane = |label: &'static str, options: SimOptions| Lane {
+        label,
+        sim: Simulation::new(graph, make(), DistributedRandom::new(0.5), seed, options),
+        injector: FaultInjector::new(graph),
+        fault_rng: StdRng::seed_from_u64(seed ^ 0xFA17),
+    };
+    let mut baseline = lane("aos", SimOptions::default());
+    let mut kernel_lanes = kernel_options().map(|(label, options)| lane(label, options));
+    assert!(!baseline.sim.state_store().is_soa());
+    for lane in &kernel_lanes {
+        assert!(
+            lane.sim.state_store().is_soa(),
+            "{name}: kernel lanes must run on the columnar store"
+        );
+    }
+
+    let models = models();
+    for cycle in 0..8 {
+        let model = models[cycle % models.len()];
+        let expected_victims = baseline
+            .injector
+            .inject(&mut baseline.sim, model, &mut baseline.fault_rng)
+            .to_vec();
+        for lane in &mut kernel_lanes {
+            let victims = lane
+                .injector
+                .inject(&mut lane.sim, model, &mut lane.fault_rng)
+                .to_vec();
+            assert_eq!(
+                victims, expected_victims,
+                "{name}/{}: victims diverged at cycle {cycle}",
+                lane.label
+            );
+        }
+        for step in 0..9 {
+            let expected_outcome = baseline.sim.step();
+            let expected_config = baseline.sim.config_vec();
+            let expected_flags = baseline.sim.enabled_set().as_flags().to_vec();
+            let expected_silent = baseline.sim.is_silent();
+            let expected_legit = baseline.sim.is_legitimate();
+            for lane in &mut kernel_lanes {
+                let outcome = lane.sim.step();
+                assert_eq!(
+                    outcome, expected_outcome,
+                    "{name}/{}: step outcome diverged at cycle {cycle} step {step}",
+                    lane.label
+                );
+                assert_eq!(
+                    lane.sim.last_executed(),
+                    baseline.sim.last_executed(),
+                    "{name}/{}: executed list diverged at cycle {cycle} step {step}",
+                    lane.label
+                );
+                assert_eq!(
+                    lane.sim.config_vec(),
+                    expected_config,
+                    "{name}/{}: configuration diverged at cycle {cycle} step {step}",
+                    lane.label
+                );
+                assert_eq!(
+                    lane.sim.enabled_set().as_flags(),
+                    &expected_flags[..],
+                    "{name}/{}: enabled flags diverged at cycle {cycle} step {step}",
+                    lane.label
+                );
+                assert_eq!(
+                    lane.sim.is_silent(),
+                    expected_silent,
+                    "{name}/{}: silence verdict diverged at cycle {cycle} step {step}",
+                    lane.label
+                );
+                assert_eq!(
+                    lane.sim.is_legitimate(),
+                    expected_legit,
+                    "{name}/{}: legitimacy verdict diverged at cycle {cycle} step {step}",
+                    lane.label
+                );
+            }
+        }
+    }
+
+    // Settle: same silent point, same verdicts, same stats.
+    let expected_report = baseline.sim.run_until_silent(1_000_000);
+    assert!(expected_report.silent, "{name}: baseline must settle");
+    assert!(baseline.sim.is_legitimate());
+    for lane in &mut kernel_lanes {
+        let report = lane.sim.run_until_silent(1_000_000);
+        assert_eq!(
+            report, expected_report,
+            "{name}/{}: final reports diverged",
+            lane.label
+        );
+        assert!(
+            lane.sim.is_legitimate(),
+            "{name}/{}: silent but not legitimate",
+            lane.label
+        );
+        assert_eq!(
+            lane.sim.config_vec(),
+            baseline.sim.config_vec(),
+            "{name}/{}: final configurations diverged",
+            lane.label
+        );
+        assert_eq!(
+            lane.sim.stats(),
+            baseline.sim.stats(),
+            "{name}/{}: stats diverged",
+            lane.label
+        );
+    }
+}
+
+#[test]
+fn coloring_kernel_matches_scalar() {
+    let graph = generators::ring(24);
+    assert_kernel_equivalence(&graph, || Coloring::new(&graph), 61, "coloring");
+}
+
+#[test]
+fn mis_kernel_matches_scalar() {
+    let graph = generators::grid(5, 6);
+    assert_kernel_equivalence(&graph, || Mis::with_greedy_coloring(&graph), 62, "mis");
+}
+
+#[test]
+fn matching_kernel_matches_scalar() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = generators::gnp_connected(20, 0.25, &mut rng).expect("valid parameters");
+    assert_kernel_equivalence(
+        &graph,
+        || Matching::with_greedy_coloring(&graph),
+        63,
+        "matching",
+    );
+}
+
+fn mis_config_digest(config: &[MisState]) -> u64 {
+    let mut hasher = Fnv64::new();
+    hasher.write_usize(config.len());
+    for state in config {
+        hasher.write_bool(state.status == Membership::Dominator);
+        hasher.write_usize(state.cur.index());
+    }
+    hasher.finish()
+}
+
+/// Records a kernel-mode MIS fault-recovery run into a trace file, then
+/// replays it under the same kernel options with deep per-step record
+/// comparison, and cross-checks the whole run against a scalar AoS
+/// execution of the same scenario.
+#[test]
+fn record_replay_verifies_against_kernel_capture() {
+    let graph = generators::grid(6, 6);
+    let seed = 64;
+    let kernel_opts = || {
+        SimOptions::default()
+            .with_soa_layout()
+            .with_guard_kernels()
+            .with_guard_kernel_threshold(0)
+    };
+    let plan = || {
+        FaultPlan::new(vec![
+            FaultEvent {
+                at_step: 0,
+                model: FaultModel::Uniform(FaultLoad::Fraction(0.25)),
+            },
+            FaultEvent {
+                at_step: 17,
+                model: FaultModel::StuckAt(FaultLoad::Count(3)),
+            },
+            FaultEvent {
+                at_step: 43,
+                model: FaultModel::Uniform(FaultLoad::Count(2)),
+            },
+        ])
+    };
+    const FAULT_RNG_SALT: u64 = 0xFA17;
+    const MAX_STEPS: u64 = 3_000;
+    let path = std::env::temp_dir().join(format!(
+        "sstb_kernel_replay_{seed}_{}.trace",
+        std::process::id()
+    ));
+
+    // Record under the kernel options.
+    let mut sim = Simulation::new(
+        &graph,
+        Mis::with_greedy_coloring(&graph),
+        DistributedRandom::new(0.5),
+        seed,
+        kernel_opts(),
+    );
+    let sink = FileSink::create(
+        &path,
+        &TraceHeader {
+            node_count: graph.node_count() as u64,
+            seed,
+            meta: format!("protocol=mis-1-efficient;layout=soa+kernels;seed={seed}"),
+        },
+    )
+    .expect("creates trace file");
+    sim.attach_trace_sink(Box::new(sink));
+    let mut injector = FaultInjector::new(&graph);
+    let mut rng = StdRng::seed_from_u64(seed ^ FAULT_RNG_SALT);
+    run_fault_plan(&mut sim, &plan(), &mut injector, &mut rng, MAX_STEPS);
+    let steps = sim.steps();
+    assert!(steps > 0, "the scenario must execute steps");
+    let recorded_stats: RunStats = sim.stats().clone();
+    let recorded_config = sim.config_vec();
+    let mut sink = sim.detach_trace_sink().expect("sink attached");
+    sink.finish(&TraceFooter {
+        steps,
+        stats_digest: recorded_stats.digest(),
+        config_digest: mis_config_digest(&recorded_config),
+    })
+    .expect("seals trace file");
+
+    // The same scenario in scalar AoS mode must produce the same run —
+    // the capture is a kernel-path artifact, the trajectory is not.
+    let mut scalar = Simulation::new(
+        &graph,
+        Mis::with_greedy_coloring(&graph),
+        DistributedRandom::new(0.5),
+        seed,
+        SimOptions::default(),
+    );
+    let mut injector = FaultInjector::new(&graph);
+    let mut rng = StdRng::seed_from_u64(seed ^ FAULT_RNG_SALT);
+    run_fault_plan(&mut scalar, &plan(), &mut injector, &mut rng, MAX_STEPS);
+    assert_eq!(scalar.steps(), steps, "scalar run: step count");
+    assert_eq!(scalar.stats(), &recorded_stats, "scalar run: stats");
+    assert_eq!(scalar.config_vec(), recorded_config, "scalar run: config");
+
+    // Replay under the kernel options with the deep per-step record
+    // comparison enabled.
+    let mut reader = TraceFileReader::open(&path).expect("opens trace file");
+    let records = reader.read_to_end().expect("decodes step stream");
+    let footer = *reader.footer().expect("footer after the stream");
+    assert_eq!(footer.steps, steps);
+
+    let scenario = plan();
+    let mut injector = FaultInjector::new(&graph);
+    let mut rng = StdRng::seed_from_u64(seed ^ FAULT_RNG_SALT);
+    let mut next_event = 0;
+    let outcome = replay_with(
+        &graph,
+        Mis::with_greedy_coloring(&graph),
+        seed,
+        kernel_opts().with_trace(),
+        records,
+        |sim| {
+            while next_event < scenario.events().len()
+                && scenario.events()[next_event].at_step <= sim.steps()
+            {
+                injector.inject(sim, scenario.events()[next_event].model, &mut rng);
+                next_event += 1;
+            }
+        },
+    )
+    .unwrap_or_else(|divergence| panic!("{divergence}"));
+
+    assert_eq!(
+        next_event,
+        scenario.events().len(),
+        "every recorded injection must fire during replay"
+    );
+    assert_eq!(outcome.steps, steps, "replay: step count");
+    assert_eq!(outcome.stats, recorded_stats, "replay: RunStats equality");
+    assert_eq!(outcome.config, recorded_config, "replay: final config");
+    assert_eq!(
+        outcome.stats.digest(),
+        footer.stats_digest,
+        "replay: stats digest vs footer"
+    );
+    assert_eq!(
+        mis_config_digest(&outcome.config),
+        footer.config_digest,
+        "replay: config digest vs footer"
+    );
+    std::fs::remove_file(&path).ok();
+}

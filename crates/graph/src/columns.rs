@@ -88,6 +88,69 @@ impl BitColumn {
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// The backing `u64` words, 64 bits per word, little-endian within a
+    /// word (bit `i` of the column is bit `i % 64` of word `i / 64`).
+    ///
+    /// When `len()` is not a multiple of 64 the tail word carries
+    /// `len() % 64` significant bits; the remainder is kept zero by
+    /// [`set`](Self::set), so word-level consumers may use
+    /// [`tail_mask`](Self::tail_mask) to bound full-word operations.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mask selecting the significant bits of the last word, or `!0` when
+    /// the length is a multiple of 64 (including the empty column).
+    #[must_use]
+    pub fn tail_mask(&self) -> u64 {
+        match self.len % 64 {
+            0 => !0,
+            tail => (1u64 << tail) - 1,
+        }
+    }
+
+    /// Gathers up to 64 arbitrary bits into one word: lane `j` of the
+    /// result is bit `indices[j]`. Panics if `indices.len() > 64` or any
+    /// index is out of range.
+    ///
+    /// This is the scatter/gather primitive of the columnar guard
+    /// kernels: a batch of dirty nodes (or their guard-relevant
+    /// neighbors) becomes a single word that word-parallel boolean
+    /// algebra can consume.
+    #[must_use]
+    pub fn gather_word(&self, indices: &[usize]) -> u64 {
+        assert!(
+            indices.len() <= 64,
+            "gather_word takes at most 64 lanes, got {}",
+            indices.len()
+        );
+        let mut word = 0u64;
+        for (lane, &i) in indices.iter().enumerate() {
+            assert!(
+                i < self.len,
+                "BitColumn index {i} out of range {}",
+                self.len
+            );
+            word |= ((self.words[i / 64] >> (i % 64)) & 1) << lane;
+        }
+        word
+    }
+
+    /// Gathers `indices` into `out`, one word per 64-lane chunk (the last
+    /// word holds the `indices.len() % 64` tail lanes). `out` must have
+    /// `indices.len().div_ceil(64)` words.
+    pub fn gather_words(&self, indices: &[usize], out: &mut [u64]) {
+        assert_eq!(
+            out.len(),
+            indices.len().div_ceil(64),
+            "gather_words output width mismatch"
+        );
+        for (word, chunk) in out.iter_mut().zip(indices.chunks(64)) {
+            *word = self.gather_word(chunk);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -137,5 +200,72 @@ mod tests {
     fn out_of_range_get_panics() {
         let col = BitColumn::zeros(10);
         let _ = col.get(10);
+    }
+
+    #[test]
+    fn words_expose_packed_bits_with_zero_padding() {
+        let mut col = BitColumn::zeros(70);
+        col.set(0, true);
+        col.set(63, true);
+        col.set(69, true);
+        let words = col.words();
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0], 1 | (1 << 63));
+        assert_eq!(words[1], 1 << 5);
+        // Clearing keeps the padding zero.
+        col.set(69, false);
+        assert_eq!(col.words()[1], 0);
+    }
+
+    #[test]
+    fn tail_mask_bounds_the_last_word() {
+        assert_eq!(BitColumn::zeros(0).tail_mask(), !0);
+        assert_eq!(BitColumn::zeros(64).tail_mask(), !0);
+        assert_eq!(BitColumn::zeros(65).tail_mask(), 1);
+        assert_eq!(BitColumn::zeros(70).tail_mask(), (1 << 6) - 1);
+        let col = BitColumn::from_fn(70, |_| true);
+        assert_eq!(col.words()[1] & !col.tail_mask(), 0);
+        assert_eq!(col.words()[1], col.tail_mask());
+    }
+
+    #[test]
+    fn gather_word_permutes_bits_into_lanes() {
+        let col = BitColumn::from_fn(200, |i| i % 3 == 0);
+        let indices = [0usize, 1, 2, 63, 64, 65, 66, 199, 198];
+        let word = col.gather_word(&indices);
+        for (lane, &i) in indices.iter().enumerate() {
+            assert_eq!(word >> lane & 1 == 1, i % 3 == 0, "lane {lane} <- bit {i}");
+        }
+        // Unused high lanes stay zero.
+        assert_eq!(word >> indices.len(), 0);
+        assert_eq!(col.gather_word(&[]), 0);
+    }
+
+    #[test]
+    fn gather_word_matches_scalar_reads_on_full_width() {
+        let col = BitColumn::from_fn(512, |i| (i * 7 + 3) % 5 < 2);
+        let indices: Vec<usize> = (0..64).map(|j| (j * 31) % 512).collect();
+        let word = col.gather_word(&indices);
+        for (lane, &i) in indices.iter().enumerate() {
+            assert_eq!(word >> lane & 1 == 1, col.get(i), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn gather_words_chunks_the_index_list() {
+        let col = BitColumn::from_fn(300, |i| i % 2 == 1);
+        let indices: Vec<usize> = (0..100).map(|j| (j * 13) % 300).collect();
+        let mut out = [0u64; 2];
+        col.gather_words(&indices, &mut out);
+        assert_eq!(out[0], col.gather_word(&indices[..64]));
+        assert_eq!(out[1], col.gather_word(&indices[64..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 lanes")]
+    fn gather_word_rejects_wide_batches() {
+        let col = BitColumn::zeros(128);
+        let indices = [0usize; 65];
+        let _ = col.gather_word(&indices);
     }
 }

@@ -73,6 +73,7 @@ use selfstab_graph::{Graph, NodeId, NodePartition, Port};
 use serde::{Deserialize, Serialize};
 
 use crate::enabled::EnabledSet;
+use crate::kernel::EnabledWriter;
 use crate::protocol::Protocol;
 use crate::scheduler::{Scheduler, SchedulerContext};
 use crate::soa::StateStore;
@@ -125,6 +126,25 @@ pub struct SimOptions {
     /// slice accessors [`Simulation::config`] / [`Simulation::comm_config`]
     /// are unavailable — use the by-value and store accessors instead.
     pub soa_layout: bool,
+    /// Route the guard-refresh phase through the protocol's bulk guard
+    /// kernel ([`Protocol::refresh_guards_bulk`]) when one exists: instead
+    /// of decoding one row per dirty node and calling the scalar guard,
+    /// the whole dirty batch is evaluated with word-parallel bit
+    /// operations over the raw state columns. Only engages when the
+    /// protocol reports a kernel, no read restriction is installed, and a
+    /// shard's batch reaches [`guard_kernel_threshold`](Self::guard_kernel_threshold);
+    /// the scalar path remains the fallback in every other case. The
+    /// observable execution — enabled sets, [`RunStats`], traces, replay —
+    /// is byte-identical either way, at every worker count (pinned by the
+    /// `kernel_step_equivalence` differential tests).
+    pub guard_kernels: bool,
+    /// Minimum per-shard dirty-batch size before the bulk kernel path is
+    /// taken; smaller batches keep the scalar path, whose per-node cost
+    /// wins in sparse single-activation regimes where a 64-lane gather
+    /// would run mostly empty. Set to `0` to force the kernel on every
+    /// non-empty batch (the equivalence tests do). Ignored unless
+    /// [`guard_kernels`](Self::guard_kernels) is set.
+    pub guard_kernel_threshold: usize,
 }
 
 impl Default for SimOptions {
@@ -137,6 +157,8 @@ impl Default for SimOptions {
             step_workers: 1,
             parallel_work_threshold: 256,
             soa_layout: false,
+            guard_kernels: false,
+            guard_kernel_threshold: 64,
         }
     }
 }
@@ -191,6 +213,25 @@ impl SimOptions {
     #[must_use]
     pub fn with_soa_layout(mut self) -> Self {
         self.soa_layout = true;
+        self
+    }
+
+    /// Enables the bulk guard-kernel path for the guard-refresh phase (see
+    /// [`SimOptions::guard_kernels`]). Typically combined with
+    /// [`SimOptions::with_soa_layout`]: kernels evaluate over raw columns
+    /// and decline row stores, so without SoA this is a no-op.
+    #[must_use]
+    pub fn with_guard_kernels(mut self) -> Self {
+        self.guard_kernels = true;
+        self
+    }
+
+    /// Sets the minimum per-shard dirty-batch size for the kernel path
+    /// (see [`SimOptions::guard_kernel_threshold`]; `0` forces the kernel
+    /// on every non-empty batch).
+    #[must_use]
+    pub fn with_guard_kernel_threshold(mut self, threshold: usize) -> Self {
+        self.guard_kernel_threshold = threshold;
         self
     }
 }
@@ -484,8 +525,11 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     /// [`Simulation::config_vec`] or [`Simulation::state_store`] there.
     pub fn config(&self) -> &[P::State] {
         self.config.as_slice().expect(
-            "Simulation::config() needs the array-of-structs layout; under \
-             SimOptions::with_soa_layout use state_of()/config_vec()/state_store()",
+            "Simulation::config() needs the array-of-structs layout: a columnar store has no \
+             contiguous row slice to borrow. Under SimOptions::with_soa_layout read single \
+             states with state_of(p), visit a row in place with state_store().with_row(i, f), \
+             or materialize everything with config_vec(). See docs/ARCHITECTURE.md, \
+             \"Memory layout & hot path\".",
         )
     }
 
@@ -500,8 +544,11 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     /// [`Simulation::comm_store`] there.
     pub fn comm_config(&self) -> &[P::Comm] {
         self.comm_cache.as_slice().expect(
-            "Simulation::comm_config() needs the array-of-structs layout; under \
-             SimOptions::with_soa_layout use comm_of()/comm_store()",
+            "Simulation::comm_config() needs the array-of-structs layout: a columnar store has \
+             no contiguous row slice to borrow. Under SimOptions::with_soa_layout read single \
+             communication states with comm_of(p) or visit rows in place with \
+             comm_store().with_row(i, f). See docs/ARCHITECTURE.md, \
+             \"Memory layout & hot path\".",
         )
     }
 
@@ -705,6 +752,10 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             step: self.step,
             salt: self.activation_salt,
             tracing: false,
+            use_kernel: self.options.guard_kernels
+                && self.options.read_restriction.is_none()
+                && self.protocol.has_bulk_guard_kernel(),
+            kernel_threshold: self.options.guard_kernel_threshold,
         };
         let mut evaluations = 0u64;
         let mut delta = 0isize;
@@ -897,6 +948,8 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             step,
             salt: self.activation_salt,
             tracing,
+            use_kernel: false,
+            kernel_threshold: 0,
         };
         let mut newly_selected = 0usize;
         let mut read_operations_delta = 0u64;
@@ -1227,6 +1280,13 @@ struct StepContext<'a, P: Protocol> {
     step: u64,
     salt: u64,
     tracing: bool,
+    /// Whether the guard-refresh phase may dispatch to the protocol's bulk
+    /// kernel (options enable it, the protocol has one, and no read
+    /// restriction is installed). Always `false` for the activation phase.
+    use_kernel: bool,
+    /// Minimum per-shard batch size for the kernel path
+    /// ([`SimOptions::guard_kernel_threshold`]).
+    kernel_threshold: usize,
 }
 
 impl<'a, P: Protocol> StepContext<'a, P> {
@@ -1261,6 +1321,30 @@ struct GuardTask<'a, C> {
 }
 
 fn run_guard_task<P: Protocol>(task: &mut GuardTask<'_, P::Comm>, ctx: &StepContext<'_, P>) {
+    // Bulk path: hand the whole batch to the protocol's columnar kernel.
+    // The writer replicates the scalar flag-flip/delta bookkeeping below
+    // and the executor charges one evaluation per dequeued node either
+    // way, so the two paths are observably identical. A declined batch
+    // (row-layout store, or no kernel for this store shape) falls through
+    // to the scalar loop, which re-clears the dirty flags harmlessly.
+    if ctx.use_kernel && !task.queue.is_empty() && task.queue.len() >= ctx.kernel_threshold {
+        for &p in task.queue.iter() {
+            task.dirty[p.index() - task.node_base] = false;
+        }
+        let mut writer = EnabledWriter::new(task.node_base, task.enabled);
+        if ctx.protocol.refresh_guards_bulk(
+            ctx.graph,
+            ctx.config,
+            ctx.comm_cache,
+            task.queue,
+            &mut writer,
+        ) {
+            task.guard_evaluations += task.queue.len() as u64;
+            task.enabled_delta += writer.delta();
+            task.queue.clear();
+            return;
+        }
+    }
     for i in 0..task.queue.len() {
         let p = task.queue[i];
         let local = p.index() - task.node_base;

@@ -388,6 +388,14 @@ impl FaultInjector {
                 sim.set_state(p, state);
             }
         }
+        // Re-checked after the `StuckAt` candidate search, not just after
+        // selection: the search mutates the simulation per candidate, and
+        // a future refactor routing that through victim bookkeeping must
+        // not be able to duplicate entries unnoticed.
+        debug_assert!(
+            self.last_victims_distinct(),
+            "fault injection must leave pairwise-distinct victims"
+        );
         &self.victims
     }
 }

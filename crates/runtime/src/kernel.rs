@@ -1,0 +1,92 @@
+//! Bulk guard-kernel support: the write-side plumbing that lets a protocol
+//! refresh many guards in one call over its raw state columns.
+//!
+//! The executor's phase A normally dequeues dirty nodes one at a time,
+//! decodes a row per node and calls the scalar guard
+//! ([`Protocol::is_enabled`](crate::protocol::Protocol::is_enabled)). When
+//! the simulation runs the columnar layout, a protocol can instead implement
+//! [`Protocol::refresh_guards_bulk`](crate::protocol::Protocol::refresh_guards_bulk)
+//! and evaluate the whole dirty batch with word-parallel bit operations and
+//! branch-light column scans. The kernel reports each verdict through an
+//! [`EnabledWriter`], which replicates the executor's flag-flip and delta
+//! accounting exactly — so the maintained enabled set, `RunStats`, traces
+//! and replay stay byte-identical to the scalar path.
+
+use selfstab_graph::NodeId;
+
+/// Write cursor over one shard's enabled flags, handed to bulk guard
+/// kernels by the executor.
+///
+/// The executor maintains the enabled set incrementally: a per-node `bool`
+/// flag plus a running count. A kernel reports the guard verdict of every
+/// dirty node it was given through [`write`](Self::write); the writer flips
+/// the flag only when the verdict changed and accumulates the count delta,
+/// mirroring the scalar path's bookkeeping bit for bit. Verdicts may arrive
+/// in any order, but exactly one verdict per dirty node must be written —
+/// the executor charges one guard evaluation per node in the batch.
+#[derive(Debug)]
+pub struct EnabledWriter<'a> {
+    /// Global index of the first node of the shard `flags` covers.
+    node_base: usize,
+    /// The shard's slice of the per-node enabled flags.
+    flags: &'a mut [bool],
+    /// Net change to the enabled count from the verdicts written so far.
+    delta: isize,
+}
+
+impl<'a> EnabledWriter<'a> {
+    /// Wraps a shard's flag slice. `node_base` is the global index of
+    /// `flags[0]`; kernels address nodes by their global [`NodeId`].
+    #[must_use]
+    pub fn new(node_base: usize, flags: &'a mut [bool]) -> Self {
+        Self {
+            node_base,
+            flags,
+            delta: 0,
+        }
+    }
+
+    /// Records the guard verdict for node `p`. Panics if `p` lies outside
+    /// the shard this writer covers.
+    #[inline]
+    pub fn write(&mut self, p: NodeId, enabled: bool) {
+        let local = p.index() - self.node_base;
+        if self.flags[local] != enabled {
+            self.flags[local] = enabled;
+            self.delta += if enabled { 1 } else { -1 };
+        }
+    }
+
+    /// Net change to the enabled count accumulated by this writer.
+    #[must_use]
+    pub fn delta(&self) -> isize {
+        self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_flips_flags_and_tracks_the_delta() {
+        let mut flags = [false, true, false, true];
+        let mut writer = EnabledWriter::new(10, &mut flags);
+        writer.write(NodeId::new(10), true); // false -> true: +1
+        writer.write(NodeId::new(11), true); // unchanged
+        writer.write(NodeId::new(12), false); // unchanged
+        writer.write(NodeId::new(13), false); // true -> false: -1
+        assert_eq!(writer.delta(), 0);
+        writer.write(NodeId::new(12), true); // +1
+        assert_eq!(writer.delta(), 1);
+        assert_eq!(flags, [true, true, true, false]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_shard_writes_panic() {
+        let mut flags = [false; 2];
+        let mut writer = EnabledWriter::new(4, &mut flags);
+        writer.write(NodeId::new(3), true);
+    }
+}

@@ -99,6 +99,7 @@ pub mod enabled;
 pub mod executor;
 pub mod faults;
 pub mod guarded;
+pub mod kernel;
 pub mod probes;
 pub mod protocol;
 pub mod scheduler;
@@ -113,6 +114,7 @@ pub use executor::{run_cell, RunReport, SimOptions, Simulation};
 pub use faults::{
     run_fault_plan, BallCenter, FaultInjector, FaultLoad, FaultModel, FaultPlan, RecoveryTelemetry,
 };
+pub use kernel::EnabledWriter;
 pub use protocol::Protocol;
 pub use scheduler::Scheduler;
 pub use soa::{SoaState, StateColumns, StateStore};

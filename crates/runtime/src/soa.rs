@@ -205,6 +205,19 @@ impl<T: SoaState> StateStore<T> {
         }
     }
 
+    /// The columnar backing storage, when this store is in the SoA layout
+    /// (`None` for array-of-structs rows). This is how bulk guard kernels
+    /// ([`Protocol::refresh_guards_bulk`](crate::protocol::Protocol::refresh_guards_bulk))
+    /// reach the raw columns: a kernel that receives `None` declines and the
+    /// executor falls back to the scalar row-decode path.
+    #[must_use]
+    pub fn columns(&self) -> Option<&T::Columns> {
+        match self {
+            StateStore::Aos(_) => None,
+            StateStore::Soa(cols) => Some(cols),
+        }
+    }
+
     /// Materializes all rows into a `Vec` (allocates in the SoA layout).
     #[must_use]
     pub fn to_vec(&self) -> Vec<T> {
@@ -251,6 +264,7 @@ mod tests {
             assert_eq!(store.get(13), 999);
             assert_eq!(store.with_row(13, |v| *v + 1), 1000);
             assert_eq!(store.as_slice().is_some(), !soa);
+            assert_eq!(store.columns().is_some(), soa);
             assert!(store.heap_bytes() >= 257 * 4);
         }
     }

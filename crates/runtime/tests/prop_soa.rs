@@ -5,12 +5,14 @@
 //! * **Store vs model**: a columnar [`StateStore`] driven by a random
 //!   get/set/roundtrip op sequence must behave exactly like the reference
 //!   `Vec` model it was built from.
-//! * **Execution equivalence**: a simulation using the SoA layout must be
-//!   observably identical to the array-of-structs baseline under random
-//!   interleavings of steps and structured fault injections, for every
-//!   daemon and at `step_workers ∈ {1, 4}`. Layout is a storage concern;
-//!   if it ever leaked into configurations, enabled sets, executed lists
-//!   or statistics, these properties would shrink to a minimal witness.
+//! * **Execution equivalence**: a simulation using the SoA layout — with
+//!   and without the bulk guard-kernel path — must be observably identical
+//!   to the array-of-structs baseline under random interleavings of steps
+//!   and structured fault injections, for every daemon and at
+//!   `step_workers ∈ {1, 4}`. Layout and guard-refresh strategy are
+//!   storage/executor concerns; if either ever leaked into configurations,
+//!   enabled sets, executed lists or statistics, these properties would
+//!   shrink to a minimal witness.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -23,7 +25,7 @@ use selfstab_runtime::scheduler::{
     StarvingAdversary, Synchronous,
 };
 use selfstab_runtime::view::NeighborView;
-use selfstab_runtime::{SimOptions, Simulation, StateStore};
+use selfstab_runtime::{EnabledWriter, SimOptions, Simulation, StateStore};
 
 /// Minimum propagation with a randomized descent (mirrors the protocol of
 /// `parallel_step_equivalence.rs`): guards read every neighbor and the
@@ -88,6 +90,36 @@ impl Protocol for NoisyMin {
         let min = config.iter().min().copied().unwrap_or(0);
         config.iter().all(|&v| v == min)
     }
+
+    fn has_bulk_guard_kernel(&self) -> bool {
+        true
+    }
+
+    /// Bulk form of the guard: a direct scan over the `u32` columns. The
+    /// kernel lanes below route dirty batches through this path, so any
+    /// disagreement with the scalar `is_enabled` above shrinks to a
+    /// minimal witness.
+    fn refresh_guards_bulk(
+        &self,
+        graph: &Graph,
+        config: &StateStore<u32>,
+        comm: &StateStore<u32>,
+        dirty: &[NodeId],
+        out: &mut EnabledWriter<'_>,
+    ) -> bool {
+        let (Some(state), Some(comm)) = (config.columns(), comm.columns()) else {
+            return false;
+        };
+        for &p in dirty {
+            let own = state[p.index()];
+            let enabled = graph
+                .neighbor_slice(p)
+                .iter()
+                .any(|q| comm[q.index()] < own);
+            out.write(p, enabled);
+        }
+        true
+    }
 }
 
 /// One random interleaving element: execute a step, or inject a structured
@@ -119,9 +151,10 @@ struct Lane<'g, S: Scheduler> {
     fault_rng: StdRng,
 }
 
-/// Drives the AoS baseline and the SoA lanes (sequential and 4-worker
-/// sharded) through one op interleaving in lockstep and asserts that no
-/// observable ever diverges.
+/// Drives the AoS baseline and the SoA lanes — sequential and 4-worker
+/// sharded, each with the scalar guard walk and with the bulk
+/// guard-kernel path forced on — through one op interleaving in lockstep
+/// and asserts that no observable ever diverges.
 fn assert_soa_equivalence<S: Scheduler>(
     graph: &Graph,
     make: impl Fn() -> S,
@@ -142,6 +175,22 @@ fn assert_soa_equivalence<S: Scheduler>(
             "soa-w4",
             SimOptions::default()
                 .with_soa_layout()
+                .with_step_workers(4)
+                .with_parallel_work_threshold(0),
+        ),
+        lane(
+            "soa+k",
+            SimOptions::default()
+                .with_soa_layout()
+                .with_guard_kernels()
+                .with_guard_kernel_threshold(0),
+        ),
+        lane(
+            "soa+k-w4",
+            SimOptions::default()
+                .with_soa_layout()
+                .with_guard_kernels()
+                .with_guard_kernel_threshold(0)
                 .with_step_workers(4)
                 .with_parallel_work_threshold(0),
         ),

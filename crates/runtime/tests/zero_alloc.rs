@@ -28,7 +28,7 @@ use selfstab_runtime::scheduler::{
     CentralRandom, CentralRoundRobin, DistributedRandom, LocallyCentral, Scheduler, Synchronous,
 };
 use selfstab_runtime::view::NeighborView;
-use selfstab_runtime::{SimOptions, Simulation};
+use selfstab_runtime::{EnabledWriter, SimOptions, Simulation, StateStore};
 
 /// Global allocation-event counter (alloc + realloc; frees are irrelevant
 /// to the "no allocation" claim).
@@ -144,6 +144,35 @@ impl Protocol for MinValue {
     fn is_legitimate(&self, _graph: &Graph, config: &[u32]) -> bool {
         let min = config.iter().min().copied().unwrap_or(0);
         config.iter().all(|&v| v == min)
+    }
+
+    fn has_bulk_guard_kernel(&self) -> bool {
+        true
+    }
+
+    /// Bulk form of the guard: a direct scan over the `u32` columns using
+    /// only borrowed slices — the kernel regime below asserts this path is
+    /// as allocation-free as the scalar walk.
+    fn refresh_guards_bulk(
+        &self,
+        graph: &Graph,
+        config: &StateStore<u32>,
+        comm: &StateStore<u32>,
+        dirty: &[NodeId],
+        out: &mut EnabledWriter<'_>,
+    ) -> bool {
+        let (Some(state), Some(comm)) = (config.columns(), comm.columns()) else {
+            return false;
+        };
+        for &p in dirty {
+            let own = state[p.index()];
+            let enabled = graph
+                .neighbor_slice(p)
+                .iter()
+                .any(|q| comm[q.index()] < own);
+            out.write(p, enabled);
+        }
+        true
     }
 }
 
@@ -367,8 +396,16 @@ fn assert_zero_worker_alloc_steady_state<S: Scheduler>(
 /// scratch. With `workers > 1` the coordinator may allocate its per-step
 /// task list but worker threads must not (gather buffers are per-shard
 /// scratch).
-fn assert_zero_alloc_soa_steady_state(graph: &Graph, workers: usize, daemon: &str) {
+///
+/// With `kernels` set, the same regimes run with the bulk guard-kernel
+/// path forced on (`with_guard_kernels`, threshold zero): every dirty
+/// batch routes through `refresh_guards_bulk`, which must be as
+/// allocation-free as the scalar walk it replaces.
+fn assert_zero_alloc_soa_steady_state(graph: &Graph, workers: usize, kernels: bool, daemon: &str) {
     let mut options = SimOptions::default().with_soa_layout();
+    if kernels {
+        options = options.with_guard_kernels().with_guard_kernel_threshold(0);
+    }
     if workers > 1 {
         options = options
             .with_step_workers(workers)
@@ -474,8 +511,14 @@ fn steady_state_step_performs_zero_heap_allocations() {
     // Struct-of-arrays regimes: the columnar store preserves the
     // zero-allocation steady state, sequentially and under the sharded
     // executor.
-    assert_zero_alloc_soa_steady_state(&ring, 1, "soa/ring");
-    assert_zero_alloc_soa_steady_state(&big_ring, 4, "soa/ring512");
+    assert_zero_alloc_soa_steady_state(&ring, 1, false, "soa/ring");
+    assert_zero_alloc_soa_steady_state(&big_ring, 4, false, "soa/ring512");
+
+    // Guard-kernel regimes: routing every dirty batch through the bulk
+    // guard kernel must not reintroduce allocation, sequentially or on
+    // worker threads.
+    assert_zero_alloc_soa_steady_state(&ring, 1, true, "soa+kernels/ring");
+    assert_zero_alloc_soa_steady_state(&big_ring, 4, true, "soa+kernels/ring512");
 
     // Sanity check that the counter actually works: an explicit allocation
     // must register.
