@@ -409,6 +409,7 @@ fn main() -> ExitCode {
         );
     }
 
+    // lint: allow(determinism) — stderr timing line only; never enters the tables
     let started = Instant::now();
     let tables = experiments::run_selected(&config, args.only.as_deref());
     let elapsed = started.elapsed();

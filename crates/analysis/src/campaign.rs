@@ -77,12 +77,12 @@ static CELL_SAMPLES: Mutex<Vec<f64>> = Mutex::new(Vec::new());
 
 /// Turns per-cell progress streaming on or off process-wide.
 pub fn set_progress_streaming(enabled: bool) {
-    PROGRESS.store(enabled, Ordering::Relaxed);
+    PROGRESS.store(enabled, Ordering::Relaxed); // ordering: on/off flag guarding no data
 }
 
 /// Whether per-cell progress streaming is enabled.
 pub fn progress_streaming() -> bool {
-    PROGRESS.load(Ordering::Relaxed)
+    PROGRESS.load(Ordering::Relaxed) // ordering: flag read; staleness only delays a progress line
 }
 
 /// A snapshot of the raw per-cell duration samples (seconds) collected
@@ -245,6 +245,7 @@ impl<P> CampaignSpec<P> {
             if !observing {
                 return cell_fn(self.cell(index));
             }
+            // lint: allow(determinism) — wall time feeds metrics/progress only; results never depend on it
             let started = Instant::now();
             let value = cell_fn(self.cell(index));
             let elapsed = started.elapsed();
@@ -256,7 +257,7 @@ impl<P> CampaignSpec<P> {
                     .push(elapsed.as_secs_f64());
             }
             if progress_streaming() {
-                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1; // ordering: progress tally only
                 let cell = self.cell(index);
                 eprintln!(
                     "campaign cell {done}/{total}: point {}/{} seed {} ({:.2} ms)",
@@ -278,7 +279,7 @@ impl<P> CampaignSpec<P> {
                 let workers: Vec<_> = (0..threads)
                     .map(|_| {
                         scope.spawn(|| loop {
-                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            let index = cursor.fetch_add(1, Ordering::Relaxed); // ordering: unique-index handout; results flow through the mutex
                             if index >= total {
                                 break;
                             }
@@ -509,10 +510,10 @@ mod tests {
         let spec = CampaignSpec::new((0usize..5).collect(), (100..104).collect());
         let counter = AtomicU64::new(0);
         let results = spec.run(4, |cell| {
-            counter.fetch_add(1, Ordering::Relaxed);
+            counter.fetch_add(1, Ordering::Relaxed); // ordering: test tally, asserted after run() returns
             (cell.point_index, cell.seed_index)
         });
-        assert_eq!(counter.load(Ordering::Relaxed), 20);
+        assert_eq!(counter.load(Ordering::Relaxed), 20); // ordering: read after the scoped pool joined
         let coords: BTreeSet<(usize, usize)> = results
             .iter()
             .flat_map(|pr| pr.runs.iter().copied())

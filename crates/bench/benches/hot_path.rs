@@ -636,7 +636,7 @@ fn bench_hot_path(c: &mut Criterion) {
     let only = std::env::var("HOT_PATH_GROUPS").ok();
     let run = |name: &str| {
         only.as_deref()
-            .map_or(true, |list| list.split(',').any(|g| g.trim() == name))
+            .is_none_or(|list| list.split(',').any(|g| g.trim() == name))
     };
 
     if run("base") {

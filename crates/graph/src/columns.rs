@@ -22,6 +22,7 @@ impl BitColumn {
     #[must_use]
     pub fn zeros(len: usize) -> Self {
         Self {
+            // lint: allow(hot-alloc) — column construction; stepping mutates words in place
             words: vec![0; len.div_ceil(64)],
             len,
         }

@@ -20,6 +20,7 @@ use crate::node::NodeId;
 ///
 /// [`Graph`]: crate::Graph
 pub(crate) fn from_pairs(n: usize, pairs: &[(usize, NodeId)]) -> (Vec<NodeId>, Vec<u32>) {
+    // lint: allow(hot-alloc) — CSR build is construction-time, not stepping
     let mut degree = vec![0u32; n];
     for &(row, _) in pairs {
         degree[row] += 1;
@@ -31,8 +32,8 @@ pub(crate) fn from_pairs(n: usize, pairs: &[(usize, NodeId)]) -> (Vec<NodeId>, V
         total += d;
         offsets.push(total);
     }
-    let mut cursor: Vec<u32> = offsets[..n].to_vec();
-    let mut flat = vec![NodeId::new(0); total as usize];
+    let mut cursor: Vec<u32> = offsets[..n].to_vec(); // lint: allow(hot-alloc) — construction-time cursor scratch
+    let mut flat = vec![NodeId::new(0); total as usize]; // lint: allow(hot-alloc) — construction-time CSR backbone
     for &(row, value) in pairs {
         flat[cursor[row] as usize] = value;
         cursor[row] += 1;

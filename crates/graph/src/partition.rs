@@ -137,7 +137,7 @@ impl NodePartition {
     /// shards lists every cross-shard edge exactly twice (once per
     /// direction), which is the symmetry the property tests check.
     pub fn boundary_edges(&self, graph: &Graph, s: usize) -> Vec<(NodeId, NodeId)> {
-        let mut out = Vec::new();
+        let mut out = Vec::new(); // lint: allow(hot-alloc) — test/diagnostic helper; the executor consumes ranges()
         for i in self.range(s) {
             let p = NodeId::new(i);
             for q in graph.neighbors(p) {

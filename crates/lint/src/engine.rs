@@ -1,0 +1,514 @@
+//! The rule engine: token stream in, findings and atomic inventory out.
+//!
+//! For every file the engine lexes the source once, walks the significant
+//! tokens (comments and literal contents are opaque), and tries every
+//! pattern of the [`rules`](crate::rules) table at every position. A
+//! match becomes a finding unless one of three things absolves it:
+//!
+//! 1. **Scope** — the rule's family does not apply to the file's path, or
+//!    the match sits inside a `#[cfg(test)] mod` region and the family
+//!    exempts test code.
+//! 2. **Escape** — an adjacent `// lint: allow(<rule>[, <rule>]) — <reason>`
+//!    comment names the rule. The reason is mandatory: an escape without
+//!    one (or naming an unknown rule) is itself a finding (`lint-escape`),
+//!    so silencing the linter always leaves a reviewable justification.
+//! 3. **Justification** (atomic-audit only) — an adjacent `// ordering:`
+//!    comment explains the chosen memory ordering. Justified or not, every
+//!    site lands in the atomic inventory for review.
+//!
+//! "Adjacent" means: a comment on the same line as the match, or in the
+//! contiguous run of comment-only lines directly above it — the same
+//! placement rustfmt preserves.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{Family, Pat, Rule, RULES};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id: a family id or `lint-escape` for malformed escapes.
+    pub rule: String,
+    /// The matched construct (e.g. `Vec::new`), or the escape text.
+    pub construct: String,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line of the match.
+    pub line: u32,
+    /// Why this is flagged.
+    pub message: String,
+}
+
+/// One `Ordering::*` site, justified or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicSite {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line of the `Ordering::` path.
+    pub line: u32,
+    /// `Relaxed`, `Acquire`, `Release`, `AcqRel` or `SeqCst`.
+    pub ordering: String,
+    /// The trimmed source line, for review without opening the file.
+    pub context: String,
+    /// Text after `ordering:` in the adjacent justification comment,
+    /// `None` when the site is unjustified (which is also a finding).
+    pub justification: Option<String>,
+}
+
+/// Everything the engine extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Rule violations, in source order.
+    pub findings: Vec<Finding>,
+    /// All atomic-ordering sites, in source order.
+    pub atomic_sites: Vec<AtomicSite>,
+}
+
+/// Per-line facts needed for escape and justification lookups.
+#[derive(Debug, Default, Clone)]
+struct LineInfo {
+    /// Any significant token starts on this line.
+    has_code: bool,
+    /// Any comment covers this line (block comments span lines).
+    has_comment: bool,
+    /// Non-doc comment texts *starting* on this line. Doc comments are
+    /// deliberately absent: escapes and `ordering:` justifications are
+    /// directives and must live in ordinary `//` comments — prose *about*
+    /// the syntax (like this crate's own docs) must not trigger or
+    /// satisfy them.
+    comments: Vec<String>,
+}
+
+/// Lints one file's source as if it lived at `rel_path` (workspace-
+/// relative, `/`-separated). The path only drives scoping, so fixture
+/// tests can lint arbitrary content "as" a hot-path module.
+pub fn lint_source(rel_path: &str, source: &str) -> FileReport {
+    let tokens = lex(source);
+    let sig: Vec<&Token<'_>> = tokens.iter().filter(|t| t.is_significant()).collect();
+    let lines = line_infos(source, &tokens);
+    let test_regions = cfg_test_regions(&sig);
+    let in_test = |byte: usize| test_regions.iter().any(|r| r.contains(&byte));
+
+    let mut report = FileReport::default();
+    check_escape_hygiene(rel_path, &lines, &mut report);
+
+    for start in 0..sig.len() {
+        for rule in RULES {
+            if !rule.family.applies_to(rel_path) {
+                continue;
+            }
+            let Some(matched_ident) = match_pattern(&sig[start..], rule.pattern) else {
+                continue;
+            };
+            let site = sig[start + rule.pattern.len() - 1];
+            let anchor = sig[start];
+            if !rule.family.applies_in_test_code() && in_test(anchor.start) {
+                continue;
+            }
+            let mut adjacent = adjacent_comments(&lines, anchor.line);
+            if site.line != anchor.line {
+                // A pattern split across lines (chained calls): trailing
+                // comments on the last line count too.
+                if let Some(info) = lines.get(site.line as usize) {
+                    adjacent.extend(info.comments.iter().cloned());
+                }
+            }
+            if rule.family == Family::AtomicAudit {
+                let justification = adjacent.iter().find_map(|c| extract_after(c, "ordering:"));
+                let justified = justification.is_some();
+                report.atomic_sites.push(AtomicSite {
+                    file: rel_path.to_string(),
+                    line: site.line,
+                    ordering: matched_ident.to_string(),
+                    context: source_line(source, site.line),
+                    justification,
+                });
+                if justified || escaped(&adjacent, rule.family.id()) {
+                    continue;
+                }
+            } else if escaped(&adjacent, rule.family.id()) {
+                continue;
+            }
+            report.findings.push(Finding {
+                rule: rule.family.id().to_string(),
+                construct: display_construct(rule, matched_ident),
+                file: rel_path.to_string(),
+                line: site.line,
+                message: rule.message.to_string(),
+            });
+        }
+    }
+    report.findings.sort_by_key(|f| f.line);
+    report
+}
+
+/// For `IdIn` tails the construct shows the concrete ident
+/// (`Ordering::Relaxed`), otherwise the rule's static name.
+fn display_construct(rule: &Rule, matched_ident: &str) -> String {
+    if matches!(rule.pattern.last(), Some(Pat::IdIn(_))) {
+        format!("Ordering::{matched_ident}")
+    } else {
+        rule.construct.to_string()
+    }
+}
+
+/// Matches `pattern` at the head of `sig`; returns the text of the last
+/// matched identifier (the concrete choice for [`Pat::IdIn`]).
+fn match_pattern<'a>(sig: &[&Token<'a>], pattern: &[Pat]) -> Option<&'a str> {
+    if sig.len() < pattern.len() {
+        return None;
+    }
+    let mut last_ident = "";
+    for (token, pat) in sig.iter().zip(pattern) {
+        match pat {
+            Pat::Id(name) => {
+                if token.kind != TokenKind::Ident || token.text != *name {
+                    return None;
+                }
+                last_ident = token.text;
+            }
+            Pat::IdIn(names) => {
+                if token.kind != TokenKind::Ident || !names.contains(&token.text) {
+                    return None;
+                }
+                last_ident = token.text;
+            }
+            Pat::P(c) => {
+                if token.kind != TokenKind::Punct || !token.text.starts_with(*c) {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(last_ident)
+}
+
+/// Builds the per-line table of code and comment coverage.
+fn line_infos(source: &str, tokens: &[Token<'_>]) -> Vec<LineInfo> {
+    let line_count = source.lines().count() + 2;
+    let mut lines = vec![LineInfo::default(); line_count + 1];
+    for token in tokens {
+        let line = token.line as usize;
+        if token.is_significant() || matches!(token.kind, TokenKind::Str | TokenKind::Char) {
+            lines[line].has_code = true;
+            // Multi-line strings put "code" on every line they span.
+            for extra in 1..=token.text.matches('\n').count() {
+                lines[line + extra].has_code = true;
+            }
+        }
+        if token.is_comment() {
+            let doc = matches!(
+                token.kind,
+                TokenKind::LineComment { doc: true } | TokenKind::BlockComment { doc: true }
+            );
+            if !doc {
+                lines[line].comments.push(token.text.to_string());
+            }
+            let span = token.text.matches('\n').count() + 1;
+            for covered in lines.iter_mut().skip(line).take(span) {
+                covered.has_comment = true;
+            }
+        }
+    }
+    lines
+}
+
+/// The comments adjacent to `line`: on the line itself, plus the
+/// contiguous run of comment-only lines directly above.
+fn adjacent_comments(lines: &[LineInfo], line: u32) -> Vec<String> {
+    let mut result = Vec::new();
+    let line = line as usize;
+    if let Some(info) = lines.get(line) {
+        result.extend(info.comments.iter().cloned());
+    }
+    let mut above = line;
+    while above > 1 {
+        above -= 1;
+        let info = &lines[above];
+        if info.has_code || !info.has_comment {
+            break;
+        }
+        result.extend(info.comments.iter().cloned());
+    }
+    result
+}
+
+/// Whether any adjacent comment carries a well-formed escape naming
+/// `rule_id`. Malformed escapes never suppress (they are reported by
+/// [`check_escape_hygiene`] instead).
+fn escaped(comments: &[String], rule_id: &str) -> bool {
+    comments.iter().any(|c| {
+        parse_escape(c).is_some_and(|escape| {
+            escape.reason_present && escape.rules.iter().any(|r| r == rule_id)
+        })
+    })
+}
+
+/// A parsed `lint: allow(...)` escape.
+#[derive(Debug, PartialEq, Eq)]
+struct Escape {
+    rules: Vec<String>,
+    reason_present: bool,
+}
+
+/// Parses the escape syntax out of a comment, if present:
+/// `// lint: allow(rule-a, rule-b) — reason text`. Returns `None` when
+/// the comment contains no `lint: allow` marker at all; a marker with a
+/// mangled tail parses as an escape with no rules / no reason so hygiene
+/// checking can flag it.
+fn parse_escape(comment: &str) -> Option<Escape> {
+    let after_marker = comment.split("lint: allow").nth(1)?;
+    let Some(open) = after_marker.find('(') else {
+        return Some(Escape {
+            rules: Vec::new(),
+            reason_present: false,
+        });
+    };
+    let after_open = &after_marker[open + 1..];
+    let Some(close) = after_open.find(')') else {
+        return Some(Escape {
+            rules: Vec::new(),
+            reason_present: false,
+        });
+    };
+    let rules = after_open[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let reason = after_open[close + 1..]
+        .trim_start_matches(['—', '–', '-', ':', ' ', '\t'])
+        .trim();
+    Some(Escape {
+        rules,
+        reason_present: reason.chars().filter(|c| c.is_alphanumeric()).count() >= 3,
+    })
+}
+
+/// Flags malformed escapes anywhere in the file: unparseable syntax,
+/// empty rule list, unknown rule ids, or a missing reason.
+fn check_escape_hygiene(rel_path: &str, lines: &[LineInfo], report: &mut FileReport) {
+    for (line, info) in lines.iter().enumerate() {
+        for comment in &info.comments {
+            let Some(escape) = parse_escape(comment) else {
+                continue;
+            };
+            let mut problems = Vec::new();
+            if escape.rules.is_empty() {
+                problems.push("names no rule (expected `lint: allow(<rule>) — <reason>`)".into());
+            }
+            for rule in &escape.rules {
+                if !Family::ALL.iter().any(|f| f.id() == rule) {
+                    problems.push(format!("names unknown rule `{rule}`"));
+                }
+            }
+            if !escape.reason_present {
+                problems.push("is missing its mandatory reason".into());
+            }
+            for problem in problems {
+                report.findings.push(Finding {
+                    rule: "lint-escape".to_string(),
+                    construct: comment.trim().to_string(),
+                    file: rel_path.to_string(),
+                    line: line as u32,
+                    message: format!("escape comment {problem}"),
+                });
+            }
+        }
+    }
+}
+
+/// Byte ranges of `#[cfg(test)] mod … { … }` bodies, found by brace
+/// matching over significant tokens (braces inside strings or comments
+/// are already invisible here).
+fn cfg_test_regions(sig: &[&Token<'_>]) -> Vec<std::ops::Range<usize>> {
+    const ATTR: [Pat; 7] = [
+        Pat::P('#'),
+        Pat::P('['),
+        Pat::Id("cfg"),
+        Pat::P('('),
+        Pat::Id("test"),
+        Pat::P(')'),
+        Pat::P(']'),
+    ];
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + ATTR.len() <= sig.len() {
+        if match_pattern(&sig[i..], &ATTR).is_none() {
+            i += 1;
+            continue;
+        }
+        let after_attr = i + ATTR.len();
+        // Allow a few tokens (further attributes, visibility) between the
+        // attribute and the `mod` keyword.
+        let mod_at = (after_attr..sig.len().min(after_attr + 8))
+            .find(|&j| sig[j].kind == TokenKind::Ident && sig[j].text == "mod");
+        let Some(mod_at) = mod_at else {
+            i = after_attr;
+            continue;
+        };
+        let open = (mod_at..sig.len()).find(|&j| sig[j].text == "{");
+        let Some(open) = open else {
+            i = after_attr;
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut close = None;
+        for (j, token) in sig.iter().enumerate().skip(open) {
+            match token.text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        match close {
+            Some(close) => {
+                regions.push(sig[open].start..sig[close].start + 1);
+                i = close + 1;
+            }
+            None => {
+                // Unbalanced braces: treat the rest of the file as test
+                // code rather than walking past the end.
+                regions.push(sig[open].start..usize::MAX);
+                break;
+            }
+        }
+    }
+    regions
+}
+
+/// Text after `marker` in `comment`, trimmed, when present and nonempty.
+fn extract_after(comment: &str, marker: &str) -> Option<String> {
+    let tail = comment.split(marker).nth(1)?.trim();
+    let tail = tail.trim_end_matches("*/").trim();
+    (!tail.is_empty()).then(|| tail.to_string())
+}
+
+/// The trimmed text of 1-based `line` in `source`.
+fn source_line(source: &str, line: u32) -> String {
+    source
+        .lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or("")
+        .trim()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: &str = "crates/runtime/src/executor.rs";
+
+    fn findings(path: &str, src: &str) -> Vec<(String, u32)> {
+        lint_source(path, src)
+            .findings
+            .iter()
+            .map(|f| (f.rule.clone(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn flags_allocation_in_hot_module() {
+        let src = "fn f() {\n    let v = Vec::new();\n}\n";
+        assert_eq!(findings(HOT, src), vec![("hot-alloc".to_string(), 2)]);
+        // Same content outside the hot set: clean.
+        assert_eq!(findings("crates/analysis/src/table.rs", src), vec![]);
+    }
+
+    #[test]
+    fn escape_with_reason_suppresses() {
+        let src = "fn f() {\n    // lint: allow(hot-alloc) — built once at startup\n    let v = Vec::new();\n}\n";
+        assert_eq!(findings(HOT, src), vec![]);
+        let trailing =
+            "fn f() {\n    let v = Vec::new(); // lint: allow(hot-alloc) — startup only\n}\n";
+        assert_eq!(findings(HOT, trailing), vec![]);
+    }
+
+    #[test]
+    fn escape_without_reason_is_a_finding_and_does_not_suppress() {
+        let src = "fn f() {\n    // lint: allow(hot-alloc)\n    let v = Vec::new();\n}\n";
+        let got = findings(HOT, src);
+        assert!(got.contains(&("hot-alloc".to_string(), 3)), "{got:?}");
+        assert!(got.contains(&("lint-escape".to_string(), 2)), "{got:?}");
+    }
+
+    #[test]
+    fn escape_with_unknown_rule_is_flagged() {
+        let src = "// lint: allow(hot-allocs) — typo in the rule name\nfn f() {}\n";
+        let got = findings("src/lib.rs", src);
+        assert_eq!(got, vec![("lint-escape".to_string(), 1)]);
+    }
+
+    #[test]
+    fn cfg_test_mod_exempts_hot_alloc_but_not_atomics() {
+        let src = "\
+fn hot() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() {\n\
+        let v = vec![1];\n\
+        x.store(1, Ordering::Relaxed);\n\
+    }\n\
+}\n";
+        let got = findings(HOT, src);
+        assert_eq!(got, vec![("atomic-audit".to_string(), 7)]);
+    }
+
+    #[test]
+    fn atomic_with_ordering_comment_is_inventoried_not_flagged() {
+        let src = "fn f() {\n    // ordering: monotonic counter, no ordering required\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let report = lint_source("crates/x/src/lib.rs", src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.atomic_sites.len(), 1);
+        let site = &report.atomic_sites[0];
+        assert_eq!(site.ordering, "Relaxed");
+        assert_eq!(
+            site.justification.as_deref(),
+            Some("monotonic counter, no ordering required")
+        );
+    }
+
+    #[test]
+    fn comment_block_above_reaches_through_comment_lines_only() {
+        let src = "\
+fn f() {\n\
+    // ordering: justified here,\n\
+    // continuing on a second comment line\n\
+    c.load(Ordering::Acquire);\n\
+    c.load(Ordering::Release);\n\
+}\n";
+        let report = lint_source("crates/x/src/lib.rs", src);
+        // Line 4 sees the block; line 5 has code (line 4) directly above.
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].line, 5);
+    }
+
+    #[test]
+    fn mid_path_positions_do_not_double_report() {
+        let src = "fn f() { let v = std::vec::Vec::new(); }\n";
+        assert_eq!(findings(HOT, src).len(), 1);
+    }
+
+    #[test]
+    fn patterns_in_strings_and_comments_are_invisible() {
+        let src = "fn f() {\n    let s = \"Vec::new() vec![]\";\n    // Vec::new() in prose\n}\n";
+        assert_eq!(findings(HOT, src), vec![]);
+    }
+
+    #[test]
+    fn determinism_rules_fire_in_result_producing_src() {
+        let src = "fn f() { let t = Instant::now(); let m: HashMap<u32, u32> = x; }\n";
+        let got = findings("crates/analysis/src/campaign.rs", src);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|(rule, _)| rule == "determinism"));
+        // Benches are out of scope.
+        assert_eq!(findings("crates/bench/benches/hot_path.rs", src), vec![]);
+    }
+}

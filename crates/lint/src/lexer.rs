@@ -1,0 +1,525 @@
+//! A lossless, dependency-free Rust lexer.
+//!
+//! The rule engine only needs a *token-accurate* view of a source file —
+//! enough to tell code from comments and string contents, to find
+//! identifier paths like `Vec::new`, and to associate findings with line
+//! numbers. It does not need a parse tree, so this lexer deliberately
+//! stops at the token level and never fails: every byte of the input,
+//! valid Rust or not, lands in exactly one token (malformed tails become
+//! [`TokenKind::Unterminated`]). That totality is what the proptest
+//! round-trip in `tests/lexer_props.rs` pins down:
+//! `concat(token.text) == input` for arbitrary byte soup.
+//!
+//! Constructs handled precisely because mis-lexing them would corrupt
+//! rule matching:
+//!
+//! * nested block comments (`/* a /* b */ c */`) and doc comments
+//!   (`///`, `//!`, `/** */`, `/*! */`),
+//! * raw strings with arbitrary hash fences (`r#"..."#`, `r##"..."##`)
+//!   and raw identifiers (`r#fn`),
+//! * byte / C strings and their raw forms (`b"..."`, `br#"..."#`,
+//!   `c"..."`, `cr#"..."#`),
+//! * char literals vs lifetimes (`'a'` vs `'a`, `'\''`, `b'x'`),
+//! * numeric literals with underscores, radix prefixes and float forms
+//!   (`1_000`, `0x1F`, `1.5e-3`) without swallowing `1..n` or `1.max(2)`.
+
+/// The category of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (spaces, tabs, newlines).
+    Whitespace,
+    /// A `//` comment up to (not including) the newline. `doc` marks
+    /// `///` and `//!` forms (`////…` is an ordinary comment, as in rustc).
+    LineComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// A `/* … */` comment, nesting-aware. `doc` marks `/**` and `/*!`.
+    BlockComment {
+        /// Whether this is a doc comment.
+        doc: bool,
+    },
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `c"…"`, `cr"…"` — contents are opaque to the rule engine.
+    Str,
+    /// A char or byte-char literal (`'x'`, `'\u{1F600}'`, `b'\n'`).
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// An identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A numeric literal (integer or float, any radix, with suffix).
+    Number,
+    /// A single punctuation byte (`::` is two `:` tokens).
+    Punct,
+    /// A malformed construct running to end of input (unterminated
+    /// string, char, or block comment). Never panics the lexer.
+    Unterminated,
+}
+
+/// One token: kind, the exact source slice, and its position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token's category.
+    pub kind: TokenKind,
+    /// The exact source text of the token (lossless slice).
+    pub text: &'a str,
+    /// Byte offset of the token's first byte in the input.
+    pub start: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Whether this token carries code the rule engine matches on
+    /// (identifiers, numbers, punctuation — not trivia, not literals'
+    /// contents).
+    pub fn is_significant(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Ident | TokenKind::Number | TokenKind::Punct
+        )
+    }
+
+    /// Whether this token is a comment (line or block, doc or not).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// Lexes `input` into a lossless token stream: the concatenation of all
+/// `token.text` slices equals `input` byte-for-byte, spans are contiguous,
+/// and the function never panics on arbitrary input.
+pub fn lex(input: &str) -> Vec<Token<'_>> {
+    Lexer {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+/// Whether `b` can start an identifier. Bytes ≥ 0x80 (any non-ASCII
+/// UTF-8 sequence) are treated as identifier characters: that keeps the
+/// lexer total on arbitrary unicode without a full XID table, and it can
+/// never split a multi-byte character across tokens.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut tokens = Vec::new();
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            tokens.push(Token {
+                kind,
+                text: &self.input[start..self.pos],
+                start,
+                line,
+            });
+        }
+        tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.bytes.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.bytes[self.pos];
+        match b {
+            _ if b.is_ascii_whitespace() => {
+                while self.peek(0).is_some_and(|b| b.is_ascii_whitespace()) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' | b'c' if self.literal_prefix().is_some() => {
+                let (consume, raw) = self.literal_prefix().expect("checked above");
+                self.bump_n(consume);
+                if raw {
+                    self.raw_string_body()
+                } else {
+                    match self.peek(0) {
+                        Some(b'"') => self.string(),
+                        Some(b'\'') => self.byte_char(),
+                        _ => unreachable!("literal_prefix guarantees a quote"),
+                    }
+                }
+            }
+            _ if is_ident_start(b) => {
+                // `r#ident` raw identifiers: `r`/`b`/`c` followed by `#`
+                // and an identifier start were not a literal prefix above.
+                if (b == b'r' || b == b'b' || b == b'c')
+                    && self.peek(1) == Some(b'#')
+                    && self.peek(2).is_some_and(is_ident_start)
+                {
+                    self.bump_n(2);
+                }
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokenKind::Ident
+            }
+            _ if b.is_ascii_digit() => self.number(),
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// If the cursor sits on a string/char literal prefix (`r"`, `r#"`,
+    /// `b"`, `b'`, `br"`, `c"`, `cr##"`, …), returns
+    /// `(bytes to consume before the quote/fence, is_raw)`.
+    fn literal_prefix(&self) -> Option<(usize, bool)> {
+        let mut ahead = 1; // past the leading r/b/c
+        let lead = self.bytes[self.pos];
+        let mut raw = lead == b'r';
+        if !raw && (lead == b'b' || lead == b'c') && self.peek(ahead) == Some(b'r') {
+            raw = true;
+            ahead += 1;
+        }
+        if raw {
+            let mut hashes = 0;
+            while self.peek(ahead + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            // Consume only the prefix letters; the raw body scanner
+            // re-counts the hash fence itself.
+            (self.peek(ahead + hashes) == Some(b'"')).then_some((ahead, true))
+        } else {
+            match self.peek(ahead) {
+                Some(b'"') => Some((ahead, false)),
+                Some(b'\'') if lead == b'b' => Some((ahead, false)),
+                _ => None,
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        let doc = (self.peek(2) == Some(b'/') && self.peek(3) != Some(b'/'))
+            || self.peek(2) == Some(b'!');
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.bump();
+        }
+        TokenKind::LineComment { doc }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        let doc = (self.peek(2) == Some(b'*') && self.peek(3) != Some(b'*'))
+            || self.peek(2) == Some(b'!');
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+                if depth == 0 {
+                    return TokenKind::BlockComment { doc };
+                }
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::Unterminated
+    }
+
+    /// A non-raw string body starting at the opening `"`.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return TokenKind::Str;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Unterminated
+    }
+
+    /// A raw string starting at the hash fence or opening quote
+    /// (prefix `r`/`br`/`cr` already consumed).
+    fn raw_string_body(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        debug_assert_eq!(self.peek(0), Some(b'"'));
+        self.bump();
+        while self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'"') {
+                let fence_closed = (1..=hashes).all(|i| self.peek(i) == Some(b'#'));
+                if fence_closed {
+                    self.bump_n(1 + hashes);
+                    return TokenKind::Str;
+                }
+            }
+            self.bump();
+        }
+        TokenKind::Unterminated
+    }
+
+    /// A byte-char literal starting at the `'` (after `b`).
+    fn byte_char(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        self.char_tail()
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime), rustc-style:
+    /// after the quote, an identifier character followed by another `'`
+    /// is a char literal; an identifier character followed by anything
+    /// else starts a lifetime. Escapes always mean char.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let next = self.peek(1);
+        match next {
+            Some(b'\\') => {
+                self.bump();
+                self.char_tail()
+            }
+            Some(b) if is_ident_continue(b) && self.peek(2) != Some(b'\'') => {
+                self.bump(); // quote
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokenKind::Lifetime
+            }
+            Some(_) => {
+                self.bump();
+                self.char_tail()
+            }
+            None => {
+                self.bump();
+                TokenKind::Unterminated
+            }
+        }
+    }
+
+    /// Scans a char-literal body after the opening quote up to the
+    /// closing quote, handling escapes (`'\''`, `'\u{…}'`).
+    fn char_tail(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'\'' => {
+                    self.bump();
+                    return TokenKind::Char;
+                }
+                // A newline in a char literal is always malformed; stop
+                // so the lexer cannot swallow the rest of the file on a
+                // stray quote.
+                b'\n' => return TokenKind::Unterminated,
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Unterminated
+    }
+
+    /// A numeric literal: one alphanumeric/underscore run, plus a
+    /// fractional part only when a digit follows the dot (so `1..n` and
+    /// `1.max(2)` keep their dots as separate tokens).
+    fn number(&mut self) -> TokenKind {
+        let alnum_run = |lexer: &mut Self| {
+            while lexer
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                lexer.bump();
+            }
+        };
+        alnum_run(self);
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump(); // the dot
+            alnum_run(self);
+        }
+        // Exponent sign: `1e-9` / `2.5E+10` end their alphanumeric run at
+        // `e`; pull in the sign and the exponent digits.
+        if self.peek(0).is_some_and(|b| b == b'+' || b == b'-')
+            && self
+                .bytes
+                .get(self.pos - 1)
+                .is_some_and(|&b| b == b'e' || b == b'E')
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.bump();
+            alnum_run(self);
+        }
+        TokenKind::Number
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<(TokenKind, &str)> {
+        lex(input).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn roundtrip(input: &str) {
+        let tokens = lex(input);
+        let rebuilt: String = tokens.iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, input);
+        let mut pos = 0;
+        for t in &tokens {
+            assert_eq!(t.start, pos, "spans must be contiguous");
+            pos += t.text.len();
+        }
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b /* c */ */ still comment */ code";
+        let toks = kinds(src);
+        assert_eq!(
+            toks[0],
+            (
+                TokenKind::BlockComment { doc: false },
+                "/* a /* b /* c */ */ still comment */"
+            )
+        );
+        assert_eq!(toks[2], (TokenKind::Ident, "code"));
+        roundtrip(src);
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fences() {
+        for src in [
+            r####"r"plain""####,
+            r####"r#"one "quote" deep"#"####,
+            r####"r##"fence "# inside"##"####,
+            r####"br#"bytes"#"####,
+            r####"cr"c string""####,
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src:?} lexes as one token: {toks:?}");
+            assert_eq!(toks[0].0, TokenKind::Str);
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let toks = kinds("r#match r#fn(x)");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#match"));
+        assert_eq!(toks[2], (TokenKind::Ident, "r#fn"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        assert_eq!(kinds("'a'")[0], (TokenKind::Char, "'a'"));
+        assert_eq!(kinds("'a")[0], (TokenKind::Lifetime, "'a"));
+        assert_eq!(kinds("&'static str")[1], (TokenKind::Lifetime, "'static"));
+        assert_eq!(kinds(r"'\''")[0], (TokenKind::Char, r"'\''"));
+        assert_eq!(kinds(r"'\u{1F600}'")[0], (TokenKind::Char, r"'\u{1F600}'"));
+        assert_eq!(kinds("b'x'")[0], (TokenKind::Char, "b'x'"));
+        assert_eq!(kinds("'_")[0], (TokenKind::Lifetime, "'_"));
+    }
+
+    #[test]
+    fn doc_comment_flags() {
+        assert_eq!(kinds("/// doc")[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(kinds("//! doc")[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(kinds("// no")[0].0, TokenKind::LineComment { doc: false });
+        assert_eq!(kinds("//// no")[0].0, TokenKind::LineComment { doc: false });
+        assert_eq!(
+            kinds("/** d */")[0].0,
+            TokenKind::BlockComment { doc: true }
+        );
+        assert_eq!(
+            kinds("/*! d */")[0].0,
+            TokenKind::BlockComment { doc: true }
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = kinds("for i in 1..n { x = 2.5e-3 + 1.max(2) + 0x1F_u32; }");
+        assert!(toks.contains(&(TokenKind::Number, "1")));
+        assert!(toks.contains(&(TokenKind::Number, "2.5e-3")));
+        assert!(toks.contains(&(TokenKind::Number, "0x1F_u32")));
+        assert!(toks.contains(&(TokenKind::Ident, "max")));
+        roundtrip("for i in 1..n { x = 2.5e-3 + 1.max(2) + 0x1F_u32; }");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "Vec::new() /* not a comment "; x"#);
+        assert!(toks
+            .iter()
+            .any(|&(k, t)| k == TokenKind::Str && t == r#""Vec::new() /* not a comment ""#));
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof_without_panic() {
+        for src in ["\"open", "/* open /* deeper", "r#\"open", "'", "b'"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().map(|t| t.kind), Some(TokenKind::Unterminated));
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<(u32, &str)> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.line, t.text))
+            .collect();
+        assert_eq!(lines, vec![(1, "a"), (2, "b"), (4, "c")]);
+    }
+
+    #[test]
+    fn multiline_string_line_accounting() {
+        let toks = lex("let s = \"a\nb\"; after");
+        let after = toks.iter().find(|t| t.text == "after").expect("after");
+        assert_eq!(after.line, 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! The `selfstab-lint` CLI.
+//!
+//! ```text
+//! selfstab-lint check   [--format table|json] [--root PATH]
+//! selfstab-lint atomics [--format table|json] [--root PATH]
+//! selfstab-lint rules
+//! ```
+//!
+//! Exit codes: 0 clean (or inventory emitted), 1 findings present,
+//! 2 usage or I/O error. There is deliberately no `--fix`: every escape
+//! carries a human-written reason, so silencing a finding is a reviewed
+//! edit, not a tool action.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use selfstab_lint::report::{render_atomics, render_check, render_rules, Format};
+use selfstab_lint::{lint_workspace, walk};
+
+struct Args {
+    command: String,
+    format: Format,
+    root: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: selfstab-lint <check|atomics|rules> [--format table|json] [--root PATH]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        return Err(usage());
+    };
+    let mut parsed = Args {
+        command,
+        format: Format::Table,
+        root: None,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--format" => {
+                let value = args.next().ok_or_else(usage)?;
+                parsed.format = Format::parse(&value).ok_or_else(|| {
+                    eprintln!("selfstab-lint: unknown format `{value}` (table|json)");
+                    ExitCode::from(2)
+                })?;
+            }
+            "--root" => {
+                parsed.root = Some(PathBuf::from(args.next().ok_or_else(usage)?));
+            }
+            other => {
+                eprintln!("selfstab-lint: unknown argument `{other}`");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    if args.command == "rules" {
+        print!("{}", render_rules());
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.root {
+        Some(root) => root,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match walk::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!(
+                        "selfstab-lint: no workspace root found above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("selfstab-lint: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    match args.command.as_str() {
+        "check" => {
+            print!(
+                "{}",
+                render_check(&report.findings, report.files_scanned, args.format)
+            );
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "atomics" => {
+            print!(
+                "{}",
+                render_atomics(&report.atomic_sites, report.files_scanned, args.format)
+            );
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("selfstab-lint: unknown command `{other}`");
+            usage()
+        }
+    }
+}

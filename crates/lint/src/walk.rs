@@ -1,0 +1,98 @@
+//! Workspace file discovery.
+//!
+//! A recursive walk from the workspace root collecting every `.rs` file,
+//! skipping:
+//!
+//! * `target/` — build products,
+//! * `vendor/` — offline stubs mirroring *external* crates' APIs; they
+//!   are not governed by this workspace's invariants,
+//! * `fixtures/` — the lint crate's own seeded-violation corpora, which
+//!   exist to be dirty,
+//! * dot-directories (`.git`, `.github` hold no Rust).
+//!
+//! Results are sorted by path so reports and exit codes are independent
+//! of directory-entry order.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+pub const SKIPPED_DIRS: &[&str] = &["target", "vendor", "fixtures"];
+
+/// All workspace `.rs` files under `root`, as paths relative to `root`
+/// with `/` separators, sorted.
+pub fn rust_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    collect(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect(root: &Path, dir: &Path, files: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIPPED_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect(root, &path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(relative_slash_path(root, &path));
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform.
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(current) = dir {
+        let manifest = current.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(current.to_path_buf());
+            }
+        }
+        dir = current.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_workspace() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("lint crate lives inside the workspace");
+        let files = rust_files(&root).expect("walk succeeds");
+        assert!(files.iter().any(|f| f == "crates/lint/src/walk.rs"));
+        assert!(files.iter().any(|f| f == "crates/runtime/src/executor.rs"));
+        assert!(
+            !files.iter().any(|f| f.starts_with("vendor/")),
+            "vendored stubs are out of scope"
+        );
+        assert!(
+            !files.iter().any(|f| f.contains("/fixtures/")),
+            "fixture corpora are out of scope"
+        );
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk output is sorted");
+    }
+}

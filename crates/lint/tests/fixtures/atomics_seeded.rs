@@ -1,0 +1,22 @@
+//! Seeded atomic-ordering sites, justified and not, for the inventory
+//! and audit tests in `rule_fixtures.rs`. Never compiled.
+
+fn justified_sites(counter: &AtomicU64, flag: &AtomicBool) {
+    counter.fetch_add(1, Ordering::Relaxed); // ordering: monotonic tally
+    // ordering: pairs with the Release store in publish()
+    let ready = flag.load(Ordering::Acquire);
+    flag.store(true, Ordering::Release); // ordering: publishes the buffer above
+}
+
+fn unjustified_sites(counter: &AtomicU64, state: &AtomicU32) {
+    let seen = counter.load(Ordering::SeqCst);
+    state.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_not_exempt_for_atomics() {
+        COUNTER.store(0, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded determinism violations, linted "as" a result-producing crate
+//! source file by `rule_fixtures.rs`. Never compiled.
+
+fn seeded_violations() {
+    let unordered: HashMap<u32, u32> = HashMap::new(); // seeds 1+2: HashMap twice
+    let set: HashSet<u32> = make(); // seed 3: HashSet
+    let started = Instant::now(); // seed 4: Instant::now
+    let wall = SystemTime::now(); // seed 5: SystemTime
+    let who = thread::current(); // seed 6: thread::current
+    let mut rng = thread_rng(); // seed 7: thread_rng
+    let seeded_badly = StdRng::from_entropy(); // seed 8: from_entropy
+    let roll: u8 = rand::random(); // seed 9: rand::random
+}
+
+fn escaped_site() {
+    // lint: allow(determinism) — fixture: timing feeds stderr only
+    let t = Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let t = Instant::now();
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded malformed escapes for the hygiene tests in
+//! `rule_fixtures.rs`. Never compiled.
+
+fn reasonless() -> Vec<u32> {
+    // lint: allow(hot-alloc)
+    Vec::new()
+}
+
+fn unknown_rule() -> Vec<u32> {
+    // lint: allow(hot-allocs) — typo in the rule id
+    Vec::new()
+}
+
+fn empty_rule_list() -> Vec<u32> {
+    // lint: allow() — no rule named at all
+    Vec::new()
+}
+
+fn mangled_tail() -> Vec<u32> {
+    // lint: allow(hot-alloc — unclosed parenthesis
+    Vec::new()
+}
+
+fn well_formed() -> Vec<u32> {
+    // lint: allow(hot-alloc) — fixture: the one valid escape here
+    Vec::new()
+}

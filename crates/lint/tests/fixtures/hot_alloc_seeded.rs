@@ -1,0 +1,34 @@
+//! Seeded hot-alloc violations, linted "as" a hot-path module by
+//! `rule_fixtures.rs`. One violation per construct the family knows,
+//! in a fixed order the test asserts against. Never compiled.
+
+fn seeded_violations(xs: &[u32], log: &mut String) {
+    let grown = Vec::new(); // seed 1: Vec::new
+    let literal = vec![0u32; 4]; // seed 2: vec![
+    let copied = xs.clone(); // seed 3: .clone()
+    let gathered: Vec<u32> = xs.iter().copied().collect(); // seed 4: .collect()
+    let owned = xs.to_vec(); // seed 5: .to_vec()
+    let boxed = Box::new(0u32); // seed 6: Box::new
+    let text = format!("{}", xs.len()); // seed 7: format!
+    let s = String::from("hot"); // seed 8: String::from
+    log.push_str(&text);
+}
+
+fn escaped_site() -> Vec<u32> {
+    // lint: allow(hot-alloc) — fixture: constructed once at startup
+    Vec::new()
+}
+
+fn invisible_sites() {
+    let prose = "Vec::new() and vec![] inside a string are opaque";
+    // Vec::new() in a comment is prose, not code.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let scratch = Vec::new(); // exempt: inside #[cfg(test)]
+        let more = vec![1, 2, 3];
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for the lint lexer's totality guarantees.
+//!
+//! The engine trusts three things about [`selfstab_lint::lexer::lex`]:
+//! it never panics, it is *lossless* (the token texts concatenate back
+//! to the input, byte for byte, with correct offsets), and its line
+//! numbers are consistent — on any input, including unterminated
+//! literals, stray quotes, and nested comment soup. These properties are
+//! what make "lint every file in the workspace" safe without a parse
+//! step, so they are checked over adversarial random inputs, not just
+//! the unit-test corpus.
+
+use proptest::prelude::*;
+use selfstab_lint::lexer::{lex, TokenKind};
+
+/// Fragments chosen to collide: quote openers without closers, raw-string
+/// fences with mismatched hash counts, comment openers/closers, lifetimes
+/// next to char literals, exotic numerics, and multibyte text.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "let x = 1;",
+    "\"",
+    "\"text\"",
+    "\"\\\"",
+    "\\",
+    "'",
+    "'a",
+    "'a'",
+    "'\\''",
+    "'_",
+    "b'x'",
+    "r\"raw\"",
+    "r#\"",
+    "r#\"fence\"#",
+    "r##\"deep\"#\"##",
+    "br#\"bytes\"#",
+    "c\"cstr\"",
+    "r#ident",
+    "//",
+    "// line\n",
+    "///doc\n",
+    "//!inner\n",
+    "/*",
+    "*/",
+    "/* block */",
+    "/* outer /* inner */ tail */",
+    "/** doc */",
+    "/*!",
+    "\n",
+    "\r\n",
+    " ",
+    "\t",
+    "ident",
+    "Ordering::Relaxed",
+    "vec![0; 4]",
+    "1.5e-3",
+    "0x_ff",
+    "1..n",
+    "1.max(2)",
+    "0b10_01",
+    "λ→é",
+    "#",
+    "!",
+    "::",
+    ".",
+    "{}",
+    "(",
+];
+
+/// Deterministic fragment mixer: a tiny xorshift stream seeded by the
+/// strategy picks which fragments to concatenate, so each `(seed, len)`
+/// case is a reproducible adversarial input.
+fn build_input(seed: u64, len: usize) -> String {
+    let mut state = seed | 1;
+    let mut input = String::new();
+    for _ in 0..len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        input.push_str(FRAGMENTS[(state as usize) % FRAGMENTS.len()]);
+    }
+    input
+}
+
+/// Asserts every totality invariant on one input.
+fn assert_lex_invariants(input: &str) {
+    let tokens = lex(input);
+
+    // Lossless: token texts tile the input exactly, offsets agree.
+    let mut offset = 0usize;
+    let mut line = 1u32;
+    for token in &tokens {
+        assert_eq!(
+            token.start, offset,
+            "token {token:?} does not start where the previous one ended"
+        );
+        assert_eq!(
+            &input[offset..offset + token.text.len()],
+            token.text,
+            "token text must be a slice of the input at its offset"
+        );
+        assert_eq!(
+            token.line, line,
+            "token {token:?} carries the wrong line number"
+        );
+        offset += token.text.len();
+        line += token.text.matches('\n').count() as u32;
+        assert!(!token.text.is_empty(), "empty token at offset {offset}");
+    }
+    assert_eq!(offset, input.len(), "tokens must cover the whole input");
+
+    // Unterminated tokens never swallow more than they should: each one
+    // either runs to EOF, or is a malformed char literal the lexer cut
+    // at a newline so a stray quote cannot consume the rest of the file.
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Unterminated {
+            continue;
+        }
+        let ends_at_eof = token.start + token.text.len() == input.len();
+        let cut_at_newline = input[token.start + token.text.len()..].starts_with('\n');
+        assert!(
+            ends_at_eof || cut_at_newline,
+            "unterminated token {i} ends mid-line before EOF: {token:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Random fragment concatenations: quote/fence/comment collisions.
+    #[test]
+    fn lexing_is_total_and_lossless(seed in 0u64..u64::MAX, len in 0usize..24) {
+        assert_lex_invariants(&build_input(seed, len));
+    }
+
+    /// The same inputs with a truncated tail: cutting a token mid-byte
+    /// sequence is exactly how unterminated literals arise. Truncation
+    /// lands on a char boundary by construction of the byte scan.
+    #[test]
+    fn truncated_inputs_still_lex(seed in 0u64..u64::MAX, len in 1usize..16, cut in 0usize..64) {
+        let input = build_input(seed, len);
+        let mut end = input.len().saturating_sub(cut % (input.len() + 1));
+        while !input.is_char_boundary(end) {
+            end -= 1;
+        }
+        assert_lex_invariants(&input[..end]);
+    }
+}
+
+#[test]
+fn fixed_adversarial_corpus() {
+    let corpus = [
+        "",
+        "\"",
+        "r#\"never closed",
+        "r##\"almost\"#",
+        "/* /* /* deep",
+        "'",
+        "'\\",
+        "b\"",
+        "0x",
+        "1e",
+        "ident'static",
+        "r#\"\"#r#\"\"#",
+        "// no trailing newline",
+        "/*!",
+        "'a'b'c'",
+        "\u{0}\u{1}\u{7f}",
+        "é'λ",
+    ];
+    for input in corpus {
+        assert_lex_invariants(input);
+    }
+}
+
+#[test]
+fn every_fragment_alone_lexes() {
+    for fragment in FRAGMENTS {
+        assert_lex_invariants(fragment);
+    }
+}

@@ -1,0 +1,137 @@
+//! Fixture tests: each rule family must catch its seeded violations.
+//!
+//! The corpora live in `tests/fixtures/` (excluded from the workspace
+//! walk, so the seeded violations never dirty the self-lint) and are
+//! linted *as if* they lived at in-scope paths — `lint_source` scopes by
+//! the path it is handed, so a fixture can impersonate a hot-path
+//! module. Every assertion pins exact lines: a rule that silently stops
+//! firing fails here, not in review.
+
+use selfstab_lint::engine::lint_source;
+
+const HOT_ALLOC: &str = include_str!("fixtures/hot_alloc_seeded.rs");
+const DETERMINISM: &str = include_str!("fixtures/determinism_seeded.rs");
+const ATOMICS: &str = include_str!("fixtures/atomics_seeded.rs");
+const ESCAPES: &str = include_str!("fixtures/escape_hygiene_seeded.rs");
+
+/// `(rule, line)` pairs for every finding, in report order.
+fn findings(path: &str, source: &str) -> Vec<(String, u32)> {
+    lint_source(path, source)
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line))
+        .collect()
+}
+
+fn lines_of(rule: &str, found: &[(String, u32)]) -> Vec<u32> {
+    found
+        .iter()
+        .filter(|(r, _)| r == rule)
+        .map(|&(_, line)| line)
+        .collect()
+}
+
+#[test]
+fn hot_alloc_catches_every_seeded_construct() {
+    let found = findings("crates/runtime/src/executor.rs", HOT_ALLOC);
+    // One finding per construct, in source order: Vec::new, vec![,
+    // .clone(), .collect(), .to_vec(), Box::new, format!, String::from.
+    assert_eq!(
+        lines_of("hot-alloc", &found),
+        vec![6, 7, 8, 9, 10, 11, 12, 13]
+    );
+    // The escaped site, string/comment mentions, and #[cfg(test)] code
+    // contribute nothing, and the one escape in the file is well-formed.
+    assert_eq!(found.len(), 8, "{found:?}");
+}
+
+#[test]
+fn hot_alloc_is_scoped_to_the_designated_modules() {
+    // The same dirty content linted as a non-hot module: only families
+    // that apply there may fire (determinism rules do not match it).
+    let found = findings("crates/analysis/src/table.rs", HOT_ALLOC);
+    assert_eq!(lines_of("hot-alloc", &found), Vec::<u32>::new());
+}
+
+#[test]
+fn determinism_catches_every_seeded_construct() {
+    let found = findings("crates/analysis/src/campaign.rs", DETERMINISM);
+    // HashMap fires twice on line 5 (annotation and constructor), then
+    // HashSet, Instant::now, SystemTime, thread::current, thread_rng,
+    // from_entropy, rand::random — one line each.
+    assert_eq!(
+        lines_of("determinism", &found),
+        vec![5, 5, 6, 7, 8, 9, 10, 11, 12]
+    );
+    assert_eq!(found.len(), 9, "{found:?}");
+}
+
+#[test]
+fn determinism_exempts_tests_and_benches() {
+    for path in [
+        "crates/analysis/tests/determinism.rs",
+        "crates/bench/benches/hot_path.rs",
+        "crates/lint/src/engine.rs",
+    ] {
+        let found = findings(path, DETERMINISM);
+        assert_eq!(found, vec![], "{path} should be out of determinism scope");
+    }
+}
+
+#[test]
+fn atomic_audit_inventories_every_site_and_flags_unjustified_ones() {
+    let report = lint_source("crates/runtime/src/soa.rs", ATOMICS);
+    let sites: Vec<(u32, &str, bool)> = report
+        .atomic_sites
+        .iter()
+        .map(|s| (s.line, s.ordering.as_str(), s.justification.is_some()))
+        .collect();
+    assert_eq!(
+        sites,
+        vec![
+            (5, "Relaxed", true),  // trailing justification
+            (7, "Acquire", true),  // justification on the line above
+            (8, "Release", true),  // trailing justification
+            (12, "SeqCst", false), // unjustified
+            (13, "AcqRel", false), // both orderings of a CAS, unjustified
+            (13, "Acquire", false),
+            (20, "Relaxed", false), // #[cfg(test)] does NOT exempt atomics
+        ]
+    );
+    let flagged = lines_of(
+        "atomic-audit",
+        &findings("crates/runtime/src/soa.rs", ATOMICS),
+    );
+    assert_eq!(flagged, vec![12, 13, 13, 20]);
+}
+
+#[test]
+fn atomic_justifications_carry_their_text_into_the_inventory() {
+    let report = lint_source("crates/runtime/src/soa.rs", ATOMICS);
+    assert_eq!(
+        report.atomic_sites[0].justification.as_deref(),
+        Some("monotonic tally")
+    );
+    assert_eq!(
+        report.atomic_sites[1].justification.as_deref(),
+        Some("pairs with the Release store in publish()")
+    );
+}
+
+#[test]
+fn malformed_escapes_are_findings_and_never_suppress() {
+    let found = findings("crates/runtime/src/executor.rs", ESCAPES);
+    // Reasonless (5), unknown rule (10), empty rule list (15), and a
+    // mangled tail that loses both its rules and its reason (20, twice).
+    assert_eq!(lines_of("lint-escape", &found), vec![5, 10, 15, 20, 20]);
+    // Every malformed escape leaves its Vec::new flagged; only the
+    // well-formed escape on line 25 suppresses its site (line 26).
+    assert_eq!(lines_of("hot-alloc", &found), vec![6, 11, 16, 21]);
+}
+
+#[test]
+fn escape_hygiene_is_checked_even_out_of_family_scope() {
+    // A broken escape is a finding in ANY file, not just hot modules.
+    let found = findings("crates/lint/src/walk.rs", ESCAPES);
+    assert_eq!(lines_of("lint-escape", &found), vec![5, 10, 15, 20, 20]);
+}

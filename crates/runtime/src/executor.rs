@@ -401,7 +401,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         let config: Vec<P::State> = graph
             .nodes()
             .map(|p| protocol.arbitrary_state(graph, p, &mut rng))
-            .collect();
+            .collect(); // lint: allow(hot-alloc) — construction of the initial configuration
         Self::with_config(
             graph,
             protocol,
@@ -430,13 +430,14 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             graph.node_count(),
             "configuration must contain one state per process"
         );
+        // lint: allow(hot-alloc) — constructor-only degree table
         let degrees: Vec<usize> = graph.nodes().map(|p| graph.degree(p)).collect();
         let trace = options.record_trace.then(Trace::new);
         let n = graph.node_count();
         let comm_rows: Vec<P::Comm> = graph
             .nodes()
             .map(|p| protocol.comm(p, &config[p.index()]))
-            .collect();
+            .collect(); // lint: allow(hot-alloc) — constructor-only comm-cache build
         let comm_cache = StateStore::from_vec(comm_rows, options.soa_layout);
         let config = StateStore::from_vec(config, options.soa_layout);
         let step_workers = options.step_workers.max(1);
@@ -452,17 +453,17 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             .map(|range| ShardScratch {
                 dirty_queue: {
                     let mut queue = Vec::with_capacity(range.len());
-                    queue.extend(range.clone().map(NodeId::new));
+                    queue.extend(range.clone().map(NodeId::new)); // lint: allow(hot-alloc) — Range<usize> clone is a stack copy
                     queue
                 },
                 staged: Vec::with_capacity(range.len()),
                 executed: Vec::with_capacity(range.len()),
-                read_log: Vec::new(),
+                read_log: Vec::new(), // lint: allow(hot-alloc) — constructor scratch; reused every step
                 distinct_reads: Vec::with_capacity(max_degree),
-                records: Vec::new(),
+                records: Vec::new(), // lint: allow(hot-alloc) — constructor scratch; reused every step
                 gather: GatherBuffer::new(max_degree),
             })
-            .collect();
+            .collect(); // lint: allow(hot-alloc) — per-shard scratch built once
         Simulation {
             graph,
             protocol,
@@ -475,11 +476,11 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             options,
             step: 0,
             rounds: 0,
-            selected_this_round: vec![false; n],
+            selected_this_round: vec![false; n], // lint: allow(hot-alloc) — constructor-sized flag array
             unselected_remaining: n,
             comm_cache,
             enabled: EnabledSet::new(n),
-            dirty: vec![true; n],
+            dirty: vec![true; n], // lint: allow(hot-alloc) — constructor-sized dirty flags
             partition,
             shards,
             step_workers,
@@ -491,8 +492,8 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             // duplicate-free by the scheduler contract).
             selected_scratch: Vec::with_capacity(n),
             executed_scratch: Vec::with_capacity(n),
-            debug_enabled_scratch: Vec::new(),
-            debug_comm_scratch: Vec::new(),
+            debug_enabled_scratch: Vec::new(), // lint: allow(hot-alloc) — debug-assert scratch, grown once
+            debug_comm_scratch: Vec::new(), // lint: allow(hot-alloc) — debug-assert scratch, grown once
         }
     }
 
@@ -567,7 +568,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
     /// columns under the SoA layout; use [`Simulation::config`] when rows
     /// are known to exist).
     pub fn config_vec(&self) -> Vec<P::State> {
-        self.config.to_vec()
+        self.config.to_vec() // lint: allow(hot-alloc) — documented materializing accessor
     }
 
     /// The layout-aware state store.
@@ -741,6 +742,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         // so the silent steady state pays one relaxed load and nothing
         // else.
         let metrics = metrics::active();
+        // lint: allow(determinism) — phase timing feeds the metrics histograms only
         let phase_started = metrics.map(|_| std::time::Instant::now());
         let ctx = StepContext {
             graph: self.graph,
@@ -827,7 +829,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         let comm_slice: &[P::Comm] = match self.comm_cache.as_slice() {
             Some(rows) => rows,
             None => {
-                materialized = self.comm_cache.to_vec();
+                materialized = self.comm_cache.to_vec(); // lint: allow(hot-alloc) — reference/debug path, not the incremental loop
                 &materialized
             }
         };
@@ -839,7 +841,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
                     self.protocol.is_enabled(self.graph, p, state, &view)
                 })
             })
-            .collect()
+            .collect() // lint: allow(hot-alloc) — reference/debug path, not the incremental loop
     }
 
     #[cfg(debug_assertions)]
@@ -902,6 +904,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         let metrics = metrics::active();
 
         self.selected_scratch.clear();
+        // lint: allow(determinism) — phase timing feeds the metrics histograms only
         let phase_started = metrics.map(|_| std::time::Instant::now());
         let ctx = SchedulerContext {
             step: self.step,
@@ -932,11 +935,12 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
         // Trace records are the one intentional per-step allocation: the
         // trace (or an attached sink) consumes them, so there is no
         // buffer to reuse. Off by default.
-        let mut records: Vec<ActivationRecord> = Vec::new();
+        let mut records: Vec<ActivationRecord> = Vec::new(); // lint: allow(hot-alloc) — the documented trace allocation (see above)
         if tracing {
             records.reserve(self.selected_scratch.len());
         }
         let step = self.step;
+        // lint: allow(determinism) — phase timing feeds the metrics histograms only
         let phase_started = metrics.map(|_| std::time::Instant::now());
         let ctx = StepContext {
             graph: self.graph,
@@ -1017,6 +1021,7 @@ impl<'g, P: Protocol, S: Scheduler> Simulation<'g, P, S> {
             m.phase(StepPhase::Activation)
                 .record(self.selected_scratch.len() as u64, started.elapsed());
         }
+        // lint: allow(determinism) — phase timing feeds the metrics histograms only
         let phase_started = metrics.map(|_| std::time::Instant::now());
         // Merge phase, sequential and in shard order — deterministic
         // regardless of which worker ran which shard when. Apply all staged
@@ -1432,7 +1437,7 @@ fn run_activation_task<P: Protocol>(task: &mut ActivationTask<'_, P>, ctx: &Step
         // exactly-sized `Vec` the `ActivationRecord` will own, so the one
         // documented trace allocation is also the only scan (the seed
         // executor deduplicated into the scratch and then cloned it).
-        let mut traced_reads = Vec::new();
+        let mut traced_reads = Vec::new(); // lint: allow(hot-alloc) — the documented trace allocation (see above)
         let reads_buf: &mut Vec<Port> = if ctx.tracing {
             traced_reads.reserve_exact(read_operations.min(ctx.graph.degree(p)));
             &mut traced_reads
@@ -1542,6 +1547,7 @@ fn run_shard_tasks<T: Send>(workers: usize, tasks: &mut [T], run: impl Fn(&mut T
     use std::sync::Mutex;
 
     let cursor = AtomicUsize::new(0);
+    // lint: allow(hot-alloc) — coordinator-side slot list, O(shards) per step
     let slots: Vec<Mutex<&mut T>> = tasks.iter_mut().map(Mutex::new).collect();
     std::thread::scope(|scope| {
         let spawned = workers.min(slots.len());
@@ -1550,7 +1556,7 @@ fn run_shard_tasks<T: Send>(workers: usize, tasks: &mut [T], run: impl Fn(&mut T
                 scope.spawn(|| {
                     crate::probes::enter_step_worker();
                     loop {
-                        let claimed = cursor.fetch_add(1, Ordering::Relaxed);
+                        let claimed = cursor.fetch_add(1, Ordering::Relaxed); // ordering: unique-index handout; slot data is mutex-guarded
                         if claimed >= slots.len() {
                             break;
                         }
@@ -1560,7 +1566,7 @@ fn run_shard_tasks<T: Send>(workers: usize, tasks: &mut [T], run: impl Fn(&mut T
                     crate::probes::exit_step_worker();
                 })
             })
-            .collect();
+            .collect(); // lint: allow(hot-alloc) — coordinator-side handle list
         for handle in handles {
             if let Err(panic) = handle.join() {
                 std::panic::resume_unwind(panic);

@@ -49,16 +49,16 @@ pub trait StateColumns<T>: fmt::Debug + Clone + Send + Sync {
 /// Rows of `Clone` values can always fall back to plain `Vec` storage.
 impl<T: Clone + Send + Sync + fmt::Debug> StateColumns<T> for Vec<T> {
     fn from_slice(rows: &[T]) -> Self {
-        rows.to_vec()
+        rows.to_vec() // lint: allow(hot-alloc) — store construction from rows
     }
     fn len(&self) -> usize {
         self.as_slice().len()
     }
     fn get(&self, i: usize) -> T {
-        self[i].clone()
+        self[i].clone() // lint: allow(hot-alloc) — by-value row API; states are small plain data
     }
     fn set(&mut self, i: usize, value: &T) {
-        self[i] = value.clone();
+        self[i] = value.clone(); // lint: allow(hot-alloc) — by-value row API; states are small plain data
     }
     fn heap_bytes(&self) -> usize {
         self.capacity() * std::mem::size_of::<T>()
@@ -170,7 +170,7 @@ impl<T: SoaState> StateStore<T> {
     #[must_use]
     pub fn get(&self, i: usize) -> T {
         match self {
-            StateStore::Aos(rows) => rows[i].clone(),
+            StateStore::Aos(rows) => rows[i].clone(), // lint: allow(hot-alloc) — by-value row API; states are small plain data
             StateStore::Soa(cols) => cols.get(i),
         }
     }
@@ -178,7 +178,7 @@ impl<T: SoaState> StateStore<T> {
     /// Writes row `i`.
     pub fn set(&mut self, i: usize, value: &T) {
         match self {
-            StateStore::Aos(rows) => rows[i] = value.clone(),
+            StateStore::Aos(rows) => rows[i] = value.clone(), // lint: allow(hot-alloc) — by-value row API; states are small plain data
             StateStore::Soa(cols) => cols.set(i, value),
         }
     }
@@ -222,8 +222,8 @@ impl<T: SoaState> StateStore<T> {
     #[must_use]
     pub fn to_vec(&self) -> Vec<T> {
         match self {
-            StateStore::Aos(rows) => rows.clone(),
-            StateStore::Soa(cols) => (0..cols.len()).map(|i| cols.get(i)).collect(),
+            StateStore::Aos(rows) => rows.clone(), // lint: allow(hot-alloc) — documented materializing accessor
+            StateStore::Soa(cols) => (0..cols.len()).map(|i| cols.get(i)).collect(), // lint: allow(hot-alloc) — documented materializing accessor
         }
     }
 
@@ -232,7 +232,7 @@ impl<T: SoaState> StateStore<T> {
     pub fn into_vec(self) -> Vec<T> {
         match self {
             StateStore::Aos(rows) => rows,
-            StateStore::Soa(cols) => (0..cols.len()).map(|i| cols.get(i)).collect(),
+            StateStore::Soa(cols) => (0..cols.len()).map(|i| cols.get(i)).collect(), // lint: allow(hot-alloc) — documented materializing accessor
         }
     }
 

@@ -93,19 +93,19 @@ impl Histogram {
 
     /// Records one duration given in nanoseconds.
     pub fn record_ns(&self, ns: u64) {
-        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic cell
+        self.count.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic cell
+        self.total_ns.fetch_add(ns, Ordering::Relaxed); // ordering: independent monotonic cell
     }
 
     /// Number of recorded durations.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // ordering: observational snapshot; may lag writers
     }
 
     /// Sum of all recorded durations, in nanoseconds.
     pub fn total_ns(&self) -> u64 {
-        self.total_ns.load(Ordering::Relaxed)
+        self.total_ns.load(Ordering::Relaxed) // ordering: observational snapshot; may lag writers
     }
 
     /// Upper bound (power-of-two resolution) of the `q`-quantile of the
@@ -120,7 +120,7 @@ impl Histogram {
         let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut cumulative = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
+            cumulative += bucket.load(Ordering::Relaxed); // ordering: snapshot scan; buckets are independent
             if cumulative >= rank {
                 return if i == 0 {
                     0
@@ -145,20 +145,20 @@ impl PhaseMetrics {
     /// Records one invocation that processed `items` work items in
     /// `elapsed` wall time.
     pub fn record(&self, items: u64, elapsed: Duration) {
-        self.invocations.fetch_add(1, Ordering::Relaxed);
-        self.items.fetch_add(items, Ordering::Relaxed);
+        self.invocations.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic cell
+        self.items.fetch_add(items, Ordering::Relaxed); // ordering: independent monotonic cell
         self.histogram.record(elapsed);
     }
 
     /// Number of recorded invocations.
     pub fn invocations(&self) -> u64 {
-        self.invocations.load(Ordering::Relaxed)
+        self.invocations.load(Ordering::Relaxed) // ordering: observational snapshot; may lag writers
     }
 
     /// Total work items processed (phase-specific unit: dirty processes
     /// drained, processes selected, activations run, updates merged).
     pub fn items(&self) -> u64 {
-        self.items.load(Ordering::Relaxed)
+        self.items.load(Ordering::Relaxed) // ordering: observational snapshot; may lag writers
     }
 
     /// The duration histogram of this phase.
@@ -190,19 +190,19 @@ impl MetricsRegistry {
     /// Records one fault-injection event that corrupted `victims`
     /// processes in `elapsed` wall time.
     pub fn record_fault_injection(&self, victims: u64, elapsed: Duration) {
-        self.fault_injections.fetch_add(1, Ordering::Relaxed);
-        self.fault_victims.fetch_add(victims, Ordering::Relaxed);
+        self.fault_injections.fetch_add(1, Ordering::Relaxed); // ordering: independent monotonic cell
+        self.fault_victims.fetch_add(victims, Ordering::Relaxed); // ordering: independent monotonic cell
         self.fault_histogram.record(elapsed);
     }
 
     /// Number of recorded fault-injection events.
     pub fn fault_injections(&self) -> u64 {
-        self.fault_injections.load(Ordering::Relaxed)
+        self.fault_injections.load(Ordering::Relaxed) // ordering: observational snapshot; may lag writers
     }
 
     /// Total processes corrupted across all recorded injections.
     pub fn fault_victims(&self) -> u64 {
-        self.fault_victims.load(Ordering::Relaxed)
+        self.fault_victims.load(Ordering::Relaxed) // ordering: observational snapshot; may lag writers
     }
 
     /// Duration histogram of fault injections.
@@ -233,12 +233,12 @@ pub fn global() -> &'static MetricsRegistry {
 
 /// Turns metrics collection on or off process-wide.
 pub fn set_enabled(enabled: bool) {
-    ENABLED.store(enabled, Ordering::Relaxed);
+    ENABLED.store(enabled, Ordering::Relaxed); // ordering: enable flag guards no data
 }
 
 /// Whether metrics collection is enabled.
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load(Ordering::Relaxed) // ordering: enable flag guards no data
 }
 
 /// The registry when collection is enabled, `None` otherwise — the one

@@ -277,7 +277,7 @@ pub fn decode_step(
         activations.push(ActivationRecord {
             process: NodeId::new(id as usize),
             executed: false,
-            reads: Vec::new(),
+            reads: Vec::new(), // lint: allow(hot-alloc) — decode path builds record-owned vecs
             comm_changed: false,
         });
     }
@@ -325,7 +325,7 @@ fn decode_reads(input: &[u8], pos: &mut usize) -> Result<Vec<Port>, WireError> {
         });
     }
     if tag == 1 {
-        return Ok(Vec::new());
+        return Ok(Vec::new()); // lint: allow(hot-alloc) — decode path; empty read set
     }
     if tag % 2 == 0 {
         // Bitmap form: `tag / 2` bytes, set bits are the port indices.
@@ -335,7 +335,7 @@ fn decode_reads(input: &[u8], pos: &mut usize) -> Result<Vec<Port>, WireError> {
             .ok_or(WireError::UnexpectedEof {
                 offset: input.len(),
             })?;
-        let mut reads = Vec::new();
+        let mut reads = Vec::new(); // lint: allow(hot-alloc) — decode path builds the record-owned read set
         for (i, &byte) in slice.iter().enumerate() {
             let mut bits = byte;
             while bits != 0 {

@@ -45,9 +45,9 @@ struct CountingAllocator;
 
 impl CountingAllocator {
     fn count(&self) {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed); // ordering: count-only; asserted after quiescence
         if selfstab_runtime::probes::is_step_worker() {
-            WORKER_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            WORKER_ALLOCATIONS.fetch_add(1, Ordering::Relaxed); // ordering: count-only; asserted after workers exit
         }
     }
 }
@@ -80,11 +80,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 fn allocation_count() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.load(Ordering::Relaxed) // ordering: read on the asserting thread between steps
 }
 
 fn worker_allocation_count() -> u64 {
-    WORKER_ALLOCATIONS.load(Ordering::Relaxed)
+    WORKER_ALLOCATIONS.load(Ordering::Relaxed) // ordering: read after scoped workers joined
 }
 
 /// Minimum-propagation toy protocol with `Copy` state: the same executor
